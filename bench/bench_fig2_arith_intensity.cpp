@@ -1,0 +1,87 @@
+/**
+ * @file
+ * Reproduces paper Fig. 2: off-chip data volume and arithmetic
+ * intensity (ops/byte) of the homomorphic IDFT / DFT under the
+ * baseline algorithm, +Min-KS, and +Min-KS+OF-Limb.
+ *
+ * Paper targets: H-IDFT baseline 6.4 GB; Min-KS raises intensity 2.6x
+ * (H-DFT 2.0x); OF-Limb a further 4.0x (2.9x) to 11.1 (9.6) ops/byte;
+ * 88% (78%) of off-chip access removed.
+ */
+
+#include "bench_util.h"
+
+#include "core/traffic_analyzer.h"
+
+using namespace ark;
+
+int
+main()
+{
+    const auto params = CkksParams::ark();
+    TrafficAnalyzer analyzer(params);
+
+    struct Cfg
+    {
+        const char *name;
+        AlgoConfig algo;
+    };
+    const Cfg cfgs[] = {
+        {"Baseline", {KeySchedule::Baseline, false}},
+        {"Min-KS", {KeySchedule::MinKS, false}},
+        {"Min-KS + OF-Limb", {KeySchedule::MinKS, true}},
+    };
+
+    struct Xf
+    {
+        const char *name;
+        bool inverse;
+        int top_level;
+        double paper_gb;
+        double paper_final_intensity;
+        double paper_removed;
+    };
+    const Xf xforms[] = {
+        {"Homomorphic IDFT", true, 23, 6.4, 11.1, 0.88},
+        {"Homomorphic DFT", false, 11, 0.6, 9.6, 0.78},
+    };
+
+    for (const auto &xf : xforms) {
+        header(xf.name);
+        HdftPlan plan = HdftPlan::make(params, xf.inverse, xf.top_level);
+        std::printf("plan: %zu HRots, %zu PMults, evks "
+                    "baseline/minimal/min-ks = %zu/%zu/%zu "
+                    "(paper: 40 HRots, 158 PMults)\n",
+                    plan.totalHrots(), plan.totalPmults(),
+                    plan.distinctEvks(KeySchedule::Baseline),
+                    plan.distinctEvks(KeySchedule::MinimalKS),
+                    plan.distinctEvks(KeySchedule::MinKS));
+
+        TablePrinter t({"Config", "evk GB", "pt GB", "total GB",
+                        "ops/byte", "intensity gain"});
+        double base_bytes = 0, prev_int = 0;
+        for (const auto &cfg : cfgs) {
+            TrafficPoint pt = analyzer.analyze(plan, cfg.algo);
+            if (base_bytes == 0)
+                base_bytes = pt.totalBytes();
+            double gain = prev_int > 0 ? pt.opsPerByte() / prev_int : 1;
+            prev_int = pt.opsPerByte();
+            t.addRow({cfg.name, TablePrinter::fmt(pt.evk_bytes / 1e9, 2),
+                      TablePrinter::fmt(pt.plaintext_bytes / 1e9, 2),
+                      TablePrinter::fmt(pt.totalBytes() / 1e9, 2),
+                      TablePrinter::fmt(pt.opsPerByte(), 1),
+                      TablePrinter::fmt(gain, 2)});
+        }
+        t.print();
+        TrafficPoint last =
+            analyzer.analyze(plan, cfgs[2].algo);
+        std::printf("removed %.0f%% of off-chip access (paper %.0f%%); "
+                    "final intensity %.1f ops/byte (paper %.1f); "
+                    "baseline volume %.2f GB (paper %.1f GB)\n",
+                    100.0 * (1 - last.totalBytes() / base_bytes),
+                    100.0 * xf.paper_removed, last.opsPerByte(),
+                    xf.paper_final_intensity, base_bytes / 1e9,
+                    xf.paper_gb);
+    }
+    return 0;
+}

@@ -1,0 +1,38 @@
+/**
+ * @file
+ * Reproduces paper Fig. 4: computational breakdown (modular mults) of
+ * HRot at the max level for dnum = 4 versus dnum = max = L + 1.
+ *
+ * Paper: dnum = 4 -> (I)NTT 54.8%, BConv 34.2%, evk-mult 9.1%, others;
+ *        dnum = max -> (I)NTT 73.3%, BConv 9.2%, evk-mult 16.9%.
+ */
+
+#include "bench_util.h"
+
+using namespace ark;
+
+int
+main()
+{
+    header("Fig. 4: HRot computational breakdown, (N, L) = (2^16, 23)");
+    TablePrinter t({"dnum", "(I)NTT %", "BConv %", "evk-mult %",
+                    "others %", "total Mmults"});
+
+    for (int dnum : {4, 24}) {
+        CkksParams p = CkksParams::ark();
+        p.dnum = dnum; // alpha = (L+1)/dnum
+        CostModel cost(p);
+        OpCost c = cost.hrot(p.max_level);
+        double tot = c.total();
+        t.addRow({dnum == 24 ? "max (24)" : "4",
+                  TablePrinter::fmt(100 * c.ntt / tot, 1),
+                  TablePrinter::fmt(100 * c.bconv / tot, 1),
+                  TablePrinter::fmt(100 * c.evk_mult / tot, 1),
+                  TablePrinter::fmt(100 * c.other / tot, 1),
+                  TablePrinter::fmt(tot / 1e6, 1)});
+    }
+    t.print();
+    std::printf("paper: dnum=4 -> 54.8 / 34.2 / 9.1 / rest; "
+                "dnum=max -> 73.3 / 9.2 / 16.9 / rest\n");
+    return 0;
+}

@@ -1,0 +1,79 @@
+/**
+ * @file
+ * Reproduces paper Fig. 8: execution time and average power of the
+ * alternative ARK designs — limb-wise-only data distribution, doubled
+ * clusters, and doubled HBM bandwidth — across bootstrapping and the
+ * three workloads.
+ *
+ * Paper targets: limb-wise-only degrades to 0.67-0.85x; 2x clusters
+ * speeds bootstrapping 1.45x (HELR 1.07x, others 1.33x) at 1.29x
+ * power; 2x HBM helps HELR 1.47x but bootstrapping only 1.07x; base
+ * power 100-135 W.
+ */
+
+#include "bench_util.h"
+
+using namespace ark;
+
+int
+main()
+{
+    const auto params = CkksParams::ark();
+    SimAlgo algo{KeySchedule::MinKS, true};
+
+    const MachineConfig machines[] = {
+        MachineConfig::arkBase(),
+        MachineConfig::altDataDistribution(),
+        MachineConfig::doubleClusters(),
+        MachineConfig::doubleHbm(),
+    };
+
+    struct W
+    {
+        const char *name;
+        SimProgram prog;
+    };
+    auto sched = algo.schedule;
+    W workloads[] = {
+        {"Bootstrapping", bootstrapProgram(params, sched)},
+        {"HELR", helrProgram(params, sched, 1)},
+        {"ResNet-20", resnetProgram(params, sched)},
+        {"Sorting", sortingProgram(params, sched)},
+    };
+
+    header("Fig. 8: alternative designs (time and average power)");
+    TablePrinter t({"Workload", "Design", "Time (ms)", "Rel. perf",
+                    "Avg power (W)"});
+    for (auto &w : workloads) {
+        double base_s = 0;
+        for (const auto &m : machines) {
+            SimResult r = simulate(w.prog, m, algo);
+            if (base_s == 0)
+                base_s = r.seconds;
+            t.addRow({w.name, m.name, fmtMs(r.seconds),
+                      TablePrinter::fmt(base_s / r.seconds, 2),
+                      TablePrinter::fmt(r.avg_power_w, 1)});
+        }
+    }
+    t.print();
+    std::printf("paper: alt-dist 0.67-0.85x, 2x clusters 1.07-1.45x "
+                "(1.29x power), 2x HBM 1.07-1.08x except HELR 1.47x; "
+                "base power 100-135 W\n");
+
+    // EDAP (energy-delay-area product) of the 8-cluster design vs the
+    // base, on bootstrapping: paper Section VII-C reports 1.08x higher
+    // EDAP for 2x clusters -> the 4-cluster ARK is the efficient one.
+    {
+        auto edap = [&](const MachineConfig &m) {
+            SimResult r = simulate(workloads[0].prog, m, algo);
+            double area = chipCost(m).totalArea();
+            return r.avg_power_w * r.seconds * r.seconds * area;
+        };
+        double base = edap(MachineConfig::arkBase());
+        double twoc = edap(MachineConfig::doubleClusters());
+        std::printf("EDAP(2x clusters) / EDAP(base) = %.2fx "
+                    "(paper 1.08x; >1 means the base design is more "
+                    "efficient)\n", twoc / base);
+    }
+    return 0;
+}

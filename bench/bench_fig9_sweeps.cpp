@@ -1,0 +1,71 @@
+/**
+ * @file
+ * Reproduces paper Fig. 9: performance of HELR and ResNet-20 while
+ * sweeping (a)(b) the number of MAC units per BConv lane (1..8,
+ * saturating at 6) and (c)(d) the total scratchpad capacity
+ * (192..576 MiB, saturating near 512).
+ */
+
+#include "bench_util.h"
+
+using namespace ark;
+
+int
+main()
+{
+    const auto params = CkksParams::ark();
+    SimAlgo algo{KeySchedule::MinKS, true};
+
+    struct W
+    {
+        const char *name;
+        SimProgram prog;
+        double paper_mac_gain;  // 1 -> 6 MACs
+        double paper_spad_gain; // 192 -> 512 MiB
+    };
+    W workloads[] = {
+        {"HELR", helrProgram(params, algo.schedule, 1), 1.37, 1.53},
+        {"ResNet-20", resnetProgram(params, algo.schedule), 1.72, 2.42},
+    };
+
+    header("Fig. 9(a)(b): MAC units per BConv lane");
+    {
+        TablePrinter t({"Workload", "MACs/lane", "Time (ms)",
+                        "Rel. perf vs 1"});
+        for (auto &w : workloads) {
+            double t1 = 0;
+            for (size_t macs = 1; macs <= 8; ++macs) {
+                auto m = MachineConfig::arkBase().withMacs(macs);
+                double s = simulate(w.prog, m, algo).seconds;
+                if (macs == 1)
+                    t1 = s;
+                t.addRow({w.name, std::to_string(macs), fmtMs(s),
+                          TablePrinter::fmt(t1 / s, 2)});
+            }
+            std::printf("paper %s: 1->6 MACs gains %.2fx, then <1%% "
+                        "beyond 6\n", w.name, w.paper_mac_gain);
+        }
+        t.print();
+    }
+
+    header("Fig. 9(c)(d): total scratchpad capacity");
+    {
+        TablePrinter t({"Workload", "Scratchpad (MiB)", "Time (ms)",
+                        "Rel. perf vs 192"});
+        for (auto &w : workloads) {
+            double t192 = 0;
+            for (int mib = 192; mib <= 576; mib += 64) {
+                auto m = MachineConfig::arkBase().withScratchpad(mib);
+                double s = simulate(w.prog, m, algo).seconds;
+                if (mib == 192)
+                    t192 = s;
+                t.addRow({w.name, std::to_string(mib), fmtMs(s),
+                          TablePrinter::fmt(t192 / s, 2)});
+            }
+            std::printf("paper %s: 192->512 MiB gains %.2fx, then "
+                        "saturates\n", w.name, w.paper_spad_gain);
+        }
+        t.print();
+    }
+    return 0;
+}

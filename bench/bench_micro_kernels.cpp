@@ -1,0 +1,148 @@
+/**
+ * @file
+ * google-benchmark microbenchmarks of the functional library's primary
+ * kernels: NTT, 4-step NTT, BConv, automorphism, and full key
+ * switching — the same functions ARK's FUs accelerate.
+ */
+
+#include <benchmark/benchmark.h>
+
+#include "ckks/encoder.h"
+#include "ckks/encryptor.h"
+#include "ckks/evaluator.h"
+#include "ckks/keygen.h"
+#include "common/random.h"
+#include "rns/bconv.h"
+#include "rns/primes.h"
+#include "rns/four_step_ntt.h"
+
+namespace ark {
+namespace {
+
+void
+BM_NttForward(benchmark::State &state)
+{
+    const size_t n = static_cast<size_t>(state.range(0));
+    u64 prime = generatePrimes(50, 1, n).front();
+    NttTables tables(n, Modulus(prime));
+    Rng rng(1);
+    auto v = rng.uniformVector(n, prime);
+    for (auto _ : state) {
+        tables.forward(v.data());
+        benchmark::DoNotOptimize(v.data());
+    }
+    state.SetItemsProcessed(state.iterations() * n);
+}
+BENCHMARK(BM_NttForward)->Arg(1 << 12)->Arg(1 << 14)->Arg(1 << 16);
+
+void
+BM_FourStepNtt(benchmark::State &state)
+{
+    const size_t n = static_cast<size_t>(state.range(0));
+    u64 prime = generatePrimes(50, 1, n).front();
+    FourStepNtt ntt(n, Modulus(prime));
+    Rng rng(2);
+    auto v = rng.uniformVector(n, prime);
+    for (auto _ : state) {
+        auto out = ntt.forward(v);
+        benchmark::DoNotOptimize(out.data());
+    }
+    state.SetItemsProcessed(state.iterations() * n);
+}
+BENCHMARK(BM_FourStepNtt)->Arg(1 << 12)->Arg(1 << 16);
+
+void
+BM_BConv(benchmark::State &state)
+{
+    const size_t n = 1 << 13;
+    const size_t in_limbs = static_cast<size_t>(state.range(0));
+    auto pb = generatePrimes(45, in_limbs, n);
+    auto pc = generatePrimes(50, 8, n, pb);
+    std::vector<Modulus> mb, mc;
+    for (u64 p : pb)
+        mb.emplace_back(p);
+    for (u64 p : pc)
+        mc.emplace_back(p);
+    BaseConverter bc(mb, mc);
+    Rng rng(3);
+    RnsPoly in(n, in_limbs, Rep::Coeff);
+    for (size_t l = 0; l < in_limbs; ++l) {
+        auto v = rng.uniformVector(n, pb[l]);
+        std::copy(v.begin(), v.end(), in.limb(l));
+    }
+    for (auto _ : state) {
+        auto out = bc.convert(in);
+        benchmark::DoNotOptimize(out.limb(0));
+    }
+    state.SetItemsProcessed(state.iterations() * n * in_limbs * 8);
+}
+BENCHMARK(BM_BConv)->Arg(2)->Arg(6)->Arg(12);
+
+void
+BM_Automorphism(benchmark::State &state)
+{
+    const size_t n = 1 << 14;
+    u64 prime = generatePrimes(50, 1, n).front();
+    Automorphism am(galoisElt(5, n), n);
+    Rng rng(4);
+    auto in = rng.uniformVector(n, prime);
+    std::vector<u64> out(n);
+    for (auto _ : state) {
+        am.applyEval(in.data(), out.data());
+        benchmark::DoNotOptimize(out.data());
+    }
+    state.SetItemsProcessed(state.iterations() * n);
+}
+BENCHMARK(BM_Automorphism);
+
+void
+BM_KeySwitch(benchmark::State &state)
+{
+    static CkksContext ctx(CkksParams::testSmall());
+    static Rng rng(5);
+    static KeyGenerator keygen(ctx, rng);
+    static SecretKey sk = keygen.secretKey();
+    static EvalKey evk = keygen.evkMult(sk);
+    CkksEvaluator eval(ctx);
+    const int level = static_cast<int>(state.range(0));
+    RnsPoly d(ctx.degree(), level + 1, Rep::Eval);
+    for (int l = 0; l <= level; ++l) {
+        auto v = rng.uniformVector(ctx.degree(),
+                                   ctx.qModuli()[l].value());
+        std::copy(v.begin(), v.end(), d.limb(l));
+    }
+    for (auto _ : state) {
+        auto [b, a] = eval.keySwitch(d, evk, level);
+        benchmark::DoNotOptimize(b.limb(0));
+        benchmark::DoNotOptimize(a.limb(0));
+    }
+}
+BENCHMARK(BM_KeySwitch)->Arg(3)->Arg(7);
+
+void
+BM_HMult(benchmark::State &state)
+{
+    static CkksContext ctx(CkksParams::testSmall());
+    static Rng rng(6);
+    static CkksEncoder enc(ctx);
+    static KeyGenerator keygen(ctx, rng);
+    static SecretKey sk = keygen.secretKey();
+    static EvalKey evk = keygen.evkMult(sk);
+    CkksEncryptor encryptor(ctx, rng);
+    CkksEvaluator eval(ctx);
+    std::vector<Complex> m(64, Complex(0.5, -0.25));
+    auto ct1 = encryptor.encryptSymmetric(
+        enc.encode(m, ctx.maxLevel()), sk);
+    auto ct2 = ct1;
+    ct1.slots = ct2.slots = 64;
+    for (auto _ : state) {
+        auto prod = eval.rescale(eval.mul(ct1, ct2, evk));
+        benchmark::DoNotOptimize(prod.b.limb(0));
+    }
+}
+BENCHMARK(BM_HMult);
+
+} // namespace
+} // namespace ark
+
+BENCHMARK_MAIN();

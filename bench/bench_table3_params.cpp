@@ -1,0 +1,38 @@
+/**
+ * @file
+ * Reproduces paper Table III: parameter sets used by HE acceleration
+ * works and the resulting plaintext / ciphertext / evk data sizes.
+ */
+
+#include "bench_util.h"
+
+using namespace ark;
+
+int
+main()
+{
+    header("Table III: parameters and data sizes (MiB)");
+    TablePrinter t({"Work", "N", "L", "dnum", "alpha", "Pm", "[[m]]",
+                    "evk", "paper Pm/[[m]]/evk"});
+    struct Row
+    {
+        CkksParams p;
+        const char *paper;
+    };
+    const Row rows[] = {
+        {CkksParams::lattigo(), "12.5 / 25 / 150"},
+        {CkksParams::hundredX(), "30 / 60 / 240"},
+        {CkksParams::f1(), "1 / 2 / 34"},
+        {CkksParams::ark(), "12 / 24 / 120"},
+    };
+    for (const auto &r : rows) {
+        t.addRow({r.p.name, "2^" + std::to_string(log2Exact(r.p.degree)),
+                  std::to_string(r.p.max_level),
+                  std::to_string(r.p.dnum), std::to_string(r.p.alpha()),
+                  TablePrinter::fmt(r.p.plaintextMiB(), 1),
+                  TablePrinter::fmt(r.p.ciphertextMiB(), 1),
+                  TablePrinter::fmt(r.p.evkMiB(), 1), r.paper});
+    }
+    t.print();
+    return 0;
+}

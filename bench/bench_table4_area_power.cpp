@@ -1,0 +1,52 @@
+/**
+ * @file
+ * Reproduces paper Table IV: per-component area and peak power of ARK
+ * (418.3 mm^2, 281.3 W total), and the scaling of the model across the
+ * Fig. 8 design variants.
+ */
+
+#include "bench_util.h"
+
+using namespace ark;
+
+namespace {
+
+void
+printChip(const MachineConfig &m)
+{
+    ChipCost chip = chipCost(m);
+    TablePrinter t({"Component", "Area (mm^2)", "Peak power (W)"});
+    for (const auto &c : chip.components) {
+        t.addRow({c.name, TablePrinter::fmt(c.area_mm2, 1),
+                  TablePrinter::fmt(c.peak_w, 1)});
+    }
+    t.addRow({"Sum", TablePrinter::fmt(chip.totalArea(), 1),
+              TablePrinter::fmt(chip.totalPeakPower(), 1)});
+    t.print();
+}
+
+} // namespace
+
+int
+main()
+{
+    header("Table IV: ARK base configuration");
+    printChip(MachineConfig::arkBase());
+    std::printf("paper: 418.3 mm^2 / 281.3 W total "
+                "(model is seeded with Table IV at the base config)\n");
+
+    header("Scaled variants (Fig. 8 designs)");
+    for (const auto &m : {MachineConfig::doubleClusters(),
+                          MachineConfig::doubleHbm()}) {
+        std::printf("\n-- %s --\n", m.name.c_str());
+        printChip(m);
+    }
+    ChipCost base = chipCost(MachineConfig::arkBase());
+    ChipCost twoc = chipCost(MachineConfig::doubleClusters());
+    std::printf("2x clusters area ratio: %.2fx (paper 1.39x); "
+                "NoC power ratio: %.2fx (paper 2.71x)\n",
+                twoc.totalArea() / base.totalArea(),
+                twoc.component("NoC").peak_w /
+                    base.component("NoC").peak_w);
+    return 0;
+}

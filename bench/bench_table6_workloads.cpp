@@ -1,0 +1,36 @@
+/**
+ * @file
+ * Reproduces paper Table VI: ResNet-20 inference and sorting on ARK
+ * versus the CPU baselines (Lee et al. / Hong et al.).
+ */
+
+#include "bench_util.h"
+
+using namespace ark;
+
+int
+main()
+{
+    const auto params = CkksParams::ark();
+    MachineConfig m = MachineConfig::arkBase();
+    SimAlgo algo{KeySchedule::MinKS, true};
+
+    double resnet_s =
+        simulate(resnetProgram(params, algo.schedule), m, algo).seconds;
+    double sorting_s =
+        simulate(sortingProgram(params, algo.schedule), m, algo).seconds;
+
+    header("Table VI: complex FHE workloads vs CPU");
+    TablePrinter t({"Workload", "CPU (s)", "ARK sim (s)", "Speedup",
+                    "Paper ARK (s)", "Paper speedup"});
+    t.addRow({"ResNet-20", "2271", TablePrinter::fmt(resnet_s, 3),
+              TablePrinter::fmt(2271.0 / resnet_s, 0), "0.125",
+              "18214x"});
+    t.addRow({"Sorting", "23066", TablePrinter::fmt(sorting_s, 3),
+              TablePrinter::fmt(23066.0 / sorting_s, 0), "1.990",
+              "11590x"});
+    t.print();
+    std::printf("real-time CNN inference: %.0f ms per encrypted "
+                "ResNet-20 image (paper 125 ms)\n", resnet_s * 1e3);
+    return 0;
+}

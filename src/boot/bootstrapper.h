@@ -1,0 +1,81 @@
+/**
+ * @file
+ * Full CKKS bootstrapping (paper Section II-D): LevelRecover (ModRaise
+ * + SubSum), homomorphic IDFT (CoeffToSlot), EvalMod, and homomorphic
+ * DFT (SlotToCoeff), with selectable key schedule (Baseline / Min-KS)
+ * and plaintext mode (full / OF-Limb) so the paper's two algorithmic
+ * contributions can be exercised and compared functionally.
+ */
+
+#pragma once
+
+#include <memory>
+
+#include "boot/evalmod.h"
+#include "boot/key_cache.h"
+#include "boot/linear_transform.h"
+
+namespace ark {
+
+/** Bootstrapping configuration. */
+struct BootConfig
+{
+    KeySchedule schedule = KeySchedule::MinKS;
+    PlaintextMode pt_mode = PlaintextMode::OFLimb;
+    EvalModConfig evalmod{15, 8};
+    /**
+     * Expected q0 / Delta0 message ratio of bootstrap inputs. The
+     * ratio bounds the precision amplification of bootstrapping, so
+     * level-0 ciphertexts should be encoded at Delta0 = q0 / ratio.
+     */
+    double msg_ratio = 256.0;
+};
+
+/** Aggregate statistics of one bootstrap invocation. */
+struct BootStats
+{
+    LtStats hidft; ///< CoeffToSlot (homomorphic IDFT)
+    LtStats hdft;  ///< SlotToCoeff (homomorphic DFT)
+    size_t subsum_rotations = 0;
+    size_t evalmod_mults = 0;
+};
+
+/**
+ * Bootstrapper for sparsely packed ciphertexts (n <= N/4 slots).
+ * Precomputes the DFT matrices numerically from the encoder so the
+ * pipeline is self-consistent with the encoding convention.
+ */
+class Bootstrapper
+{
+  public:
+    Bootstrapper(const CkksContext &ctx, const CkksEncoder &encoder,
+                 BootConfig cfg);
+
+    /**
+     * Refresh a level-0 ciphertext to a fresh high level.
+     * @param ct level-0 ciphertext with scale ~= Delta.
+     */
+    Ciphertext bootstrap(const CkksEvaluator &eval, const Ciphertext &ct,
+                         KeyCache &keys, BootStats *stats = nullptr) const;
+
+    /** Level of the ciphertext bootstrap() returns. */
+    int outputLevel() const;
+
+    /** Levels consumed (the paper's L_boot). */
+    int bootLevels() const
+    {
+        return 2 + evalModDepth(cfg_.evalmod, 1.0 / cfg_.msg_ratio);
+    }
+
+    const BootConfig &config() const { return cfg_; }
+
+  private:
+    const CkksContext &ctx_;
+    const CkksEncoder &encoder_;
+    BootConfig cfg_;
+    size_t slots_;
+    std::unique_ptr<LinearTransform> coeff_to_slot_; ///< W^-1 / 2
+    std::unique_ptr<LinearTransform> slot_to_coeff_; ///< W * 2n/N
+};
+
+} // namespace ark

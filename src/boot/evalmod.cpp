@@ -1,0 +1,220 @@
+#include "boot/evalmod.h"
+
+#include <cmath>
+
+#include "common/logging.h"
+
+namespace ark {
+
+bool
+evalModSplitsAngle(const EvalModConfig &cfg, double arg_factor)
+{
+    const double combined =
+        2.0 * M_PI * arg_factor / std::pow(2.0, cfg.log_double_angle);
+    return combined < 1.0 / (1 << 10);
+}
+
+int
+evalModDepth(const EvalModConfig &cfg, double arg_factor)
+{
+    // angle scaling (1 or 2) + power basis up to degree d (BSGS:
+    // babies 2 levels, giants up to y^12 two more) + giant product with
+    // resolution headroom (2 rescales) + r doublings.
+    const int angle_levels = evalModSplitsAngle(cfg, arg_factor) ? 2 : 1;
+    return angle_levels + 4 + 2 + cfg.log_double_angle;
+}
+
+Ciphertext
+linearCombination(const CkksEvaluator &eval,
+                  const std::vector<const Ciphertext *> &cts,
+                  const std::vector<double> &coeffs, double target_scale)
+{
+    ARK_ASSERT(cts.size() == coeffs.size(), "arity mismatch");
+    Ciphertext acc;
+    bool set = false;
+    for (size_t i = 0; i < cts.size(); ++i) {
+        if (coeffs[i] == 0.0)
+            continue;
+        // mulScalar(c, v, s) yields scale c.scale * s; choosing
+        // s = target/operand pins every term to the same true scale.
+        Ciphertext term = eval.mulScalar(*cts[i], coeffs[i],
+                                         target_scale / cts[i]->scale);
+        term.scale = target_scale; // remove float-product jitter
+        acc = set ? eval.add(acc, term) : std::move(term);
+        set = true;
+    }
+    ARK_ASSERT(set, "empty linear combination");
+    return acc;
+}
+
+namespace {
+
+/** Taylor coefficient of sin (odd) / cos (even) at index k. */
+double
+taylorCoeff(int k, bool sine)
+{
+    if (sine != (k % 2 == 1))
+        return 0.0;
+    double c = 1.0;
+    for (int i = 2; i <= k; ++i)
+        c /= i;
+    // sign: sin: +,-,+ for k=1,3,5; cos: +,-,+ for k=0,2,4.
+    int quarter = sine ? (k - 1) / 2 : k / 2;
+    return (quarter % 2 == 0) ? c : -c;
+}
+
+} // namespace
+
+Ciphertext
+evalMod(const CkksEvaluator &eval, const Ciphertext &ct,
+        const EvalKey &evk_mult, const EvalModConfig &cfg,
+        double arg_factor)
+{
+    const auto &ctx = eval.context();
+    const double delta = ctx.params().scale();
+    const int d = cfg.taylor_degree;
+    ARK_ASSERT(d >= 3 && d <= 15, "taylor degree out of supported range");
+    const int r = cfg.log_double_angle;
+
+    // Scalar multiply pinning the post-rescale scale to @p tgt exactly.
+    // Keeping every intermediate at scale ~Delta is what makes the
+    // double-angle iteration a stable fixed point (scale evolves as
+    // s -> s^2 / q, which diverges unless s ~ q).
+    auto mul_to_scale = [&](const Ciphertext &in, double value,
+                            double tgt) {
+        const Modulus &q_top = ctx.qModuli()[in.level()];
+        double s_param =
+            tgt * static_cast<double>(q_top.value()) / in.scale;
+        Ciphertext out = eval.rescale(eval.mulScalar(in, value, s_param));
+        out.scale = tgt;
+        return out;
+    };
+
+    // (1) y = 2*pi*x*arg_factor / 2^r. When the combined constant is
+    // too small for single-multiplier resolution (arg_factor carries
+    // the q0/Delta0 message ratio of bootstrapping), split it over two
+    // scalar multiplications so each multiplier stays large.
+    const double combined =
+        2.0 * M_PI * arg_factor / std::pow(2.0, r);
+    Ciphertext y;
+    if (combined >= 1.0 / (1 << 10)) {
+        y = mul_to_scale(ct, combined, delta);
+    } else {
+        int k = 0;
+        double c1 = combined;
+        while (c1 < 0.25) {
+            c1 *= 2.0;
+            ++k;
+        }
+        y = mul_to_scale(ct, c1, delta);
+        y = mul_to_scale(y, std::pow(2.0, -k), delta);
+    }
+
+    // (2) BSGS power basis: babies y, y^2, y^3; giants y^4, y^8, y^12.
+    Ciphertext y2 = eval.rescale(eval.square(y, evk_mult));
+    Ciphertext y3 = eval.rescale(
+        eval.mul(y2, eval.modDownTo(y, y2.level()), evk_mult));
+    Ciphertext y4 = eval.rescale(eval.square(y2, evk_mult));
+    Ciphertext y8 = eval.rescale(eval.square(y4, evk_mult));
+    Ciphertext y12 = eval.rescale(
+        eval.mul(y8, eval.modDownTo(y4, y8.level()), evk_mult));
+
+    const int base_level = y12.level();
+    auto at = [&](const Ciphertext &c) {
+        return eval.modDownTo(c, base_level);
+    };
+    Ciphertext one = at(ct); // placeholder for the i = 0 basis slot
+    std::vector<Ciphertext> babies = {at(y), at(y2), at(y3)};
+    std::vector<Ciphertext> giants = {at(y4), at(y8), at(y12)};
+
+    // (2b) Evaluate p(y) = sum_j (sum_i c_{4j+i} y^i) * y^{4j} for both
+    // sin and cos with a shared basis. Per-group inner targets are
+    // chosen as T/g_j so the giant products all land on scale T.
+    // T carries one extra Delta of headroom so the scalar multipliers
+    // round(c * T / (g_j * s_i)) ~ c * Delta keep full resolution even
+    // for the tiny high-order Taylor coefficients; the headroom is
+    // paid back with a second rescale below.
+    const double t_prod = delta * delta * delta;
+    auto eval_poly = [&](bool sine) {
+        Ciphertext acc;
+        bool acc_set = false;
+        for (int j = 0; j * 4 <= d; ++j) {
+            std::vector<const Ciphertext *> terms;
+            std::vector<double> cs;
+            for (int i = (j == 0 ? 1 : 0); i < 4 && 4 * j + i <= d; ++i) {
+                double c = taylorCoeff(4 * j + i, sine);
+                if (c == 0.0)
+                    continue;
+                terms.push_back(i == 0 ? &giants[j - 1] : &babies[i - 1]);
+                // For i = 0 the term is c * y^{4j} itself; fold it in
+                // as a linear term on the giant.
+                cs.push_back(c);
+            }
+            if (terms.empty())
+                continue;
+            Ciphertext group;
+            if (j == 0) {
+                group = linearCombination(eval, terms, cs, t_prod);
+            } else {
+                // Split the pure-giant linear term (i == 0) from the
+                // inner * giant product.
+                std::vector<const Ciphertext *> inner_terms;
+                std::vector<double> inner_cs;
+                bool has_linear = false;
+                double linear_c = 0;
+                for (size_t k = 0; k < terms.size(); ++k) {
+                    if (terms[k] == &giants[j - 1]) {
+                        has_linear = true;
+                        linear_c = cs[k];
+                    } else {
+                        inner_terms.push_back(terms[k]);
+                        inner_cs.push_back(cs[k]);
+                    }
+                }
+                bool group_set = false;
+                if (!inner_terms.empty()) {
+                    Ciphertext inner = linearCombination(
+                        eval, inner_terms, inner_cs,
+                        t_prod / giants[j - 1].scale);
+                    group = eval.mul(inner, giants[j - 1], evk_mult);
+                    group.scale = t_prod;
+                    group_set = true;
+                }
+                if (has_linear) {
+                    Ciphertext lin = linearCombination(
+                        eval, {&giants[j - 1]}, {linear_c}, t_prod);
+                    group = group_set ? eval.add(group, lin)
+                                      : std::move(lin);
+                }
+            }
+            acc = acc_set ? eval.add(acc, group) : std::move(group);
+            acc_set = true;
+        }
+        ARK_ASSERT(acc_set, "empty Taylor polynomial");
+        Ciphertext out = eval.rescale(eval.rescale(acc));
+        if (!sine) // cos has the constant term 1
+            out = eval.addScalar(out, 1.0);
+        return out;
+    };
+
+    Ciphertext s = eval_poly(true);
+    Ciphertext c = eval_poly(false);
+    (void)one;
+
+    // (3) r double-angle steps; one level each.
+    for (int step = 0; step < r; ++step) {
+        Ciphertext s2 = eval.rescale(eval.mul(s, c, evk_mult));
+        s2 = eval.mulScalar(s2, 2.0, 1.0); // exact small-integer scalar
+        // cos 2a = 2 cos^2 a - 1.
+        Ciphertext c2 = eval.rescale(eval.square(c, evk_mult));
+        c2 = eval.addScalar(eval.mulScalar(c2, 2.0, 1.0), -1.0);
+        s = std::move(s2);
+        c = std::move(c2);
+    }
+
+    // Fold the 1/(2*pi) into the scale: message' = sin(2*pi*x)/(2*pi).
+    s.scale *= 2.0 * M_PI;
+    return s;
+}
+
+} // namespace ark

@@ -1,0 +1,64 @@
+/**
+ * @file
+ * EvalMod: homomorphic approximate modular reduction (paper Sec. II-D).
+ *
+ * After ModRaise the slot values are x = Pm/q0 + I with I a bounded
+ * integer; EvalMod recovers the fractional part via the scaled-sine
+ * approximation  x mod 1 ~= sin(2*pi*x) / (2*pi).
+ *
+ * The sine is evaluated as: (1) scale the angle down by 2^r, (2)
+ * evaluate Taylor series of sin and cos on the small range with a BSGS
+ * power basis, (3) apply r double-angle iterations
+ * (sin 2a = 2 sin a cos a, cos 2a = 1 - 2 sin^2 a). Each doubling
+ * consumes one multiplicative level, exactly the EvalMod structure
+ * whose HMult/CMult chain the paper's bootstrap level budget (L_boot)
+ * accounts for.
+ *
+ * All scalar linear combinations use scale-compensated constants (the
+ * multiplier is c * target_scale / operand_scale), so heterogeneous
+ * true scales never meet in an addition.
+ */
+
+#pragma once
+
+#include "boot/key_cache.h"
+#include "ckks/evaluator.h"
+
+namespace ark {
+
+/** Tuning knobs for the sine approximation. */
+struct EvalModConfig
+{
+    int taylor_degree = 15; ///< degree of the sin/cos Taylor expansion
+    int log_double_angle = 6; ///< r: number of angle-doubling steps
+};
+
+/** Levels consumed by one EvalMod evaluation. */
+int evalModDepth(const EvalModConfig &cfg, double arg_factor = 1.0);
+
+/**
+ * Scale-compensated linear combination: returns sum_i coeffs[i]*cts[i]
+ * at scale exactly @p target_scale (no rescale applied). Inputs must
+ * share a level; zero coefficients are skipped.
+ */
+Ciphertext linearCombination(const CkksEvaluator &eval,
+                             const std::vector<const Ciphertext *> &cts,
+                             const std::vector<double> &coeffs,
+                             double target_scale);
+
+/**
+ * Evaluate f(x) = sin(2*pi*x*arg_factor)/(2*pi) on the slot values of
+ * @p ct. The 1/(2*pi) is folded into the output scale (a free
+ * relabel). @p arg_factor carries the Delta0/q0 message ratio during
+ * bootstrapping; when the combined angle constant is small, it is
+ * split over two scalar multiplications (one extra level) to preserve
+ * multiplier resolution.
+ */
+Ciphertext evalMod(const CkksEvaluator &eval, const Ciphertext &ct,
+                   const EvalKey &evk_mult, const EvalModConfig &cfg,
+                   double arg_factor = 1.0);
+
+/** Extra level consumed when the angle constant must be split. */
+bool evalModSplitsAngle(const EvalModConfig &cfg, double arg_factor);
+
+} // namespace ark

@@ -1,0 +1,79 @@
+/**
+ * @file
+ * Lazy rotation-key cache with usage accounting.
+ *
+ * Bootstrapping needs rotation keys for many amounts; which amounts —
+ * and how many *distinct* keys — depends on the key schedule. The
+ * whole point of Min-KS (paper Section IV-A) is to shrink that set, so
+ * the cache records every distinct evk requested; tests and the
+ * traffic analyzer read the count back.
+ */
+
+#pragma once
+
+#include <map>
+
+#include "ckks/keygen.h"
+
+namespace ark {
+
+/** Generates and caches evks keyed by Galois element. */
+class KeyCache
+{
+  public:
+    KeyCache(KeyGenerator &keygen, const SecretKey &sk, size_t degree)
+        : keygen_(keygen), sk_(sk), degree_(degree)
+    {
+    }
+
+    /** Rotation key for amount r (generated on first use). */
+    const EvalKey &rotation(i64 r)
+    {
+        return byElt(galoisElt(r, degree_));
+    }
+
+    const EvalKey &conjugation()
+    {
+        return byElt(galoisEltConjugate(degree_));
+    }
+
+    const EvalKey &multiplication()
+    {
+        if (!mult_) {
+            mult_ = std::make_unique<EvalKey>(keygen_.evkMult(sk_));
+        }
+        return *mult_;
+    }
+
+    /** Number of distinct rotation/conjugation evks materialized. */
+    size_t distinctGaloisKeys() const { return keys_.size(); }
+
+    /** Total bytes of cached evk material (the Min-KS working set). */
+    size_t byteSize() const
+    {
+        size_t total = mult_ ? mult_->byteSize() : 0;
+        for (const auto &[elt, key] : keys_)
+            total += key.byteSize();
+        return total;
+    }
+
+  private:
+    const EvalKey &byElt(u64 galois_elt)
+    {
+        auto it = keys_.find(galois_elt);
+        if (it == keys_.end()) {
+            it = keys_.emplace(galois_elt,
+                               keygen_.evkGalois(sk_, galois_elt))
+                     .first;
+        }
+        return it->second;
+    }
+
+    KeyGenerator &keygen_;
+    const SecretKey &sk_;
+    size_t degree_;
+    std::map<u64, EvalKey> keys_;
+    std::unique_ptr<EvalKey> mult_;
+};
+
+} // namespace ark

@@ -1,0 +1,76 @@
+#include "boot/plaintext_store.h"
+
+#include "common/logging.h"
+
+namespace ark {
+
+size_t
+PlaintextStore::insert(const Plaintext &pt)
+{
+    Entry e;
+    e.scale = pt.scale;
+    e.level = pt.level;
+    if (mode_ == PlaintextMode::Full) {
+        e.poly = pt.poly;
+    } else {
+        // Keep only the q0-limb, in the coefficient representation.
+        RnsPoly coeff = pt.poly;
+        if (coeff.rep() == Rep::Eval)
+            polyNttInverse(coeff, ctx_.qTables());
+        e.poly = RnsPoly(ctx_.degree(), 1, Rep::Coeff);
+        std::copy(coeff.limb(0), coeff.limb(0) + ctx_.degree(),
+                  e.poly.limb(0));
+    }
+    entries_.push_back(std::move(e));
+    return entries_.size() - 1;
+}
+
+Plaintext
+PlaintextStore::get(size_t idx, int level) const
+{
+    ARK_ASSERT(idx < entries_.size(), "plaintext index out of range");
+    const Entry &e = entries_[idx];
+    Plaintext pt;
+    pt.scale = e.scale;
+    pt.level = level;
+
+    if (mode_ == PlaintextMode::Full) {
+        ARK_ASSERT(level <= e.level,
+                   "full-mode plaintext stored at a lower level");
+        pt.poly = e.poly;
+        pt.poly.resizeLimbs(level + 1); // ModDown is free limb dropping
+        return pt;
+    }
+
+    // OF-Limb extension (Eq. 12): center the q0 residue and reduce it
+    // into every current limb, then NTT each generated limb.
+    const size_t n = ctx_.degree();
+    const u64 q0 = ctx_.qModuli()[0].value();
+    pt.poly = RnsPoly(n, level + 1, Rep::Coeff);
+    const u64 *src = e.poly.limb(0);
+    for (int l = 0; l <= level; ++l) {
+        const u64 q = ctx_.qModuli()[l].value();
+        const u64 q0_mod = q0 % q;
+        u64 *dst = pt.poly.limb(l);
+        for (size_t i = 0; i < n; ++i) {
+            u64 v = src[i];
+            u64 r = v % q;
+            if (v > q0 / 2) // negative coefficient: subtract q0
+                r = subMod(r, q0_mod, q);
+            dst[i] = r;
+        }
+    }
+    polyNttForward(pt.poly, ctx_.qTables());
+    return pt;
+}
+
+size_t
+PlaintextStore::storedBytes() const
+{
+    size_t total = 0;
+    for (const auto &e : entries_)
+        total += e.poly.byteSize();
+    return total;
+}
+
+} // namespace ark

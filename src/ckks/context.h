@@ -1,0 +1,132 @@
+/**
+ * @file
+ * CkksContext: all precomputed material for one CKKS parameter set.
+ *
+ * Holds the RNS prime chains C = {q_0..q_L} and B = {p_0..p_alpha-1}
+ * (paper Table I), NTT tables for every prime, the Han-Ki generalized
+ * key-switching gadget constants, and the per-level rescale constants.
+ * Every scheme object (encoder, keygen, evaluator, bootstrapper) is
+ * constructed from a shared context.
+ */
+
+#pragma once
+
+#include <cstddef>
+#include <map>
+#include <memory>
+#include <vector>
+
+#include "ckks/params.h"
+#include "rns/automorphism.h"
+#include "rns/bconv.h"
+#include "rns/ntt.h"
+#include "rns/poly.h"
+
+namespace ark {
+
+/** Shared precomputation for a CKKS instance. */
+class CkksContext
+{
+  public:
+    explicit CkksContext(CkksParams params);
+
+    const CkksParams &params() const { return params_; }
+    size_t degree() const { return params_.degree; }
+    int maxLevel() const { return params_.max_level; }
+    int alpha() const { return params_.alpha(); }
+    int dnum() const { return params_.dnum; }
+
+    /** The q_i prime chain (C in the paper), length L+1. */
+    const std::vector<Modulus> &qModuli() const { return q_moduli_; }
+    /** The special primes (B in the paper), length alpha. */
+    const std::vector<Modulus> &pModuli() const { return p_moduli_; }
+
+    const std::vector<NttTables> &qTables() const { return q_tables_; }
+    const std::vector<NttTables> &pTables() const { return p_tables_; }
+
+    /** Moduli for a level-ell polynomial: q_0..q_ell. */
+    std::vector<Modulus> levelModuli(int level) const;
+
+    /** Moduli for an extended (key-switching) polynomial at level ell:
+     *  q_0..q_ell followed by p_0..p_alpha-1. */
+    std::vector<Modulus> keyModuli(int level) const;
+
+    /**
+     * NTT table for limb @p limb of an extended level-@p level
+     * polynomial (q limbs first, then p limbs).
+     */
+    const NttTables &keyTable(size_t limb, int level) const;
+
+    /** Number of key-switching digits in use at @p level . */
+    int numDigits(int level) const;
+
+    /**
+     * Gadget constant g_i for digit @p digit reduced mod every prime of
+     * the extended basis [q_0..q_L, p_0..p_alpha-1]. g_i is 1 mod the
+     * primes of C_i, 0 mod the other q primes.
+     */
+    const std::vector<u64> &gadget(int digit) const
+    {
+        return gadget_[digit];
+    }
+
+    /** P = prod(B) reduced mod q_i, and its inverse mod q_i. */
+    u64 pModQ(size_t i) const { return p_mod_q_[i]; }
+    u64 pInvModQ(size_t i) const { return p_inv_mod_q_[i]; }
+
+    /** q_level^{-1} mod q_i for i < level (rescale constants). */
+    u64 qLastInvModQ(int level, size_t i) const
+    {
+        return q_last_inv_[level][i];
+    }
+
+    /** q_j mod q_i for ModRaise (j > i not required; full matrix). */
+    u64 qModQ(size_t j, size_t i) const
+    {
+        return q_mod_q_[j * q_moduli_.size() + i];
+    }
+
+    /** Cached automorphism for a Galois element. */
+    const Automorphism &automorphism(u64 galois_elt) const;
+
+    /**
+     * Forward NTT of every limb of an extended level-@p level poly
+     * (limbs ordered q first, then specials).
+     */
+    void keyNttForward(RnsPoly &p, int level) const;
+    void keyNttInverse(RnsPoly &p, int level) const;
+
+  private:
+    CkksParams params_;
+    std::vector<Modulus> q_moduli_;
+    std::vector<Modulus> p_moduli_;
+    std::vector<NttTables> q_tables_;
+    std::vector<NttTables> p_tables_;
+    std::vector<std::vector<u64>> gadget_;
+    std::vector<u64> p_mod_q_;
+    std::vector<u64> p_inv_mod_q_;
+    std::vector<std::vector<u64>> q_last_inv_;
+    std::vector<u64> q_mod_q_;
+    mutable std::map<u64, std::unique_ptr<Automorphism>> auto_cache_;
+};
+
+/** An encoded (unencrypted) polynomial with scale bookkeeping. */
+struct Plaintext
+{
+    RnsPoly poly;      ///< Eval representation, level+1 limbs
+    double scale = 0;  ///< Delta factor baked into the coefficients
+    int level = 0;
+};
+
+/** An RLWE ciphertext (B, A) with decrypt(B, A) = B + A * s. */
+struct Ciphertext
+{
+    RnsPoly b;
+    RnsPoly a;
+    double scale = 0;
+    size_t slots = 0;
+
+    int level() const { return static_cast<int>(b.numLimbs()) - 1; }
+};
+
+} // namespace ark

@@ -1,0 +1,222 @@
+#include "ckks/encoder.h"
+
+#include <cmath>
+
+#include "common/logging.h"
+#include "common/math_util.h"
+
+namespace ark {
+
+namespace {
+
+/** Round a long double of magnitude < 2^96 to a signed 128-bit int. */
+i128
+roundWide(long double x)
+{
+    const long double chunk = 4294967296.0L; // 2^32
+    long double hi = std::floor(x / chunk);
+    long double lo = x - hi * chunk;
+    return static_cast<i128>(hi) * (static_cast<i128>(1) << 32) +
+           static_cast<i128>(std::llroundl(lo));
+}
+
+void
+bitReversePermute(std::vector<Complex> &v)
+{
+    const size_t n = v.size();
+    const int bits = log2Exact(n);
+    for (size_t i = 0; i < n; ++i) {
+        size_t j = bitReverse(i, bits);
+        if (i < j)
+            std::swap(v[i], v[j]);
+    }
+}
+
+} // namespace
+
+CkksEncoder::CkksEncoder(const CkksContext &ctx)
+    : ctx_(ctx), n_(ctx.degree()), half_(ctx.degree() / 2)
+{
+    const size_t m = 2 * n_;
+    zeta_pows_.resize(m);
+    for (size_t k = 0; k < m; ++k) {
+        double angle = 2.0 * M_PI * static_cast<double>(k) /
+                       static_cast<double>(m);
+        zeta_pows_[k] = Complex(std::cos(angle), std::sin(angle));
+    }
+    rot_group_.resize(half_);
+    u64 g = 1;
+    for (size_t j = 0; j < half_; ++j) {
+        rot_group_[j] = static_cast<u32>(g);
+        g = (g * 5) % m;
+    }
+}
+
+void
+CkksEncoder::fftSpecial(std::vector<Complex> &vals) const
+{
+    const size_t n = vals.size();
+    const size_t m = 2 * n_;
+    ARK_ASSERT(isPowerOfTwo(n) && n <= half_, "bad FFT length");
+    bitReversePermute(vals);
+    for (size_t len = 2; len <= n; len <<= 1) {
+        const size_t lenh = len >> 1;
+        const size_t lenq = len << 2;
+        for (size_t i = 0; i < n; i += len) {
+            for (size_t j = 0; j < lenh; ++j) {
+                size_t idx = (rot_group_[j] % lenq) * (m / lenq);
+                Complex u = vals[i + j];
+                Complex v = vals[i + j + lenh] * zeta_pows_[idx];
+                vals[i + j] = u + v;
+                vals[i + j + lenh] = u - v;
+            }
+        }
+    }
+}
+
+void
+CkksEncoder::fftSpecialInv(std::vector<Complex> &vals) const
+{
+    const size_t n = vals.size();
+    const size_t m = 2 * n_;
+    ARK_ASSERT(isPowerOfTwo(n) && n <= half_, "bad FFT length");
+    for (size_t len = n; len >= 2; len >>= 1) {
+        const size_t lenh = len >> 1;
+        const size_t lenq = len << 2;
+        for (size_t i = 0; i < n; i += len) {
+            for (size_t j = 0; j < lenh; ++j) {
+                size_t idx =
+                    (lenq - (rot_group_[j] % lenq)) % lenq * (m / lenq);
+                Complex u = vals[i + j] + vals[i + j + lenh];
+                Complex v = (vals[i + j] - vals[i + j + lenh]) *
+                            zeta_pows_[idx];
+                vals[i + j] = u;
+                vals[i + j + lenh] = v;
+            }
+        }
+    }
+    bitReversePermute(vals);
+    const double inv_n = 1.0 / static_cast<double>(n);
+    for (auto &v : vals)
+        v *= inv_n;
+}
+
+Plaintext
+CkksEncoder::coeffsToPlaintext(const std::vector<Complex> &coeffs,
+                               int level, double scale) const
+{
+    const auto moduli = ctx_.levelModuli(level);
+    Plaintext pt;
+    pt.level = level;
+    pt.scale = scale;
+    pt.poly = RnsPoly(n_, moduli.size(), Rep::Coeff);
+    const long double s = scale;
+    for (size_t i = 0; i < half_; ++i) {
+        i128 re = roundWide(s * coeffs[i].real());
+        i128 im = roundWide(s * coeffs[i].imag());
+        for (size_t l = 0; l < moduli.size(); ++l) {
+            const i128 q = moduli[l].value();
+            i128 r = re % q;
+            if (r < 0)
+                r += q;
+            pt.poly.limb(l)[i] = static_cast<u64>(r);
+            i128 v = im % q;
+            if (v < 0)
+                v += q;
+            pt.poly.limb(l)[i + half_] = static_cast<u64>(v);
+        }
+    }
+    polyNttForward(pt.poly, ctx_.qTables());
+    return pt;
+}
+
+Plaintext
+CkksEncoder::encode(const std::vector<Complex> &msg, int level,
+                    double scale) const
+{
+    if (scale == 0)
+        scale = ctx_.params().scale();
+    ARK_ASSERT(isPowerOfTwo(msg.size()) && msg.size() <= half_,
+               "message length must be a power of two <= N/2");
+
+    // Sparse packing: replicate the message to N/2 slots.
+    std::vector<Complex> vals(half_);
+    for (size_t i = 0; i < half_; ++i)
+        vals[i] = msg[i % msg.size()];
+    fftSpecialInv(vals);
+    return coeffsToPlaintext(vals, level, scale);
+}
+
+Plaintext
+CkksEncoder::encodeReal(const std::vector<double> &msg, int level,
+                        double scale) const
+{
+    std::vector<Complex> cmsg(msg.size());
+    for (size_t i = 0; i < msg.size(); ++i)
+        cmsg[i] = Complex(msg[i], 0.0);
+    return encode(cmsg, level, scale);
+}
+
+Plaintext
+CkksEncoder::encodeScalar(Complex value, int level, double scale) const
+{
+    if (scale == 0)
+        scale = ctx_.params().scale();
+    // A constant message encodes as Delta*(Re + Im * X^{N/2}): X^{N/2}
+    // evaluates to i at every canonical-embedding point used for slots.
+    std::vector<Complex> coeffs(half_, Complex(0, 0));
+    coeffs[0] = value;
+    return coeffsToPlaintext(coeffs, level, scale);
+}
+
+std::vector<Complex>
+CkksEncoder::decode(const Plaintext &pt, size_t num_slots) const
+{
+    ARK_ASSERT(num_slots > 0 && num_slots <= half_, "bad slot count");
+    RnsPoly poly = pt.poly;
+    if (poly.rep() == Rep::Eval)
+        polyNttInverse(poly, ctx_.qTables());
+
+    const auto moduli = ctx_.levelModuli(pt.level);
+    // Reconstruct centered coefficients via CRT over the first one or
+    // two limbs (enough for any coefficient < q0*q1 / 2 ~ 2^100).
+    const size_t use = std::min<size_t>(2, poly.numLimbs());
+    std::vector<Complex> vals(half_);
+    for (size_t i = 0; i < half_; ++i) {
+        long double re, im;
+        if (use == 1) {
+            const i128 q = moduli[0].value();
+            auto center = [&](u64 x) -> long double {
+                i128 v = static_cast<i128>(x);
+                if (v > q / 2)
+                    v -= q;
+                return static_cast<long double>(v);
+            };
+            re = center(poly.limb(0)[i]);
+            im = center(poly.limb(0)[i + half_]);
+        } else {
+            const u64 q0 = moduli[0].value(), q1 = moduli[1].value();
+            const i128 q01 = static_cast<i128>(q0) * q1;
+            const u64 q0_inv_q1 = moduli[1].inv(q0 % q1);
+            auto crt = [&](u64 x0, u64 x1) -> long double {
+                // v = x0 + q0 * ((x1 - x0) * q0^{-1} mod q1), centered.
+                u64 diff = moduli[1].sub(x1 % q1, x0 % q1);
+                u64 k = moduli[1].mul(diff, q0_inv_q1);
+                i128 v = static_cast<i128>(x0) +
+                         static_cast<i128>(q0) * k;
+                if (v > q01 / 2)
+                    v -= q01;
+                return static_cast<long double>(v);
+            };
+            re = crt(poly.limb(0)[i], poly.limb(1)[i]);
+            im = crt(poly.limb(0)[i + half_], poly.limb(1)[i + half_]);
+        }
+        vals[i] = Complex(static_cast<double>(re / pt.scale),
+                          static_cast<double>(im / pt.scale));
+    }
+    fftSpecial(vals);
+    vals.resize(num_slots);
+    return vals;
+}
+
+} // namespace ark

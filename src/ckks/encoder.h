@@ -1,0 +1,85 @@
+/**
+ * @file
+ * CKKS encoder: complex slot vectors <-> ring plaintexts (paper Eq. 1).
+ *
+ * Encoding computes Pm ~= Delta * IDFT(m) using the canonical
+ * embedding: slot j corresponds to the polynomial's value at
+ * zeta^(5^j) (zeta a primitive 2N-th complex root of unity), with
+ * conjugate symmetry supplying the other half of the evaluation
+ * points. The special FFT runs in O(n log n) with twiddles indexed by
+ * the rotation group, so slot rotation by r corresponds exactly to the
+ * Galois automorphism X -> X^(5^r) used by HRot.
+ *
+ * Sparse packing (n < N/2 slots) is handled by replicating the message
+ * N/(2n) times, which makes the plaintext's coefficient support land
+ * on multiples of the gap — the structure CKKS bootstrapping relies
+ * on.
+ */
+
+#pragma once
+
+#include <complex>
+#include <cstddef>
+#include <vector>
+
+#include "ckks/context.h"
+
+namespace ark {
+
+using Complex = std::complex<double>;
+
+/** Encoder/decoder bound to one context. */
+class CkksEncoder
+{
+  public:
+    explicit CkksEncoder(const CkksContext &ctx);
+
+    /** Max slots (N/2). */
+    size_t maxSlots() const { return half_; }
+
+    /**
+     * Encode @p msg (length a power of two <= N/2) at @p level with
+     * scale @p scale (0 means the context's default Delta).
+     */
+    Plaintext encode(const std::vector<Complex> &msg, int level,
+                     double scale = 0) const;
+
+    /** Encode a real vector. */
+    Plaintext encodeReal(const std::vector<double> &msg, int level,
+                         double scale = 0) const;
+
+    /**
+     * Encode the same scalar in every slot. Scalar plaintexts have
+     * constant coefficient vectors, which CAdd/CMult exploit.
+     */
+    Plaintext encodeScalar(Complex value, int level,
+                           double scale = 0) const;
+
+    /**
+     * Decode @p num_slots slots from a plaintext. The plaintext may be
+     * in either representation; the scale recorded in it is divided
+     * out.
+     */
+    std::vector<Complex> decode(const Plaintext &pt,
+                                size_t num_slots) const;
+
+    /** Forward special FFT (decode direction), exposed for tests and
+     *  for generating the H-(I)DFT twiddle plaintexts. */
+    void fftSpecial(std::vector<Complex> &vals) const;
+
+    /** Inverse special FFT (encode direction), including the 1/n. */
+    void fftSpecialInv(std::vector<Complex> &vals) const;
+
+  private:
+    /** Round scaled complex coefficients into an RNS polynomial. */
+    Plaintext coeffsToPlaintext(const std::vector<Complex> &coeffs,
+                                int level, double scale) const;
+
+    const CkksContext &ctx_;
+    size_t n_;    ///< ring degree N
+    size_t half_; ///< N/2
+    std::vector<Complex> zeta_pows_; ///< zeta^k for k in [0, 2N)
+    std::vector<u32> rot_group_;     ///< 5^j mod 2N for j in [0, N/2)
+};
+
+} // namespace ark

@@ -1,0 +1,110 @@
+#include "ckks/encryptor.h"
+
+#include "common/logging.h"
+
+namespace ark {
+
+CkksEncryptor::CkksEncryptor(const CkksContext &ctx, Rng &rng)
+    : ctx_(ctx), rng_(rng)
+{
+}
+
+Ciphertext
+CkksEncryptor::encryptSymmetric(const Plaintext &pt, const SecretKey &sk)
+{
+    ARK_ASSERT(pt.poly.rep() == Rep::Eval, "plaintext must be in Eval rep");
+    const auto moduli = ctx_.levelModuli(pt.level);
+    const size_t nl = moduli.size();
+    const size_t n = ctx_.degree();
+
+    Ciphertext ct;
+    ct.scale = pt.scale;
+    ct.slots = ctx_.params().num_slots;
+    ct.a = RnsPoly(n, nl, Rep::Eval);
+    for (size_t l = 0; l < nl; ++l) {
+        auto v = rng_.uniformVector(n, moduli[l].value());
+        std::copy(v.begin(), v.end(), ct.a.limb(l));
+    }
+    RnsPoly e = polyFromSigned(rng_.errorVector(n), moduli);
+    polyNttForward(e, ctx_.qTables());
+
+    ct.b = RnsPoly(n, nl, Rep::Eval);
+    for (size_t l = 0; l < nl; ++l) {
+        const Modulus &q = moduli[l];
+        const u64 *pa = ct.a.limb(l);
+        const u64 *ps = sk.s.limb(l);
+        const u64 *pe = e.limb(l);
+        const u64 *pm = pt.poly.limb(l);
+        u64 *pb = ct.b.limb(l);
+        for (size_t i = 0; i < n; ++i)
+            pb[i] = q.add(q.add(q.neg(q.mul(pa[i], ps[i])), pe[i]), pm[i]);
+    }
+    return ct;
+}
+
+Ciphertext
+CkksEncryptor::encryptPublic(const Plaintext &pt, const PublicKey &pk)
+{
+    ARK_ASSERT(pt.poly.rep() == Rep::Eval, "plaintext must be in Eval rep");
+    const auto moduli = ctx_.levelModuli(pt.level);
+    const size_t nl = moduli.size();
+    const size_t n = ctx_.degree();
+
+    RnsPoly v = polyFromSigned(rng_.ternaryVector(n), moduli);
+    polyNttForward(v, ctx_.qTables());
+    RnsPoly e0 = polyFromSigned(rng_.errorVector(n), moduli);
+    polyNttForward(e0, ctx_.qTables());
+    RnsPoly e1 = polyFromSigned(rng_.errorVector(n), moduli);
+    polyNttForward(e1, ctx_.qTables());
+
+    Ciphertext ct;
+    ct.scale = pt.scale;
+    ct.slots = ctx_.params().num_slots;
+    ct.b = RnsPoly(n, nl, Rep::Eval);
+    ct.a = RnsPoly(n, nl, Rep::Eval);
+    for (size_t l = 0; l < nl; ++l) {
+        const Modulus &q = moduli[l];
+        const u64 *pv = v.limb(l);
+        const u64 *pkb = pk.b.limb(l);
+        const u64 *pka = pk.a.limb(l);
+        const u64 *pe0 = e0.limb(l);
+        const u64 *pe1 = e1.limb(l);
+        const u64 *pm = pt.poly.limb(l);
+        u64 *pb = ct.b.limb(l);
+        u64 *pa = ct.a.limb(l);
+        for (size_t i = 0; i < n; ++i) {
+            pb[i] = q.add(q.add(q.mul(pv[i], pkb[i]), pe0[i]), pm[i]);
+            pa[i] = q.add(q.mul(pv[i], pka[i]), pe1[i]);
+        }
+    }
+    return ct;
+}
+
+CkksDecryptor::CkksDecryptor(const CkksContext &ctx, const SecretKey &sk)
+    : ctx_(ctx), sk_(sk)
+{
+}
+
+Plaintext
+CkksDecryptor::decrypt(const Ciphertext &ct) const
+{
+    const auto moduli = ctx_.levelModuli(ct.level());
+    const size_t n = ctx_.degree();
+
+    Plaintext pt;
+    pt.level = ct.level();
+    pt.scale = ct.scale;
+    pt.poly = RnsPoly(n, moduli.size(), Rep::Eval);
+    for (size_t l = 0; l < moduli.size(); ++l) {
+        const Modulus &q = moduli[l];
+        const u64 *pb = ct.b.limb(l);
+        const u64 *pa = ct.a.limb(l);
+        const u64 *ps = sk_.s.limb(l);
+        u64 *pm = pt.poly.limb(l);
+        for (size_t i = 0; i < n; ++i)
+            pm[i] = q.add(pb[i], q.mul(pa[i], ps[i]));
+    }
+    return pt;
+}
+
+} // namespace ark

@@ -1,0 +1,44 @@
+/**
+ * @file
+ * Encryption and decryption for CKKS (paper Eqs. 2 and 3).
+ */
+
+#pragma once
+
+#include "ckks/context.h"
+#include "ckks/keys.h"
+#include "common/random.h"
+
+namespace ark {
+
+/** Encrypts plaintexts under a public or secret key. */
+class CkksEncryptor
+{
+  public:
+    CkksEncryptor(const CkksContext &ctx, Rng &rng);
+
+    /** Symmetric encryption: (b, a) = (-a*s + Pm + e, a). */
+    Ciphertext encryptSymmetric(const Plaintext &pt, const SecretKey &sk);
+
+    /** Public-key encryption: v*pk + (Pm + e0, e1). */
+    Ciphertext encryptPublic(const Plaintext &pt, const PublicKey &pk);
+
+  private:
+    const CkksContext &ctx_;
+    Rng &rng_;
+};
+
+/** Decrypts ciphertexts: Pm + E = B + A * s. */
+class CkksDecryptor
+{
+  public:
+    CkksDecryptor(const CkksContext &ctx, const SecretKey &sk);
+
+    Plaintext decrypt(const Ciphertext &ct) const;
+
+  private:
+    const CkksContext &ctx_;
+    const SecretKey &sk_;
+};
+
+} // namespace ark

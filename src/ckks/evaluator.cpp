@@ -1,0 +1,501 @@
+#include "ckks/evaluator.h"
+
+#include <cmath>
+
+#include "common/logging.h"
+#include "rns/automorphism.h"
+#include "rns/bconv.h"
+
+namespace ark {
+
+CkksEvaluator::CkksEvaluator(const CkksContext &ctx) : ctx_(ctx) {}
+
+void
+CkksEvaluator::checkCompatible(const Ciphertext &c1,
+                               const Ciphertext &c2) const
+{
+    ARK_ASSERT(c1.level() == c2.level(), "ciphertext level mismatch");
+    const double ratio = c1.scale / c2.scale;
+    ARK_ASSERT(ratio > 1.0 - 1e-6 && ratio < 1.0 + 1e-6,
+               "ciphertext scale mismatch");
+}
+
+Ciphertext
+CkksEvaluator::add(const Ciphertext &c1, const Ciphertext &c2) const
+{
+    checkCompatible(c1, c2);
+    const auto moduli = ctx_.levelModuli(c1.level());
+    Ciphertext r = c1;
+    polyAdd(c1.b, c2.b, moduli, r.b);
+    polyAdd(c1.a, c2.a, moduli, r.a);
+    return r;
+}
+
+Ciphertext
+CkksEvaluator::sub(const Ciphertext &c1, const Ciphertext &c2) const
+{
+    checkCompatible(c1, c2);
+    const auto moduli = ctx_.levelModuli(c1.level());
+    Ciphertext r = c1;
+    polySub(c1.b, c2.b, moduli, r.b);
+    polySub(c1.a, c2.a, moduli, r.a);
+    return r;
+}
+
+Ciphertext
+CkksEvaluator::negate(const Ciphertext &c) const
+{
+    const auto moduli = ctx_.levelModuli(c.level());
+    Ciphertext r = c;
+    polyNeg(c.b, moduli, r.b);
+    polyNeg(c.a, moduli, r.a);
+    return r;
+}
+
+Ciphertext
+CkksEvaluator::addPlain(const Ciphertext &c, const Plaintext &p) const
+{
+    ARK_ASSERT(c.level() == p.level, "plaintext level mismatch");
+    const double ratio = c.scale / p.scale;
+    ARK_ASSERT(ratio > 1.0 - 1e-6 && ratio < 1.0 + 1e-6,
+               "plaintext scale mismatch");
+    const auto moduli = ctx_.levelModuli(c.level());
+    Ciphertext r = c;
+    polyAdd(c.b, p.poly, moduli, r.b);
+    return r;
+}
+
+Ciphertext
+CkksEvaluator::subPlain(const Ciphertext &c, const Plaintext &p) const
+{
+    ARK_ASSERT(c.level() == p.level, "plaintext level mismatch");
+    const auto moduli = ctx_.levelModuli(c.level());
+    Ciphertext r = c;
+    polySub(c.b, p.poly, moduli, r.b);
+    return r;
+}
+
+Ciphertext
+CkksEvaluator::mulPlain(const Ciphertext &c, const Plaintext &p) const
+{
+    ARK_ASSERT(c.level() == p.level, "plaintext level mismatch");
+    const auto moduli = ctx_.levelModuli(c.level());
+    Ciphertext r = c;
+    polyMulEval(c.b, p.poly, moduli, r.b);
+    polyMulEval(c.a, p.poly, moduli, r.a);
+    r.scale = c.scale * p.scale;
+    return r;
+}
+
+Ciphertext
+CkksEvaluator::addScalar(const Ciphertext &c, double value) const
+{
+    // A constant polynomial is constant in the evaluation
+    // representation as well, so CAdd is one scalar add per limb word.
+    // The constant is rounded to a single wide integer first so all
+    // limbs carry residues of the same value (see roundToI128).
+    const auto moduli = ctx_.levelModuli(c.level());
+    std::vector<u64> residues(moduli.size());
+    const i128 k =
+        roundToI128(static_cast<long double>(value) * c.scale);
+    for (size_t l = 0; l < moduli.size(); ++l)
+        residues[l] = reduceI128(k, moduli[l].value());
+    Ciphertext r = c;
+    polyAddScalar(c.b, residues, moduli, r.b);
+    return r;
+}
+
+Ciphertext
+CkksEvaluator::mulScalar(const Ciphertext &c, double value,
+                         double scale) const
+{
+    if (scale == 0)
+        scale = ctx_.params().scale();
+    const auto moduli = ctx_.levelModuli(c.level());
+    std::vector<u64> residues(moduli.size());
+    const i128 k = roundToI128(static_cast<long double>(value) * scale);
+    for (size_t l = 0; l < moduli.size(); ++l)
+        residues[l] = reduceI128(k, moduli[l].value());
+    Ciphertext r = c;
+    polyMulScalar(c.b, residues, moduli, r.b);
+    polyMulScalar(c.a, residues, moduli, r.a);
+    r.scale = c.scale * scale;
+    return r;
+}
+
+Ciphertext
+CkksEvaluator::mulByI(const Ciphertext &c) const
+{
+    // i is the monomial X^{N/2}; multiplying by it is an exact,
+    // noise-free automorphism-like index shift. In the evaluation
+    // representation multiply each position by the eval of X^{N/2}.
+    // Simpler: go through the coefficient representation.
+    const auto moduli = ctx_.levelModuli(c.level());
+    const size_t n = ctx_.degree();
+    const size_t half = n / 2;
+    auto shift = [&](const RnsPoly &src) {
+        RnsPoly p = src;
+        polyNttInverse(p, ctx_.qTables());
+        RnsPoly out(n, p.numLimbs(), Rep::Coeff);
+        for (size_t l = 0; l < p.numLimbs(); ++l) {
+            const u64 q = moduli[l].value();
+            const u64 *ps = p.limb(l);
+            u64 *po = out.limb(l);
+            // X^{N/2} * X^k = X^{k + N/2}, wrapping with negation.
+            for (size_t k = 0; k < half; ++k)
+                po[k + half] = ps[k];
+            for (size_t k = half; k < n; ++k)
+                po[k - half] = ps[k] == 0 ? 0 : q - ps[k];
+        }
+        polyNttForward(out, ctx_.qTables());
+        return out;
+    };
+    Ciphertext r = c;
+    r.b = shift(c.b);
+    r.a = shift(c.a);
+    return r;
+}
+
+std::vector<RnsPoly>
+CkksEvaluator::decompose(const RnsPoly &d, int level) const
+{
+    ARK_ASSERT(d.rep() == Rep::Eval, "decompose expects Eval rep");
+    ARK_ASSERT(d.numLimbs() == static_cast<size_t>(level) + 1,
+               "limb count must match level");
+    const size_t n = ctx_.degree();
+    const size_t nq = static_cast<size_t>(level) + 1;
+    const size_t np = ctx_.pModuli().size();
+    const int a = ctx_.alpha();
+    const int digits = ctx_.numDigits(level);
+
+    std::vector<RnsPoly> out;
+    out.reserve(digits);
+    for (int dig = 0; dig < digits; ++dig) {
+        const size_t lo = static_cast<size_t>(dig) * a;
+        const size_t hi = std::min(lo + a, nq);
+
+        // Pull the digit limbs and INTT them (start of BConvRoutine).
+        RnsPoly digit(n, hi - lo, Rep::Eval);
+        std::vector<Modulus> in_base;
+        for (size_t l = lo; l < hi; ++l) {
+            std::copy(d.limb(l), d.limb(l) + n, digit.limb(l - lo));
+            in_base.push_back(ctx_.qModuli()[l]);
+        }
+        for (size_t l = 0; l < digit.numLimbs(); ++l)
+            ctx_.qTables()[lo + l].inverse(digit.limb(l));
+        digit.setRep(Rep::Coeff);
+
+        // BConv to every other modulus of the extended basis.
+        std::vector<Modulus> out_base;
+        for (size_t l = 0; l < nq; ++l) {
+            if (l < lo || l >= hi)
+                out_base.push_back(ctx_.qModuli()[l]);
+        }
+        for (size_t l = 0; l < np; ++l)
+            out_base.push_back(ctx_.pModuli()[l]);
+        BaseConverter bc(in_base, out_base);
+        RnsPoly conv = bc.convert(digit);
+
+        // NTT the converted limbs and assemble the extended poly with
+        // limbs ordered [q_0..q_level, p_0..p_alpha-1].
+        RnsPoly ext(n, nq + np, Rep::Eval);
+        size_t conv_idx = 0;
+        for (size_t l = 0; l < nq + np; ++l) {
+            if (l >= lo && l < hi) {
+                std::copy(d.limb(l), d.limb(l) + n, ext.limb(l));
+            } else {
+                std::copy(conv.limb(conv_idx),
+                          conv.limb(conv_idx) + n, ext.limb(l));
+                ctx_.keyTable(l, level).forward(ext.limb(l));
+                ++conv_idx;
+            }
+        }
+        out.push_back(std::move(ext));
+    }
+    return out;
+}
+
+RnsPoly
+CkksEvaluator::modDownByP(const RnsPoly &extended, int level) const
+{
+    ARK_ASSERT(extended.rep() == Rep::Eval, "ModDown expects Eval rep");
+    const size_t n = ctx_.degree();
+    const size_t nq = static_cast<size_t>(level) + 1;
+    const size_t np = ctx_.pModuli().size();
+    ARK_ASSERT(extended.numLimbs() == nq + np, "not an extended poly");
+
+    // INTT the special limbs, BConv B -> C, NTT back (Alg. 2 line 6-7).
+    RnsPoly special(n, np, Rep::Eval);
+    for (size_t l = 0; l < np; ++l) {
+        std::copy(extended.limb(nq + l), extended.limb(nq + l) + n,
+                  special.limb(l));
+        ctx_.pTables()[l].inverse(special.limb(l));
+    }
+    special.setRep(Rep::Coeff);
+
+    BaseConverter bc(ctx_.pModuli(), ctx_.levelModuli(level));
+    RnsPoly conv = bc.convert(special);
+    polyNttForward(conv, ctx_.qTables());
+
+    RnsPoly out(n, nq, Rep::Eval);
+    for (size_t l = 0; l < nq; ++l) {
+        const Modulus &q = ctx_.qModuli()[l];
+        const u64 pinv = ctx_.pInvModQ(l);
+        const u64 pinv_shoup = q.shoupPrecompute(pinv);
+        const u64 *pe = extended.limb(l);
+        const u64 *pc = conv.limb(l);
+        u64 *po = out.limb(l);
+        for (size_t i = 0; i < n; ++i)
+            po[i] = q.mulShoup(q.sub(pe[i], pc[i]), pinv, pinv_shoup);
+    }
+    return out;
+}
+
+std::pair<RnsPoly, RnsPoly>
+CkksEvaluator::keySwitchDigits(const std::vector<RnsPoly> &digits,
+                               const EvalKey &evk, int level) const
+{
+    const size_t n = ctx_.degree();
+    const size_t nq = static_cast<size_t>(level) + 1;
+    const size_t np = ctx_.pModuli().size();
+    const size_t full_nq = static_cast<size_t>(ctx_.maxLevel()) + 1;
+    ARK_ASSERT(digits.size() <=
+                   static_cast<size_t>(evk.numDigits()),
+               "more digits than the evk provides");
+
+    RnsPoly acc_b(n, nq + np, Rep::Eval);
+    RnsPoly acc_a(n, nq + np, Rep::Eval);
+    const auto key_moduli = ctx_.keyModuli(level);
+    for (size_t dig = 0; dig < digits.size(); ++dig) {
+        for (size_t l = 0; l < nq + np; ++l) {
+            // evk polys span the full basis; select the matching limb.
+            const size_t evk_limb = l < nq ? l : full_nq + (l - nq);
+            const Modulus &m = key_moduli[l];
+            const u64 *pd = digits[dig].limb(l);
+            const u64 *kb = evk.b[dig].limb(evk_limb);
+            const u64 *ka = evk.a[dig].limb(evk_limb);
+            u64 *ab = acc_b.limb(l);
+            u64 *aa = acc_a.limb(l);
+            for (size_t i = 0; i < n; ++i) {
+                ab[i] = m.add(ab[i], m.mul(pd[i], kb[i]));
+                aa[i] = m.add(aa[i], m.mul(pd[i], ka[i]));
+            }
+        }
+    }
+    return {modDownByP(acc_b, level), modDownByP(acc_a, level)};
+}
+
+std::pair<RnsPoly, RnsPoly>
+CkksEvaluator::keySwitch(const RnsPoly &d, const EvalKey &evk,
+                         int level) const
+{
+    return keySwitchDigits(decompose(d, level), evk, level);
+}
+
+Ciphertext
+CkksEvaluator::mul(const Ciphertext &c1, const Ciphertext &c2,
+                   const EvalKey &evk_mult) const
+{
+    // Multiplication only needs matching levels; the scales multiply.
+    ARK_ASSERT(c1.level() == c2.level(), "ciphertext level mismatch");
+    const int level = c1.level();
+    const auto moduli = ctx_.levelModuli(level);
+    const size_t n = ctx_.degree();
+    const size_t nl = moduli.size();
+
+    RnsPoly d0(n, nl, Rep::Eval), d1(n, nl, Rep::Eval);
+    RnsPoly d2(n, nl, Rep::Eval);
+    polyMulEval(c1.b, c2.b, moduli, d0);
+    polyMulEval(c1.a, c2.a, moduli, d2);
+    // d1 = a1*b2 + a2*b1.
+    polyMulEval(c1.a, c2.b, moduli, d1);
+    polyMulAccEval(c2.a, c1.b, moduli, d1);
+
+    auto [kb, ka] = keySwitch(d2, evk_mult, level);
+
+    Ciphertext r;
+    r.slots = c1.slots;
+    r.scale = c1.scale * c2.scale;
+    r.b = RnsPoly(n, nl, Rep::Eval);
+    r.a = RnsPoly(n, nl, Rep::Eval);
+    polyAdd(d0, kb, moduli, r.b);
+    polyAdd(d1, ka, moduli, r.a);
+    return r;
+}
+
+Ciphertext
+CkksEvaluator::square(const Ciphertext &c, const EvalKey &evk_mult) const
+{
+    return mul(c, c, evk_mult);
+}
+
+Ciphertext
+CkksEvaluator::rescale(const Ciphertext &c) const
+{
+    const int level = c.level();
+    ARK_ASSERT(level >= 1, "cannot rescale at level 0");
+    const auto moduli = ctx_.levelModuli(level);
+    const size_t n = ctx_.degree();
+    const Modulus &q_last = moduli.back();
+
+    auto drop = [&](const RnsPoly &src) {
+        // INTT the last limb, reduce it into each remaining limb, and
+        // multiply by q_last^{-1} (floor division in RNS).
+        std::vector<u64> last(src.limb(level), src.limb(level) + n);
+        ctx_.qTables()[level].inverse(last.data());
+
+        RnsPoly out(n, level, Rep::Eval);
+        std::vector<u64> tmp(n);
+        for (int l = 0; l < level; ++l) {
+            const Modulus &q = moduli[l];
+            const u64 inv = ctx_.qLastInvModQ(level, l);
+            const u64 inv_shoup = q.shoupPrecompute(inv);
+            // Center the last-limb residue before reducing mod q_l so
+            // the floor division rounds symmetrically.
+            const u64 half = q_last.value() / 2;
+            const u64 half_mod = half % q.value();
+            for (size_t i = 0; i < n; ++i) {
+                u64 v = addMod(last[i], half, q_last.value());
+                tmp[i] = subMod(v % q.value(), half_mod, q.value());
+            }
+            ctx_.qTables()[l].forward(tmp.data());
+            const u64 *ps = src.limb(l);
+            u64 *po = out.limb(l);
+            for (size_t i = 0; i < n; ++i)
+                po[i] = q.mulShoup(q.sub(ps[i], tmp[i]), inv, inv_shoup);
+        }
+        return out;
+    };
+
+    Ciphertext r;
+    r.slots = c.slots;
+    r.scale = c.scale / static_cast<double>(q_last.value());
+    r.b = drop(c.b);
+    r.a = drop(c.a);
+    return r;
+}
+
+Ciphertext
+CkksEvaluator::modDownTo(const Ciphertext &c, int level) const
+{
+    ARK_ASSERT(level <= c.level(), "modDownTo cannot raise the level");
+    Ciphertext r = c;
+    r.b.resizeLimbs(level + 1);
+    r.a.resizeLimbs(level + 1);
+    return r;
+}
+
+Ciphertext
+CkksEvaluator::applyGalois(const Ciphertext &c, u64 galois_elt,
+                           const EvalKey &evk) const
+{
+    const int level = c.level();
+    const auto moduli = ctx_.levelModuli(level);
+    const Automorphism &am = ctx_.automorphism(galois_elt);
+
+    RnsPoly b_rot = am.apply(c.b, moduli);
+    RnsPoly a_rot = am.apply(c.a, moduli);
+    auto [kb, ka] = keySwitch(a_rot, evk, level);
+
+    Ciphertext r;
+    r.slots = c.slots;
+    r.scale = c.scale;
+    r.b = RnsPoly(ctx_.degree(), moduli.size(), Rep::Eval);
+    polyAdd(b_rot, kb, moduli, r.b);
+    r.a = std::move(ka);
+    return r;
+}
+
+Ciphertext
+CkksEvaluator::rotate(const Ciphertext &c, i64 r,
+                      const EvalKey &evk_rot) const
+{
+    return applyGalois(c, galoisElt(r, ctx_.degree()), evk_rot);
+}
+
+Ciphertext
+CkksEvaluator::conjugate(const Ciphertext &c,
+                         const EvalKey &evk_conj) const
+{
+    return applyGalois(c, galoisEltConjugate(ctx_.degree()), evk_conj);
+}
+
+std::vector<Ciphertext>
+CkksEvaluator::rotateHoisted(const Ciphertext &c,
+                             const std::vector<i64> &rotations,
+                             const std::vector<const EvalKey *> &evks) const
+{
+    ARK_ASSERT(rotations.size() == evks.size(),
+               "one evk required per rotation amount");
+    const int level = c.level();
+    const auto moduli = ctx_.levelModuli(level);
+    const auto key_moduli = ctx_.keyModuli(level);
+
+    // Hoisting: decompose once; the automorphism commutes with the
+    // digit extension, so each rotation only permutes the digits.
+    auto digits = decompose(c.a, level);
+
+    std::vector<Ciphertext> out;
+    out.reserve(rotations.size());
+    for (size_t k = 0; k < rotations.size(); ++k) {
+        const u64 g = galoisElt(rotations[k], ctx_.degree());
+        const Automorphism &am = ctx_.automorphism(g);
+
+        std::vector<RnsPoly> rot_digits;
+        rot_digits.reserve(digits.size());
+        for (const auto &dig : digits)
+            rot_digits.push_back(am.apply(dig, key_moduli));
+
+        auto [kb, ka] = keySwitchDigits(rot_digits, *evks[k], level);
+        RnsPoly b_rot = am.apply(c.b, moduli);
+
+        Ciphertext r;
+        r.slots = c.slots;
+        r.scale = c.scale;
+        r.b = RnsPoly(ctx_.degree(), moduli.size(), Rep::Eval);
+        polyAdd(b_rot, kb, moduli, r.b);
+        r.a = std::move(ka);
+        out.push_back(std::move(r));
+    }
+    return out;
+}
+
+Ciphertext
+CkksEvaluator::modRaise(const Ciphertext &c) const
+{
+    ARK_ASSERT(c.level() == 0, "ModRaise expects a level-0 ciphertext");
+    const int L = ctx_.maxLevel();
+    const auto moduli = ctx_.levelModuli(L);
+    const size_t n = ctx_.degree();
+    const u64 q0 = ctx_.qModuli()[0].value();
+
+    auto raise = [&](const RnsPoly &src) {
+        std::vector<u64> coeffs(src.limb(0), src.limb(0) + n);
+        ctx_.qTables()[0].inverse(coeffs.data());
+
+        RnsPoly out(n, L + 1, Rep::Coeff);
+        for (int l = 0; l <= L; ++l) {
+            const u64 q = moduli[l].value();
+            u64 *po = out.limb(l);
+            for (size_t i = 0; i < n; ++i) {
+                // Center mod q0, then embed mod q_l.
+                u64 v = coeffs[i];
+                if (v > q0 / 2)
+                    po[i] = subMod(v % q, (q0 % q), q); // v - q0 mod q
+                else
+                    po[i] = v % q;
+            }
+        }
+        polyNttForward(out, ctx_.qTables());
+        return out;
+    };
+
+    Ciphertext r;
+    r.slots = c.slots;
+    r.scale = c.scale;
+    r.b = raise(c.b);
+    r.a = raise(c.a);
+    return r;
+}
+
+} // namespace ark

@@ -1,0 +1,147 @@
+#include "ckks/keygen.h"
+
+#include "common/logging.h"
+#include "rns/automorphism.h"
+
+namespace ark {
+
+KeyGenerator::KeyGenerator(const CkksContext &ctx, Rng &rng)
+    : ctx_(ctx), rng_(rng)
+{
+}
+
+RnsPoly
+KeyGenerator::uniformKeyPoly()
+{
+    const int L = ctx_.maxLevel();
+    const auto moduli = ctx_.keyModuli(L);
+    RnsPoly p(ctx_.degree(), moduli.size(), Rep::Eval);
+    for (size_t l = 0; l < moduli.size(); ++l) {
+        auto v = rng_.uniformVector(ctx_.degree(), moduli[l].value());
+        std::copy(v.begin(), v.end(), p.limb(l));
+    }
+    return p;
+}
+
+RnsPoly
+KeyGenerator::errorKeyPoly()
+{
+    const int L = ctx_.maxLevel();
+    const auto moduli = ctx_.keyModuli(L);
+    auto e = rng_.errorVector(ctx_.degree());
+    RnsPoly p = polyFromSigned(e, moduli);
+    ctx_.keyNttForward(p, L);
+    return p;
+}
+
+SecretKey
+KeyGenerator::secretKey()
+{
+    const int L = ctx_.maxLevel();
+    const auto moduli = ctx_.keyModuli(L);
+    auto coeffs = rng_.ternaryVector(ctx_.degree(),
+                                     ctx_.params().hamming_weight);
+    SecretKey sk;
+    sk.s = polyFromSigned(coeffs, moduli);
+    ctx_.keyNttForward(sk.s, L);
+    return sk;
+}
+
+PublicKey
+KeyGenerator::publicKey(const SecretKey &sk)
+{
+    const int L = ctx_.maxLevel();
+    const auto q_moduli = ctx_.levelModuli(L);
+    const size_t nq = q_moduli.size();
+
+    PublicKey pk;
+    pk.a = RnsPoly(ctx_.degree(), nq, Rep::Eval);
+    for (size_t l = 0; l < nq; ++l) {
+        auto v = rng_.uniformVector(ctx_.degree(), q_moduli[l].value());
+        std::copy(v.begin(), v.end(), pk.a.limb(l));
+    }
+    auto e = rng_.errorVector(ctx_.degree());
+    RnsPoly ep = polyFromSigned(e, q_moduli);
+    polyNttForward(ep, ctx_.qTables());
+
+    // b = -a*s + e over Q.
+    pk.b = RnsPoly(ctx_.degree(), nq, Rep::Eval);
+    for (size_t l = 0; l < nq; ++l) {
+        const Modulus &q = q_moduli[l];
+        const u64 *pa = pk.a.limb(l);
+        const u64 *ps = sk.s.limb(l); // q limbs of sk come first
+        const u64 *pe = ep.limb(l);
+        u64 *pb = pk.b.limb(l);
+        for (size_t i = 0; i < ctx_.degree(); ++i)
+            pb[i] = q.add(q.neg(q.mul(pa[i], ps[i])), pe[i]);
+    }
+    return pk;
+}
+
+EvalKey
+KeyGenerator::makeEvk(const SecretKey &sk, const RnsPoly &s_prime)
+{
+    const int L = ctx_.maxLevel();
+    const auto moduli = ctx_.keyModuli(L);
+    const size_t nq = static_cast<size_t>(L) + 1;
+    const size_t n = ctx_.degree();
+
+    EvalKey evk;
+    for (int d = 0; d < ctx_.dnum(); ++d) {
+        RnsPoly a = uniformKeyPoly();
+        RnsPoly e = errorKeyPoly();
+        RnsPoly b(n, moduli.size(), Rep::Eval);
+        const auto &g = ctx_.gadget(d);
+        for (size_t l = 0; l < moduli.size(); ++l) {
+            const Modulus &m = moduli[l];
+            // Payload P * g_d * s' vanishes mod the special primes
+            // because P = prod(B) = 0 mod p_j.
+            const u64 payload_const =
+                l < nq ? m.mul(ctx_.pModQ(l), g[l]) : 0;
+            const u64 *pa = a.limb(l);
+            const u64 *ps = sk.s.limb(l);
+            const u64 *pe = e.limb(l);
+            const u64 *psp = s_prime.limb(l);
+            u64 *pb = b.limb(l);
+            for (size_t i = 0; i < n; ++i) {
+                u64 v = m.add(m.neg(m.mul(pa[i], ps[i])), pe[i]);
+                pb[i] = m.add(v, m.mul(payload_const, psp[i]));
+            }
+        }
+        evk.a.push_back(std::move(a));
+        evk.b.push_back(std::move(b));
+    }
+    return evk;
+}
+
+EvalKey
+KeyGenerator::evkMult(const SecretKey &sk)
+{
+    const auto moduli = ctx_.keyModuli(ctx_.maxLevel());
+    RnsPoly s2(ctx_.degree(), moduli.size(), Rep::Eval);
+    polyMulEval(sk.s, sk.s, moduli, s2);
+    return makeEvk(sk, s2);
+}
+
+EvalKey
+KeyGenerator::evkGalois(const SecretKey &sk, u64 galois_elt)
+{
+    const auto moduli = ctx_.keyModuli(ctx_.maxLevel());
+    const Automorphism &am = ctx_.automorphism(galois_elt);
+    RnsPoly sr = am.apply(sk.s, moduli);
+    return makeEvk(sk, sr);
+}
+
+EvalKey
+KeyGenerator::evkRotation(const SecretKey &sk, i64 r)
+{
+    return evkGalois(sk, galoisElt(r, ctx_.degree()));
+}
+
+EvalKey
+KeyGenerator::evkConjugate(const SecretKey &sk)
+{
+    return evkGalois(sk, galoisEltConjugate(ctx_.degree()));
+}
+
+} // namespace ark

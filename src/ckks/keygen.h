@@ -1,0 +1,52 @@
+/**
+ * @file
+ * Key generation for CKKS: secret/public keys and evaluation keys for
+ * multiplication, rotation (any amount), and conjugation.
+ */
+
+#pragma once
+
+#include "ckks/context.h"
+#include "ckks/keys.h"
+#include "common/random.h"
+
+namespace ark {
+
+/** Generates all key material from a context and a seeded RNG. */
+class KeyGenerator
+{
+  public:
+    KeyGenerator(const CkksContext &ctx, Rng &rng);
+
+    /** Sample a (sparse or dense) ternary secret key. */
+    SecretKey secretKey();
+
+    PublicKey publicKey(const SecretKey &sk);
+
+    /** evk_mult: switches s^2 -> s. */
+    EvalKey evkMult(const SecretKey &sk);
+
+    /** evk_rot^(r): switches psi_r(s) -> s (rotation by r slots). */
+    EvalKey evkRotation(const SecretKey &sk, i64 r);
+
+    /** evk for an arbitrary Galois element. */
+    EvalKey evkGalois(const SecretKey &sk, u64 galois_elt);
+
+    /** evk for complex conjugation. */
+    EvalKey evkConjugate(const SecretKey &sk);
+
+  private:
+    /** Core: evk encrypting P * g_d * s_prime under s. */
+    EvalKey makeEvk(const SecretKey &sk, const RnsPoly &s_prime);
+
+    /** Uniform polynomial over the extended key basis, Eval rep. */
+    RnsPoly uniformKeyPoly();
+
+    /** Error polynomial over the extended key basis, Eval rep. */
+    RnsPoly errorKeyPoly();
+
+    const CkksContext &ctx_;
+    Rng &rng_;
+};
+
+} // namespace ark

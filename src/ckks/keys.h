@@ -1,0 +1,54 @@
+/**
+ * @file
+ * Key material for CKKS: secret, public, and evaluation keys.
+ *
+ * An evaluation key (evk, paper Section II-C) for a source key s'
+ * (s^2 for HMult, psi_r(s) for HRot) consists of dnum RLWE pairs over
+ * the extended modulus P*Q: evk_d = (b_d, a_d) with
+ * b_d = -a_d * s + e_d + P * g_d * s', where g_d is the RNS gadget
+ * constant of digit d. Table III of the paper: one evk is 120 MiB at
+ * the ARK parameters — the off-chip traffic Min-KS exists to avoid.
+ */
+
+#pragma once
+
+#include <vector>
+
+#include "rns/poly.h"
+
+namespace ark {
+
+/** Secret key in Eval representation over [q_0..q_L, p_0..p_alpha-1]. */
+struct SecretKey
+{
+    RnsPoly s;
+};
+
+/** Public encryption key at max level (q limbs only, Eval rep). */
+struct PublicKey
+{
+    RnsPoly b;
+    RnsPoly a;
+};
+
+/** Evaluation key: dnum pairs over the extended basis, Eval rep. */
+struct EvalKey
+{
+    std::vector<RnsPoly> b;
+    std::vector<RnsPoly> a;
+
+    size_t numDigits() const { return b.size(); }
+
+    /** Bytes of key material (2 * dnum * (L+1+alpha) * N words). */
+    size_t byteSize() const
+    {
+        size_t total = 0;
+        for (const auto &p : b)
+            total += p.byteSize();
+        for (const auto &p : a)
+            total += p.byteSize();
+        return total;
+    }
+};
+
+} // namespace ark

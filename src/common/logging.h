@@ -1,0 +1,44 @@
+/**
+ * @file
+ * Error-reporting helpers in the spirit of gem5's logging.hh.
+ *
+ * ARK_PANIC is for conditions that indicate a bug in this library
+ * (aborts, so a debugger or core dump can pinpoint it); ARK_FATAL is
+ * for user-caused conditions such as invalid parameters (clean exit);
+ * ARK_ASSERT is a checked invariant that stays on in release builds
+ * because the FHE math silently corrupts data when invariants break.
+ */
+
+#pragma once
+
+#include <cstdio>
+#include <cstdlib>
+
+namespace ark {
+
+[[noreturn]] inline void
+panicImpl(const char *file, int line, const char *msg)
+{
+    std::fprintf(stderr, "panic: %s:%d: %s\n", file, line, msg);
+    std::abort();
+}
+
+[[noreturn]] inline void
+fatalImpl(const char *file, int line, const char *msg)
+{
+    std::fprintf(stderr, "fatal: %s:%d: %s\n", file, line, msg);
+    std::exit(1);
+}
+
+} // namespace ark
+
+#define ARK_PANIC(msg) ::ark::panicImpl(__FILE__, __LINE__, (msg))
+#define ARK_FATAL(msg) ::ark::fatalImpl(__FILE__, __LINE__, (msg))
+
+#define ARK_ASSERT(cond, msg)                                               \
+    do {                                                                    \
+        if (!(cond)) {                                                      \
+            ::ark::panicImpl(__FILE__, __LINE__,                            \
+                             "assertion failed: " #cond " -- " msg);        \
+        }                                                                   \
+    } while (0)

@@ -1,0 +1,116 @@
+#include "common/random.h"
+
+#include "common/logging.h"
+
+namespace ark {
+
+namespace {
+
+inline u64
+rotl(u64 x, int k)
+{
+    return (x << k) | (x >> (64 - k));
+}
+
+/** splitmix64, used only to expand the seed into the xoshiro state. */
+inline u64
+splitmix(u64 &state)
+{
+    u64 z = (state += 0x9e3779b97f4a7c15ULL);
+    z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+    z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+    return z ^ (z >> 31);
+}
+
+} // namespace
+
+Rng::Rng(u64 seed)
+{
+    u64 sm = seed;
+    for (auto &s : s_)
+        s = splitmix(sm);
+}
+
+u64
+Rng::next()
+{
+    u64 result = rotl(s_[1] * 5, 7) * 9;
+    u64 t = s_[1] << 17;
+    s_[2] ^= s_[0];
+    s_[3] ^= s_[1];
+    s_[1] ^= s_[2];
+    s_[0] ^= s_[3];
+    s_[2] ^= t;
+    s_[3] = rotl(s_[3], 45);
+    return result;
+}
+
+u64
+Rng::uniform(u64 bound)
+{
+    ARK_ASSERT(bound > 0, "uniform bound must be positive");
+    // Rejection sampling to remove modulo bias.
+    u64 threshold = (0 - bound) % bound;
+    for (;;) {
+        u64 r = next();
+        if (r >= threshold)
+            return r % bound;
+    }
+}
+
+double
+Rng::uniformReal()
+{
+    return static_cast<double>(next() >> 11) * 0x1.0p-53;
+}
+
+std::vector<u64>
+Rng::uniformVector(size_t n, u64 q)
+{
+    std::vector<u64> v(n);
+    for (auto &x : v)
+        x = uniform(q);
+    return v;
+}
+
+std::vector<i64>
+Rng::ternaryVector(size_t n, size_t hamming_weight)
+{
+    std::vector<i64> v(n, 0);
+    if (hamming_weight == 0) {
+        for (auto &x : v) {
+            u64 r = uniform(3);
+            x = static_cast<i64>(r) - 1;
+        }
+        return v;
+    }
+    ARK_ASSERT(hamming_weight <= n, "hamming weight exceeds length");
+    size_t placed = 0;
+    while (placed < hamming_weight) {
+        size_t idx = uniform(n);
+        if (v[idx] == 0) {
+            v[idx] = (next() & 1) ? 1 : -1;
+            ++placed;
+        }
+    }
+    return v;
+}
+
+std::vector<i64>
+Rng::errorVector(size_t n)
+{
+    // Centered binomial: the difference of two 21-bit popcounts has
+    // variance 2 * 21/4 = 10.5, i.e. sigma ~= 3.24, matching the
+    // HE-standard discrete gaussian with sigma = 3.2.
+    std::vector<i64> v(n);
+    for (auto &x : v) {
+        u64 bits = next();
+        u64 bits_a = bits & ((1ULL << 21) - 1);
+        u64 bits_b = (bits >> 21) & ((1ULL << 21) - 1);
+        x = static_cast<i64>(__builtin_popcountll(bits_a)) -
+            static_cast<i64>(__builtin_popcountll(bits_b));
+    }
+    return v;
+}
+
+} // namespace ark

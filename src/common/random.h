@@ -1,0 +1,62 @@
+/**
+ * @file
+ * Deterministic random sampling for CKKS key material and errors.
+ *
+ * All randomness in the library flows through Rng so that tests and
+ * experiments are reproducible from a single seed. The distributions
+ * match the ones RNS-CKKS implementations use: uniform mod q for public
+ * randomness, centered binomial / discrete gaussian for errors, and
+ * sparse or dense ternary secrets.
+ *
+ * This is NOT a cryptographically secure generator; the repository is a
+ * research reproduction and its security claims rest on parameter
+ * choices, not on entropy quality.
+ */
+
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "common/types.h"
+
+namespace ark {
+
+/** xoshiro256** PRNG: fast, 64-bit output, deterministic per seed. */
+class Rng
+{
+  public:
+    explicit Rng(u64 seed = 0x5eed'c0ffee'1234ULL);
+
+    /** Uniform 64-bit word. */
+    u64 next();
+
+    /** Uniform in [0, bound) without modulo bias for bound < 2^63. */
+    u64 uniform(u64 bound);
+
+    /** Uniform double in [0, 1). */
+    double uniformReal();
+
+    /**
+     * Sample a length-n vector with entries uniform mod q.
+     */
+    std::vector<u64> uniformVector(size_t n, u64 q);
+
+    /**
+     * Ternary secret coefficients in {-1, 0, 1}, encoded mod q.
+     * @param hamming_weight if nonzero, exactly that many nonzeros
+     *        (sparse secret); otherwise each entry is iid uniform ternary.
+     */
+    std::vector<i64> ternaryVector(size_t n, size_t hamming_weight = 0);
+
+    /**
+     * Centered-binomial error approximating a discrete gaussian with
+     * standard deviation ~3.2 (the HE-standard choice).
+     */
+    std::vector<i64> errorVector(size_t n);
+
+  private:
+    u64 s_[4];
+};
+
+} // namespace ark

@@ -1,0 +1,70 @@
+#include "common/table_printer.h"
+
+#include <cstdio>
+#include <sstream>
+
+#include "common/logging.h"
+
+namespace ark {
+
+TablePrinter::TablePrinter(std::vector<std::string> header)
+{
+    rows_.push_back(std::move(header));
+}
+
+void
+TablePrinter::addRow(std::vector<std::string> cells)
+{
+    ARK_ASSERT(cells.size() == rows_.front().size(),
+               "row arity must match header");
+    rows_.push_back(std::move(cells));
+}
+
+std::string
+TablePrinter::toString() const
+{
+    std::vector<size_t> widths(rows_.front().size(), 0);
+    for (const auto &row : rows_) {
+        for (size_t c = 0; c < row.size(); ++c)
+            widths[c] = std::max(widths[c], row[c].size());
+    }
+
+    std::ostringstream out;
+    auto rule = [&] {
+        out << '+';
+        for (size_t w : widths)
+            out << std::string(w + 2, '-') << '+';
+        out << '\n';
+    };
+
+    rule();
+    for (size_t r = 0; r < rows_.size(); ++r) {
+        out << '|';
+        for (size_t c = 0; c < rows_[r].size(); ++c) {
+            out << ' ' << rows_[r][c]
+                << std::string(widths[c] - rows_[r][c].size() + 1, ' ')
+                << '|';
+        }
+        out << '\n';
+        if (r == 0)
+            rule();
+    }
+    rule();
+    return out.str();
+}
+
+void
+TablePrinter::print() const
+{
+    std::fputs(toString().c_str(), stdout);
+}
+
+std::string
+TablePrinter::fmt(double v, int precision)
+{
+    char buf[64];
+    std::snprintf(buf, sizeof(buf), "%.*f", precision, v);
+    return buf;
+}
+
+} // namespace ark

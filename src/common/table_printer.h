@@ -1,0 +1,43 @@
+/**
+ * @file
+ * Minimal fixed-width ASCII table printer used by the benchmark
+ * harnesses to emit the paper's tables/figures as aligned rows.
+ */
+
+#pragma once
+
+#include <string>
+#include <vector>
+
+namespace ark {
+
+/**
+ * Collects rows of string cells and prints them with per-column
+ * alignment. Intended for bench binaries that regenerate paper tables:
+ *
+ *   TablePrinter t({"Work", "T_A.S. (us)", "HELR (ms)"});
+ *   t.addRow({"ARK", "0.014", "7.421"});
+ *   t.print();
+ */
+class TablePrinter
+{
+  public:
+    explicit TablePrinter(std::vector<std::string> header);
+
+    /** Append one data row; must match the header arity. */
+    void addRow(std::vector<std::string> cells);
+
+    /** Render the table to stdout. */
+    void print() const;
+
+    /** Render the table into a string (used by tests). */
+    std::string toString() const;
+
+    /** Format helper: fixed-precision double. */
+    static std::string fmt(double v, int precision = 3);
+
+  private:
+    std::vector<std::vector<std::string>> rows_;
+};
+
+} // namespace ark

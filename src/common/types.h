@@ -1,0 +1,25 @@
+/**
+ * @file
+ * Fixed-width integer aliases used throughout the ARK codebase.
+ *
+ * The CKKS implementation uses 64-bit machine words for RNS limbs
+ * (matching ARK's 64-bit word size, Table VII of the paper) and relies
+ * on the compiler-provided 128-bit integer type for products of two
+ * 64-bit limbs during modular reduction.
+ */
+
+#pragma once
+
+#include <cstdint>
+
+namespace ark {
+
+using u8 = std::uint8_t;
+using u16 = std::uint16_t;
+using u32 = std::uint32_t;
+using u64 = std::uint64_t;
+using i64 = std::int64_t;
+using u128 = unsigned __int128;
+using i128 = __int128;
+
+} // namespace ark

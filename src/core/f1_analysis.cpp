@@ -1,0 +1,21 @@
+#include "core/f1_analysis.h"
+
+namespace ark {
+
+F1Utilization
+scaledF1Bound(const CkksParams &params, const HdftPlan &plan,
+              const ScaledF1Config &cfg)
+{
+    TrafficAnalyzer analyzer(params);
+    AlgoConfig baseline; // no Min-KS, no OF-Limb
+    TrafficPoint pt = analyzer.analyze(plan, baseline);
+
+    F1Utilization u;
+    u.load_time_s = pt.totalBytes() / cfg.hbm_bytes_per_s;
+    u.possible_mults = cfg.modmuls * cfg.freq_hz * u.load_time_s;
+    u.required_mults = pt.mod_mults;
+    u.utilization = u.required_mults / u.possible_mults;
+    return u;
+}
+
+} // namespace ark

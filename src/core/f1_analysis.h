@@ -1,0 +1,43 @@
+/**
+ * @file
+ * The scaled-F1 utilization analysis of paper Section III-C.
+ *
+ * F1 scaled to bootstrappable parameters (NTTUs with
+ * 0.5*sqrt(N)*log N = 2048 modular multipliers, 40,960 total) is
+ * bounded by the time to stream the single-use H-(I)DFT operands over
+ * a 3 TB/s HBM3 system; the achievable modular-multiplier utilization
+ * is the transform's compute divided by the mults the machine could
+ * have executed during that stream time (paper: 8.61% for H-IDFT,
+ * 13.32% for H-DFT).
+ */
+
+#pragma once
+
+#include "core/traffic_analyzer.h"
+
+namespace ark {
+
+/** Result of the bound analysis for one transform. */
+struct F1Utilization
+{
+    double load_time_s = 0;       ///< single-use bytes / bandwidth
+    double possible_mults = 0;    ///< multipliers * freq * load time
+    double required_mults = 0;    ///< the transform's actual compute
+    double utilization = 0;       ///< required / possible
+};
+
+/** Parameters of the hypothetical scaled F1. */
+struct ScaledF1Config
+{
+    double modmuls = 40960;        ///< modular multipliers on chip
+    double freq_hz = 1e9;          ///< fully pipelined at 1 GHz
+    double hbm_bytes_per_s = 3e12; ///< HBM3-class system
+};
+
+/** Compute the utilization bound for an H-(I)DFT under baseline
+ *  algorithms (no Min-KS / OF-Limb — the Section III-C setting). */
+F1Utilization scaledF1Bound(const CkksParams &params,
+                            const HdftPlan &plan,
+                            const ScaledF1Config &cfg);
+
+} // namespace ark

@@ -1,0 +1,105 @@
+#include "core/hdft_plan.h"
+
+#include <cmath>
+
+#include "common/logging.h"
+#include "common/math_util.h"
+
+namespace ark {
+
+size_t
+HdftPlan::totalHrots() const
+{
+    size_t t = 0;
+    for (const auto &it : iterations)
+        t += it.hrots;
+    return t;
+}
+
+size_t
+HdftPlan::totalPmults() const
+{
+    size_t t = 0;
+    for (const auto &it : iterations)
+        t += it.pmults;
+    return t;
+}
+
+size_t
+HdftPlan::distinctEvks(KeySchedule sched) const
+{
+    size_t t = 0;
+    for (const auto &it : iterations) {
+        switch (sched) {
+          case KeySchedule::Baseline:
+            t += it.distinct_evks_baseline;
+            break;
+          case KeySchedule::MinimalKS:
+            t += it.distinct_evks_minimal;
+            break;
+          case KeySchedule::MinKS:
+            t += it.distinct_evks_minks;
+            break;
+        }
+    }
+    return t;
+}
+
+size_t
+HdftPlan::evkBytes(const CkksParams &p, int level)
+{
+    const int a = p.alpha();
+    const int digits = (level + a) / a;
+    return 2ULL * digits * (level + 1 + a) * p.degree * p.word_bytes;
+}
+
+size_t
+HdftPlan::plaintextBytes(const CkksParams &p, int level, bool of_limb)
+{
+    const size_t limbs = of_limb ? 1 : static_cast<size_t>(level) + 1;
+    return limbs * p.degree * p.word_bytes;
+}
+
+HdftPlan
+HdftPlan::make(const CkksParams &p, bool inverse, int top_level)
+{
+    HdftPlan plan;
+    plan.params = p;
+    plan.inverse = inverse;
+
+    const int k = plan.radix_log2; // radix 2^5
+    const int log_n = log2Exact(p.num_slots);
+    const int num_iters = (log_n + k - 1) / k;
+    // (k1, k2) = (3, 3): 2^k1 baby and 2^k2 giant steps per iteration.
+    const int k1 = 3, k2 = k + 1 - 3;
+
+    // Per-iteration raw counts: pre-rotation + (2^k1 - 1) baby +
+    // (2^k2 - 1) giant rotations; (2^(k+1) - 1) diagonals. The paper's
+    // "additional optimizations" (merging the first iteration's
+    // pre-rotation, folding sparse diagonals) land the full transform
+    // at 40 HRots / 158 PMults; we apply the same trim uniformly.
+    const size_t raw_rots_per_iter =
+        1 + ((1u << k1) - 1) + ((1u << k2) - 1);
+    const size_t raw_pmults_per_iter = (1u << (k + 1)) - 1;
+    const double rot_trim =
+        40.0 / static_cast<double>(raw_rots_per_iter * num_iters);
+    const double pm_trim =
+        158.0 / static_cast<double>(raw_pmults_per_iter * num_iters);
+
+    for (int i = 0; i < num_iters; ++i) {
+        HdftIteration it;
+        it.level = top_level - i;
+        ARK_ASSERT(it.level >= 0, "H-(I)DFT runs out of levels");
+        it.hrots = static_cast<size_t>(
+            std::llround(raw_rots_per_iter * rot_trim));
+        it.pmults = static_cast<size_t>(
+            std::llround(raw_pmults_per_iter * pm_trim));
+        it.distinct_evks_baseline = it.hrots;
+        it.distinct_evks_minimal = 3; // pre + baby + giant (Fig. 1b)
+        it.distinct_evks_minks = 2;   // baby + giant (Fig. 1c)
+        plan.iterations.push_back(it);
+    }
+    return plan;
+}
+
+} // namespace ark

@@ -1,0 +1,65 @@
+/**
+ * @file
+ * Structural plan of the FFT-like homomorphic (I)DFT (paper Alg. 3 +
+ * Eq. 8) and its per-key-schedule evk requirements (Fig. 1).
+ *
+ * For the ARK configuration (n = 2^15 slots, radix 2^k = 32,
+ * (k1, k2) = (3, 3)) each H-(I)DFT runs log_32(n) = 3 BSGS iterations;
+ * with the paper's additional optimizations the whole transform
+ * performs 40 HRots and 158 PMults, needing 40 distinct rotation keys
+ * and 158 plaintexts under the baseline schedule. Min-KS reduces the
+ * distinct keys to 2 per iteration; OF-Limb reduces each plaintext to
+ * its q0 limb.
+ */
+
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "boot/linear_transform.h" // KeySchedule
+#include "ckks/params.h"
+
+namespace ark {
+
+/** One BSGS iteration of the homomorphic (I)DFT. */
+struct HdftIteration
+{
+    int level = 0;       ///< multiplicative level it executes at
+    size_t hrots = 0;    ///< rotations performed
+    size_t pmults = 0;   ///< plaintext multiplications
+    size_t distinct_evks_baseline = 0;
+    size_t distinct_evks_minimal = 0; ///< Halevi-Shoup (pre+baby+giant)
+    size_t distinct_evks_minks = 0;   ///< ARK Min-KS (baby+giant)
+};
+
+/** Full plan for one homomorphic DFT or IDFT. */
+struct HdftPlan
+{
+    CkksParams params;
+    bool inverse = false; ///< true: H-IDFT (runs at the top levels)
+    int radix_log2 = 5;   ///< 2^k
+    std::vector<HdftIteration> iterations;
+
+    size_t totalHrots() const;
+    size_t totalPmults() const;
+    size_t distinctEvks(KeySchedule sched) const;
+
+    /** Bytes of one evk actually streamed at level ell (partial limbs
+     *  at lower levels). */
+    static size_t evkBytes(const CkksParams &p, int level);
+
+    /** Bytes of one plaintext operand at level ell. */
+    static size_t plaintextBytes(const CkksParams &p, int level,
+                                 bool of_limb);
+
+    /**
+     * Build the ARK plan for H-IDFT / H-DFT.
+     * @param top_level level of the first iteration (H-IDFT starts at
+     *        L; H-DFT starts after EvalMod).
+     */
+    static HdftPlan make(const CkksParams &p, bool inverse,
+                         int top_level);
+};
+
+} // namespace ark

@@ -1,0 +1,42 @@
+#include "core/traffic_analyzer.h"
+
+namespace ark {
+
+TrafficPoint
+TrafficAnalyzer::analyze(const HdftPlan &plan, const AlgoConfig &cfg) const
+{
+    TrafficPoint pt;
+    for (const auto &it : plan.iterations) {
+        // evk traffic: every distinct key streams from HBM once (with
+        // Min-KS the reused key stays pinned in the scratchpad, paper
+        // Section V); under the baseline every HRot streams its own.
+        size_t evks = 0;
+        switch (cfg.schedule) {
+          case KeySchedule::Baseline:
+            evks = it.distinct_evks_baseline;
+            break;
+          case KeySchedule::MinimalKS:
+            evks = it.distinct_evks_minimal;
+            break;
+          case KeySchedule::MinKS:
+            evks = it.distinct_evks_minks;
+            break;
+        }
+        pt.evk_bytes += static_cast<double>(evks) *
+                        HdftPlan::evkBytes(params_, it.level);
+        pt.plaintext_bytes +=
+            static_cast<double>(it.pmults) *
+            HdftPlan::plaintextBytes(params_, it.level, cfg.of_limb);
+
+        // Compute: every HRot is a key switch; every PMult is an
+        // element-wise multiply plus, with OF-Limb, the limb-extension
+        // NTTs (the "runtime data generation" compute overhead).
+        pt.mod_mults += static_cast<double>(it.hrots) *
+                        cost_.hrot(it.level).total();
+        pt.mod_mults += static_cast<double>(it.pmults) *
+                        cost_.pmult(it.level, cfg.of_limb).total();
+    }
+    return pt;
+}
+
+} // namespace ark

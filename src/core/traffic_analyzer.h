@@ -1,0 +1,58 @@
+/**
+ * @file
+ * Off-chip traffic and arithmetic-intensity analysis of the
+ * homomorphic (I)DFT under the three algorithm configurations of
+ * Fig. 2: baseline, +Min-KS, +Min-KS+OF-Limb.
+ *
+ * Traffic counts the single-use operands (evks and plaintexts) that
+ * must stream from HBM per transform; arithmetic intensity divides the
+ * modular-mult count by those bytes. The paper's headline numbers:
+ * Min-KS raises H-IDFT intensity 2.6x (H-DFT 2.0x), OF-Limb a further
+ * 4.0x (2.9x), reaching 11.1 (9.6) ops/byte and removing 88% (78%) of
+ * off-chip access.
+ */
+
+#pragma once
+
+#include "core/hdft_plan.h"
+#include "core/op_cost.h"
+
+namespace ark {
+
+/** One Fig. 2 column. */
+struct TrafficPoint
+{
+    double evk_bytes = 0;
+    double plaintext_bytes = 0;
+    double mod_mults = 0;
+
+    double totalBytes() const { return evk_bytes + plaintext_bytes; }
+    double opsPerByte() const { return mod_mults / totalBytes(); }
+};
+
+/** Algorithm configuration knobs for the analysis. */
+struct AlgoConfig
+{
+    KeySchedule schedule = KeySchedule::Baseline;
+    bool of_limb = false;
+};
+
+/** Computes Fig. 2 data points for an H-(I)DFT plan. */
+class TrafficAnalyzer
+{
+  public:
+    explicit TrafficAnalyzer(const CkksParams &params)
+        : params_(params), cost_(params)
+    {
+    }
+
+    /** Traffic + compute of one full H-(I)DFT under @p cfg. */
+    TrafficPoint analyze(const HdftPlan &plan,
+                         const AlgoConfig &cfg) const;
+
+  private:
+    CkksParams params_;
+    CostModel cost_;
+};
+
+} // namespace ark

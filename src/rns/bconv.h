@@ -1,0 +1,69 @@
+/**
+ * @file
+ * Base conversion (BConv) between RNS prime sets, Eq. 4 of the paper.
+ *
+ * BConv takes a polynomial's limbs over an input base B and produces
+ * limbs over an output base C without leaving RNS:
+ *
+ *   [P]_C = { sum_j ([P]_{p_j} * phat_j^-1 mod p_j) * (phat_j mod q_i) }_i
+ *
+ * This is the "fast/approximate" conversion: the result may carry an
+ * extra small multiple of prod(B), which CKKS absorbs into noise.
+ * The (|C| x |B|) matrix of (phat_j mod q_i) constants is the *base
+ * table* held in ARK's BConvU broadcast units; the second stage is the
+ * matrix multiply the 1x6 MAC systolic lanes execute (Section V-A).
+ * Input and output must be in the coefficient representation.
+ */
+
+#pragma once
+
+#include <vector>
+
+#include "rns/poly.h"
+
+namespace ark {
+
+/** Precomputed tables for converting base B -> base C. */
+class BaseConverter
+{
+  public:
+    BaseConverter(std::vector<Modulus> in_base,
+                  std::vector<Modulus> out_base);
+
+    const std::vector<Modulus> &inBase() const { return in_base_; }
+    const std::vector<Modulus> &outBase() const { return out_base_; }
+
+    /**
+     * Convert @p in (Coeff rep, limbs over inBase) to a new polynomial
+     * with limbs over outBase (Coeff rep).
+     */
+    RnsPoly convert(const RnsPoly &in) const;
+
+    /**
+     * First BConv stage only: multiply limb j by phat_j^-1 mod p_j.
+     * ARK fuses this stage into the NTTU's BConv-mult unit on the INTT
+     * path (Fig. 5); exposed separately so tests and the simulator can
+     * account for it there.
+     */
+    RnsPoly scaleStage(const RnsPoly &in) const;
+
+    /** Second BConv stage: the base-table matrix multiply. */
+    RnsPoly matmulStage(const RnsPoly &scaled) const;
+
+    /** Base-table entry (phat_j mod q_i). */
+    u64 baseTable(size_t i, size_t j) const
+    {
+        return base_table_[i * in_base_.size() + j];
+    }
+
+  private:
+    std::vector<Modulus> in_base_;
+    std::vector<Modulus> out_base_;
+    /** phat_j^-1 mod p_j for each input prime. */
+    std::vector<u64> phat_inv_mod_pj_;
+    std::vector<u64> phat_inv_mod_pj_shoup_;
+    /** Row-major (|C| x |B|) base table: phat_j mod q_i. */
+    std::vector<u64> base_table_;
+};
+
+} // namespace ark

@@ -1,0 +1,167 @@
+#include "rns/four_step_ntt.h"
+
+#include "common/logging.h"
+#include "common/math_util.h"
+
+namespace ark {
+
+FourStepNtt::FourStepNtt(size_t degree, Modulus modulus)
+    : n_(degree), q_(modulus)
+{
+    ARK_ASSERT(isPowerOfTwo(degree), "degree must be a power of two");
+    int log_n = log2Exact(degree);
+    ARK_ASSERT(log_n % 2 == 0, "4-step NTT requires N with integer sqrt");
+    r_ = 1ULL << (log_n / 2);
+    log_r_ = log_n / 2;
+    ARK_ASSERT((q_.value() - 1) % (2 * degree) == 0,
+               "prime must be 1 mod 2N");
+
+    psi_ = rootOfUnity(2 * degree, q_.value());
+    omega_ = q_.mul(psi_, psi_);
+    omega_r_ = q_.pow(omega_, r_);
+    psi_inv_ = q_.inv(psi_);
+    omega_inv_ = q_.inv(omega_);
+    omega_r_inv_ = q_.inv(omega_r_);
+    n_inv_ = q_.inv(static_cast<u64>(n_) % q_.value());
+
+    bitrev_.resize(r_);
+    for (size_t i = 0; i < r_; ++i)
+        bitrev_[i] = static_cast<u32>(bitReverse(i, log_r_));
+
+    small_roots_.resize(r_);
+    small_roots_shoup_.resize(r_);
+    small_inv_roots_.resize(r_);
+    small_inv_roots_shoup_.resize(r_);
+    u64 w = 1, wi = 1;
+    for (size_t j = 0; j < r_; ++j) {
+        small_roots_[j] = w;
+        small_roots_shoup_[j] = q_.shoupPrecompute(w);
+        small_inv_roots_[j] = wi;
+        small_inv_roots_shoup_[j] = q_.shoupPrecompute(wi);
+        w = q_.mul(w, omega_r_);
+        wi = q_.mul(wi, omega_r_inv_);
+    }
+}
+
+void
+FourStepNtt::smallNtt(u64 *a, const std::vector<u64> &roots,
+                      const std::vector<u64> &roots_shoup) const
+{
+    const u64 q = q_.value();
+    for (size_t i = 0; i < r_; ++i) {
+        size_t j = bitrev_[i];
+        if (i < j)
+            std::swap(a[i], a[j]);
+    }
+    for (size_t len = 2; len <= r_; len <<= 1) {
+        const size_t stride = r_ / len;
+        for (size_t start = 0; start < r_; start += len) {
+            for (size_t j = 0; j < len / 2; ++j) {
+                const size_t tw = j * stride;
+                u64 u = a[start + j];
+                u64 v = q_.mulShoup(a[start + j + len / 2], roots[tw],
+                                    roots_shoup[tw]);
+                a[start + j] = addMod(u, v, q);
+                a[start + j + len / 2] = subMod(u, v, q);
+            }
+        }
+    }
+}
+
+std::vector<u64>
+FourStepNtt::forward(const std::vector<u64> &coeffs) const
+{
+    ARK_ASSERT(coeffs.size() == n_, "input length mismatch");
+
+    // Negacyclic pre-twist b_i = a_i * psi^i; psi^i is itself a
+    // geometric progression a hardware twisting unit generates on the
+    // fly (ratio psi).
+    std::vector<u64> b(n_);
+    u64 tw = 1;
+    for (size_t i = 0; i < n_; ++i) {
+        b[i] = q_.mul(coeffs[i], tw);
+        tw = q_.mul(tw, psi_);
+    }
+
+    // Step 1: column NTTs over i2 (stride-R accesses) for each i1.
+    std::vector<u64> col(r_);
+    std::vector<u64> mat(n_); // mat[i1 * R + k2]
+    for (size_t i1 = 0; i1 < r_; ++i1) {
+        for (size_t i2 = 0; i2 < r_; ++i2)
+            col[i2] = b[i2 * r_ + i1];
+        smallNtt(col.data(), small_roots_, small_roots_shoup_);
+        for (size_t k2 = 0; k2 < r_; ++k2)
+            mat[i1 * r_ + k2] = col[k2];
+    }
+
+    // Step 2: twisting factors omega^(i1*k2). For fixed row i1 these
+    // form a geometric progression with ratio omega^i1 starting at 1 —
+    // the OF-Twist generation pattern.
+    u64 ratio = 1; // omega^{i1}
+    for (size_t i1 = 0; i1 < r_; ++i1) {
+        u64 t = 1;
+        for (size_t k2 = 0; k2 < r_; ++k2) {
+            mat[i1 * r_ + k2] = q_.mul(mat[i1 * r_ + k2], t);
+            t = q_.mul(t, ratio);
+        }
+        ratio = q_.mul(ratio, omega_);
+    }
+
+    // Steps 3+4: transpose then row NTTs == column NTTs over i1.
+    std::vector<u64> out(n_);
+    for (size_t k2 = 0; k2 < r_; ++k2) {
+        for (size_t i1 = 0; i1 < r_; ++i1)
+            col[i1] = mat[i1 * r_ + k2];
+        smallNtt(col.data(), small_roots_, small_roots_shoup_);
+        for (size_t k1 = 0; k1 < r_; ++k1)
+            out[k1 * r_ + k2] = col[k1];
+    }
+    return out;
+}
+
+std::vector<u64>
+FourStepNtt::inverse(const std::vector<u64> &evals) const
+{
+    ARK_ASSERT(evals.size() == n_, "input length mismatch");
+
+    // Undo step 3+4: inverse column NTTs over k1 for each k2.
+    std::vector<u64> col(r_);
+    std::vector<u64> mat(n_); // mat[i1 * R + k2]
+    for (size_t k2 = 0; k2 < r_; ++k2) {
+        for (size_t k1 = 0; k1 < r_; ++k1)
+            col[k1] = evals[k1 * r_ + k2];
+        smallNtt(col.data(), small_inv_roots_, small_inv_roots_shoup_);
+        for (size_t i1 = 0; i1 < r_; ++i1)
+            mat[i1 * r_ + k2] = col[i1];
+    }
+
+    // Undo twist: multiply by omega^{-i1*k2} (again geometric per row).
+    u64 ratio = 1; // omega^{-i1}
+    for (size_t i1 = 0; i1 < r_; ++i1) {
+        u64 t = 1;
+        for (size_t k2 = 0; k2 < r_; ++k2) {
+            mat[i1 * r_ + k2] = q_.mul(mat[i1 * r_ + k2], t);
+            t = q_.mul(t, ratio);
+        }
+        ratio = q_.mul(ratio, omega_inv_);
+    }
+
+    // Undo step 1: inverse row-direction NTTs over k2 for each i1,
+    // then scatter back to stride-R layout with 1/N and psi^-i.
+    std::vector<u64> out(n_);
+    for (size_t i1 = 0; i1 < r_; ++i1) {
+        for (size_t k2 = 0; k2 < r_; ++k2)
+            col[k2] = mat[i1 * r_ + k2];
+        smallNtt(col.data(), small_inv_roots_, small_inv_roots_shoup_);
+        for (size_t i2 = 0; i2 < r_; ++i2)
+            out[i2 * r_ + i1] = col[i2];
+    }
+    u64 tw = n_inv_;
+    for (size_t i = 0; i < n_; ++i) {
+        out[i] = q_.mul(out[i], tw);
+        tw = q_.mul(tw, psi_inv_);
+    }
+    return out;
+}
+
+} // namespace ark

@@ -1,0 +1,95 @@
+/**
+ * @file
+ * Bailey 4-step (2D) negacyclic NTT with on-the-fly twisting factor
+ * generation (OF-Twist).
+ *
+ * ARK's NTTU (paper Section V-C) implements an N-point NTT as a
+ * sqrt(N) x sqrt(N) 2D transform: column NTTs, element-wise multiply by
+ * *twisting factors*, a transpose, and row NTTs. The twisting factors
+ * for a fixed row form a geometric progression, so ARK's twisting units
+ * generate them on the fly from one starting value and one common ratio
+ * per row instead of loading N words from memory — OF-Twist.
+ *
+ * This class is the functional counterpart of that unit: it computes
+ * the same transform as NttTables (verified by tests) while counting
+ * how many twisting-factor words a hardware implementation would load
+ * with and without OF-Twist, which feeds the Section V-C claim that
+ * OF-Twist cuts (I)NTT operand traffic roughly in half and saves 99%
+ * of twisting-factor storage.
+ */
+
+#pragma once
+
+#include <cstddef>
+
+#include <vector>
+
+#include "rns/modulus.h"
+
+namespace ark {
+
+/** 4-step negacyclic NTT over one prime with OF-Twist accounting. */
+class FourStepNtt
+{
+  public:
+    /**
+     * @param degree power-of-two ring degree N with a power-of-two
+     *        square root (N = R^2).
+     * @param modulus prime with modulus = 1 (mod 2N).
+     */
+    FourStepNtt(size_t degree, Modulus modulus);
+
+    size_t degree() const { return n_; }
+    size_t rows() const { return r_; }
+
+    /**
+     * Forward negacyclic NTT, out-of-place. Output is in the 4-step
+     * natural frequency order (k = k1*R + k2), which differs from the
+     * iterative NTT's bit-reversed order; tests compare against a naive
+     * DFT evaluation.
+     */
+    std::vector<u64> forward(const std::vector<u64> &coeffs) const;
+
+    /** Inverse of forward(); returns the coefficient vector. */
+    std::vector<u64> inverse(const std::vector<u64> &evals) const;
+
+    /**
+     * Twisting-factor words a hardware NTTU must fetch per N-point
+     * transform when factors are precomputed and stored (the F1
+     * approach): N words for the 2D twist plus N for the negacyclic
+     * pre-twist.
+     */
+    size_t twistWordsLoadedBaseline() const { return 2 * n_; }
+
+    /**
+     * Twisting-factor words fetched with OF-Twist: one starting value
+     * and one common ratio per row for each of the two twists.
+     */
+    size_t twistWordsLoadedOfTwist() const { return 4 * r_; }
+
+  private:
+    /** In-place cyclic radix-2 DIT NTT of length r_ with given roots. */
+    void smallNtt(u64 *data, const std::vector<u64> &roots,
+                  const std::vector<u64> &roots_shoup) const;
+
+    size_t n_;
+    size_t r_;
+    int log_r_;
+    Modulus q_;
+    u64 psi_;     ///< primitive 2N-th root (negacyclic pre-twist ratio)
+    u64 omega_;   ///< psi^2, primitive N-th root
+    u64 omega_r_; ///< omega^R, primitive R-th root for the small NTTs
+    u64 psi_inv_;
+    u64 omega_inv_;
+    u64 omega_r_inv_;
+    u64 n_inv_;
+    /** Bit-reversal permutation for the small transforms. */
+    std::vector<u32> bitrev_;
+    /** Stage twiddles for the small cyclic NTT (forward / inverse). */
+    std::vector<u64> small_roots_;
+    std::vector<u64> small_roots_shoup_;
+    std::vector<u64> small_inv_roots_;
+    std::vector<u64> small_inv_roots_shoup_;
+};
+
+} // namespace ark

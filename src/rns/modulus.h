@@ -1,0 +1,76 @@
+/**
+ * @file
+ * A word-sized prime modulus with precomputed reduction constants.
+ *
+ * Each RNS limb of a CKKS polynomial lives in Z_q for one prime q held
+ * in a Modulus. The hot loops use two reduction strategies, mirroring
+ * the FU implementations in the paper (Section VI): Montgomery-style
+ * constant-time reduction inside the NTT/BConv pipelines is modeled
+ * here by Shoup multiplication (precomputed quotient word per constant
+ * operand), and Barrett reduction for general products in the MADUs.
+ */
+
+#pragma once
+
+#include "common/math_util.h"
+#include "common/types.h"
+
+namespace ark {
+
+/** A prime modulus q < 2^60 plus reduction precomputation. */
+class Modulus
+{
+  public:
+    Modulus() = default;
+    explicit Modulus(u64 q);
+
+    u64 value() const { return q_; }
+    int bits() const { return bits_; }
+
+    /** Barrett reduction of a 128-bit value to [0, q). */
+    u64 reduce(u128 x) const;
+
+    /** (a * b) mod q via Barrett. */
+    u64 mul(u64 a, u64 b) const
+    {
+        return reduce(static_cast<u128>(a) * b);
+    }
+
+    u64 add(u64 a, u64 b) const { return addMod(a, b, q_); }
+    u64 sub(u64 a, u64 b) const { return subMod(a, b, q_); }
+    u64 neg(u64 a) const { return a == 0 ? 0 : q_ - a; }
+    u64 pow(u64 a, u64 e) const { return powMod(a, e, q_); }
+    u64 inv(u64 a) const { return invMod(a, q_); }
+
+    /**
+     * Precompute the Shoup quotient word for a constant operand:
+     * floor(w * 2^64 / q). Enables mulShoup below.
+     */
+    u64 shoupPrecompute(u64 w) const
+    {
+        return static_cast<u64>((static_cast<u128>(w) << 64) / q_);
+    }
+
+    /**
+     * (x * w) mod q where @p w_shoup = shoupPrecompute(w).
+     * One mulhi + one mullo + one conditional subtract; this is the
+     * butterfly-speed path used throughout the NTT.
+     */
+    u64 mulShoup(u64 x, u64 w, u64 w_shoup) const
+    {
+        u64 hi = static_cast<u64>((static_cast<u128>(x) * w_shoup) >> 64);
+        u64 r = x * w - hi * q_;
+        return r >= q_ ? r - q_ : r;
+    }
+
+    bool operator==(const Modulus &o) const { return q_ == o.q_; }
+
+  private:
+    u64 q_ = 0;
+    int bits_ = 0;
+    /** Barrett constant: floor(2^128 / q), stored as hi/lo words. */
+    u64 barrett_hi_ = 0;
+    u64 barrett_lo_ = 0;
+};
+
+} // namespace ark

@@ -1,0 +1,90 @@
+#include "rns/ntt.h"
+
+#include "common/logging.h"
+#include "common/math_util.h"
+
+namespace ark {
+
+NttTables::NttTables(size_t degree, Modulus modulus)
+    : n_(degree), log_n_(log2Exact(degree)), q_(modulus)
+{
+    ARK_ASSERT(isPowerOfTwo(degree), "NTT degree must be a power of two");
+    ARK_ASSERT((q_.value() - 1) % (2 * degree) == 0,
+               "prime must be 1 mod 2N for the negacyclic NTT");
+
+    psi_ = rootOfUnity(2 * degree, q_.value());
+
+    root_powers_.resize(n_);
+    root_powers_shoup_.resize(n_);
+    inv_root_powers_.resize(n_);
+    inv_root_powers_shoup_.resize(n_);
+
+    // root_powers_[i] = psi^{bitrev(i)}; the Cooley-Tukey stages index
+    // this table as roots[m + i], which yields the negacyclic transform
+    // with natural-order input (Longa-Naehrig / Harvey formulation).
+    u64 power = 1;
+    std::vector<u64> psi_powers(n_);
+    for (size_t i = 0; i < n_; ++i) {
+        psi_powers[i] = power;
+        power = q_.mul(power, psi_);
+    }
+    for (size_t i = 0; i < n_; ++i) {
+        u64 w = psi_powers[bitReverse(i, log_n_)];
+        root_powers_[i] = w;
+        root_powers_shoup_[i] = q_.shoupPrecompute(w);
+        u64 wi = q_.inv(w);
+        inv_root_powers_[i] = wi;
+        inv_root_powers_shoup_[i] = q_.shoupPrecompute(wi);
+    }
+
+    n_inv_ = q_.inv(static_cast<u64>(n_) % q_.value());
+    n_inv_shoup_ = q_.shoupPrecompute(n_inv_);
+}
+
+void
+NttTables::forward(u64 *a) const
+{
+    const u64 q = q_.value();
+    size_t t = n_;
+    for (size_t m = 1; m < n_; m <<= 1) {
+        t >>= 1;
+        for (size_t i = 0; i < m; ++i) {
+            const size_t j1 = 2 * i * t;
+            const u64 w = root_powers_[m + i];
+            const u64 ws = root_powers_shoup_[m + i];
+            for (size_t j = j1; j < j1 + t; ++j) {
+                u64 x = a[j];
+                u64 y = q_.mulShoup(a[j + t], w, ws);
+                a[j] = addMod(x, y, q);
+                a[j + t] = subMod(x, y, q);
+            }
+        }
+    }
+}
+
+void
+NttTables::inverse(u64 *a) const
+{
+    const u64 q = q_.value();
+    size_t t = 1;
+    for (size_t m = n_; m > 1; m >>= 1) {
+        const size_t h = m >> 1;
+        size_t j1 = 0;
+        for (size_t i = 0; i < h; ++i) {
+            const u64 w = inv_root_powers_[h + i];
+            const u64 ws = inv_root_powers_shoup_[h + i];
+            for (size_t j = j1; j < j1 + t; ++j) {
+                u64 x = a[j];
+                u64 y = a[j + t];
+                a[j] = addMod(x, y, q);
+                a[j + t] = q_.mulShoup(subMod(x, y, q), w, ws);
+            }
+            j1 += 2 * t;
+        }
+        t <<= 1;
+    }
+    for (size_t j = 0; j < n_; ++j)
+        a[j] = q_.mulShoup(a[j], n_inv_, n_inv_shoup_);
+}
+
+} // namespace ark

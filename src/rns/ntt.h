@@ -1,0 +1,67 @@
+/**
+ * @file
+ * Negacyclic number-theoretic transform over one RNS prime.
+ *
+ * Implements the in-place iterative NTT with Shoup-precomputed twiddle
+ * factors: Cooley-Tukey butterflies (bit-reversed twiddles) for the
+ * forward transform and Gentleman-Sande for the inverse, folding the
+ * psi / psi^-1 powers into the twiddles so the transform is negacyclic
+ * (multiplication in Z_q[X]/(X^N + 1)).
+ *
+ * The forward transform maps the coefficient representation to the
+ * evaluation representation (paper Section II-B); pointwise products in
+ * the evaluation representation equal negacyclic convolutions of the
+ * coefficient vectors.
+ */
+
+#pragma once
+
+#include <cstddef>
+
+#include <vector>
+
+#include "rns/modulus.h"
+
+namespace ark {
+
+/** Precomputed tables for N-point negacyclic NTT mod one prime. */
+class NttTables
+{
+  public:
+    /**
+     * @param degree power-of-two ring degree N.
+     * @param modulus prime with modulus = 1 (mod 2N).
+     */
+    NttTables(size_t degree, Modulus modulus);
+
+    size_t degree() const { return n_; }
+    const Modulus &modulus() const { return q_; }
+
+    /** psi, a primitive 2N-th root of unity mod q. */
+    u64 psi() const { return psi_; }
+
+    /** In-place forward negacyclic NTT (coeff -> eval, natural order). */
+    void forward(u64 *data) const;
+
+    /** In-place inverse negacyclic NTT (eval -> coeff, natural order). */
+    void inverse(u64 *data) const;
+
+    void forward(std::vector<u64> &data) const { forward(data.data()); }
+    void inverse(std::vector<u64> &data) const { inverse(data.data()); }
+
+  private:
+    size_t n_;
+    int log_n_;
+    Modulus q_;
+    u64 psi_;
+    /** Powers of psi in bit-reversed order, plus Shoup companions. */
+    std::vector<u64> root_powers_;
+    std::vector<u64> root_powers_shoup_;
+    /** Powers of psi^-1 in bit-reversed order, plus Shoup companions. */
+    std::vector<u64> inv_root_powers_;
+    std::vector<u64> inv_root_powers_shoup_;
+    u64 n_inv_;
+    u64 n_inv_shoup_;
+};
+
+} // namespace ark

@@ -1,0 +1,198 @@
+#include "rns/poly.h"
+
+#include "common/logging.h"
+
+namespace ark {
+
+RnsPoly::RnsPoly(size_t degree, size_t num_limbs, Rep rep)
+    : degree_(degree), num_limbs_(num_limbs), rep_(rep),
+      data_(degree * num_limbs, 0)
+{
+    ARK_ASSERT(isPowerOfTwo(degree), "degree must be a power of two");
+}
+
+void
+RnsPoly::resizeLimbs(size_t keep)
+{
+    ARK_ASSERT(keep <= num_limbs_, "cannot grow with resizeLimbs");
+    num_limbs_ = keep;
+    data_.resize(keep * degree_);
+}
+
+void
+RnsPoly::extendLimbs(size_t extra)
+{
+    num_limbs_ += extra;
+    data_.resize(num_limbs_ * degree_, 0);
+}
+
+namespace {
+
+void
+checkBinary(const RnsPoly &a, const RnsPoly &b,
+            const std::vector<Modulus> &moduli, const RnsPoly &r)
+{
+    ARK_ASSERT(a.sameShape(b) && a.sameShape(r),
+               "operand shape mismatch");
+    ARK_ASSERT(a.rep() == b.rep(), "operand representation mismatch");
+    ARK_ASSERT(moduli.size() >= a.numLimbs(), "not enough moduli");
+}
+
+} // namespace
+
+void
+polyAdd(const RnsPoly &a, const RnsPoly &b,
+        const std::vector<Modulus> &moduli, RnsPoly &r)
+{
+    checkBinary(a, b, moduli, r);
+    const size_t n = a.degree();
+    for (size_t l = 0; l < a.numLimbs(); ++l) {
+        const u64 q = moduli[l].value();
+        const u64 *pa = a.limb(l), *pb = b.limb(l);
+        u64 *pr = r.limb(l);
+        for (size_t i = 0; i < n; ++i)
+            pr[i] = addMod(pa[i], pb[i], q);
+    }
+    r.setRep(a.rep());
+}
+
+void
+polySub(const RnsPoly &a, const RnsPoly &b,
+        const std::vector<Modulus> &moduli, RnsPoly &r)
+{
+    checkBinary(a, b, moduli, r);
+    const size_t n = a.degree();
+    for (size_t l = 0; l < a.numLimbs(); ++l) {
+        const u64 q = moduli[l].value();
+        const u64 *pa = a.limb(l), *pb = b.limb(l);
+        u64 *pr = r.limb(l);
+        for (size_t i = 0; i < n; ++i)
+            pr[i] = subMod(pa[i], pb[i], q);
+    }
+    r.setRep(a.rep());
+}
+
+void
+polyNeg(const RnsPoly &a, const std::vector<Modulus> &moduli, RnsPoly &r)
+{
+    ARK_ASSERT(a.sameShape(r), "operand shape mismatch");
+    const size_t n = a.degree();
+    for (size_t l = 0; l < a.numLimbs(); ++l) {
+        const u64 q = moduli[l].value();
+        const u64 *pa = a.limb(l);
+        u64 *pr = r.limb(l);
+        for (size_t i = 0; i < n; ++i)
+            pr[i] = pa[i] == 0 ? 0 : q - pa[i];
+    }
+    r.setRep(a.rep());
+}
+
+void
+polyMulEval(const RnsPoly &a, const RnsPoly &b,
+            const std::vector<Modulus> &moduli, RnsPoly &r)
+{
+    checkBinary(a, b, moduli, r);
+    ARK_ASSERT(a.rep() == Rep::Eval,
+               "pointwise multiply requires evaluation representation");
+    const size_t n = a.degree();
+    for (size_t l = 0; l < a.numLimbs(); ++l) {
+        const Modulus &q = moduli[l];
+        const u64 *pa = a.limb(l), *pb = b.limb(l);
+        u64 *pr = r.limb(l);
+        for (size_t i = 0; i < n; ++i)
+            pr[i] = q.mul(pa[i], pb[i]);
+    }
+    r.setRep(Rep::Eval);
+}
+
+void
+polyMulAccEval(const RnsPoly &a, const RnsPoly &b,
+               const std::vector<Modulus> &moduli, RnsPoly &r)
+{
+    checkBinary(a, b, moduli, r);
+    ARK_ASSERT(a.rep() == Rep::Eval && r.rep() == Rep::Eval,
+               "MAC requires evaluation representation");
+    const size_t n = a.degree();
+    for (size_t l = 0; l < a.numLimbs(); ++l) {
+        const Modulus &q = moduli[l];
+        const u64 *pa = a.limb(l), *pb = b.limb(l);
+        u64 *pr = r.limb(l);
+        for (size_t i = 0; i < n; ++i)
+            pr[i] = q.add(pr[i], q.mul(pa[i], pb[i]));
+    }
+}
+
+void
+polyMulScalar(const RnsPoly &a, const std::vector<u64> &scalar_per_limb,
+              const std::vector<Modulus> &moduli, RnsPoly &r)
+{
+    ARK_ASSERT(a.sameShape(r), "operand shape mismatch");
+    ARK_ASSERT(scalar_per_limb.size() >= a.numLimbs(), "missing scalars");
+    const size_t n = a.degree();
+    for (size_t l = 0; l < a.numLimbs(); ++l) {
+        const Modulus &q = moduli[l];
+        const u64 s = scalar_per_limb[l];
+        const u64 ss = q.shoupPrecompute(s);
+        const u64 *pa = a.limb(l);
+        u64 *pr = r.limb(l);
+        for (size_t i = 0; i < n; ++i)
+            pr[i] = q.mulShoup(pa[i], s, ss);
+    }
+    r.setRep(a.rep());
+}
+
+void
+polyAddScalar(const RnsPoly &a, const std::vector<u64> &scalar_per_limb,
+              const std::vector<Modulus> &moduli, RnsPoly &r)
+{
+    ARK_ASSERT(a.sameShape(r), "operand shape mismatch");
+    const size_t n = a.degree();
+    for (size_t l = 0; l < a.numLimbs(); ++l) {
+        const u64 q = moduli[l].value();
+        const u64 s = scalar_per_limb[l];
+        const u64 *pa = a.limb(l);
+        u64 *pr = r.limb(l);
+        for (size_t i = 0; i < n; ++i)
+            pr[i] = addMod(pa[i], s, q);
+    }
+    r.setRep(a.rep());
+}
+
+void
+polyNttForward(RnsPoly &p, const std::vector<NttTables> &tables)
+{
+    ARK_ASSERT(p.rep() == Rep::Coeff, "forward NTT needs Coeff rep");
+    ARK_ASSERT(tables.size() >= p.numLimbs(), "not enough NTT tables");
+    for (size_t l = 0; l < p.numLimbs(); ++l)
+        tables[l].forward(p.limb(l));
+    p.setRep(Rep::Eval);
+}
+
+void
+polyNttInverse(RnsPoly &p, const std::vector<NttTables> &tables)
+{
+    ARK_ASSERT(p.rep() == Rep::Eval, "inverse NTT needs Eval rep");
+    ARK_ASSERT(tables.size() >= p.numLimbs(), "not enough NTT tables");
+    for (size_t l = 0; l < p.numLimbs(); ++l)
+        tables[l].inverse(p.limb(l));
+    p.setRep(Rep::Coeff);
+}
+
+RnsPoly
+polyFromSigned(const std::vector<i64> &coeffs,
+               const std::vector<Modulus> &moduli)
+{
+    RnsPoly p(coeffs.size(), moduli.size(), Rep::Coeff);
+    for (size_t l = 0; l < moduli.size(); ++l) {
+        const u64 q = moduli[l].value();
+        u64 *pl = p.limb(l);
+        for (size_t i = 0; i < coeffs.size(); ++i) {
+            i64 c = coeffs[i];
+            pl[i] = c >= 0 ? static_cast<u64>(c) % q
+                           : q - (static_cast<u64>(-c) % q);
+        }
+    }
+    return p;
+}
+
+} // namespace ark

@@ -1,0 +1,104 @@
+/**
+ * @file
+ * RNS polynomial: the (limbs x N) word matrix at the heart of CKKS.
+ *
+ * A polynomial in R_Q = Z_Q[X]/(X^N + 1) is stored as one row ("limb",
+ * paper Table I) per RNS prime, each row holding N words. A
+ * representation flag tracks whether rows hold coefficients or NTT
+ * evaluations; the arithmetic free functions check it so that, e.g., a
+ * pointwise multiply on coefficient-representation data is caught
+ * immediately instead of producing silent garbage.
+ */
+
+#pragma once
+
+#include <cstddef>
+
+#include <vector>
+
+#include "rns/modulus.h"
+#include "rns/ntt.h"
+
+namespace ark {
+
+/** Which domain the limb data lives in. */
+enum class Rep { Coeff, Eval };
+
+/** A polynomial in RNS form: numLimbs() rows of degree() words. */
+class RnsPoly
+{
+  public:
+    RnsPoly() = default;
+    RnsPoly(size_t degree, size_t num_limbs, Rep rep);
+
+    size_t degree() const { return degree_; }
+    size_t numLimbs() const { return num_limbs_; }
+    Rep rep() const { return rep_; }
+    void setRep(Rep rep) { rep_ = rep; }
+
+    u64 *limb(size_t i) { return data_.data() + i * degree_; }
+    const u64 *limb(size_t i) const { return data_.data() + i * degree_; }
+
+    /** Drop limbs beyond @p keep (HRescale / ModDown bookkeeping). */
+    void resizeLimbs(size_t keep);
+
+    /** Append @p extra zeroed limbs (limb extension). */
+    void extendLimbs(size_t extra);
+
+    bool sameShape(const RnsPoly &o) const
+    {
+        return degree_ == o.degree_ && num_limbs_ == o.num_limbs_;
+    }
+
+    /** Size of the polynomial in bytes (8 bytes per word). */
+    size_t byteSize() const { return data_.size() * sizeof(u64); }
+
+  private:
+    size_t degree_ = 0;
+    size_t num_limbs_ = 0;
+    Rep rep_ = Rep::Coeff;
+    std::vector<u64> data_;
+};
+
+/** r = a + b limb-wise; shapes and reps must match. */
+void polyAdd(const RnsPoly &a, const RnsPoly &b,
+             const std::vector<Modulus> &moduli, RnsPoly &r);
+
+/** r = a - b limb-wise. */
+void polySub(const RnsPoly &a, const RnsPoly &b,
+             const std::vector<Modulus> &moduli, RnsPoly &r);
+
+/** r = -a limb-wise. */
+void polyNeg(const RnsPoly &a, const std::vector<Modulus> &moduli,
+             RnsPoly &r);
+
+/** r = a * b pointwise; both must be in Eval representation. */
+void polyMulEval(const RnsPoly &a, const RnsPoly &b,
+                 const std::vector<Modulus> &moduli, RnsPoly &r);
+
+/** r += a * b pointwise (Eval rep). */
+void polyMulAccEval(const RnsPoly &a, const RnsPoly &b,
+                    const std::vector<Modulus> &moduli, RnsPoly &r);
+
+/** r = a * c where c gives one scalar per limb. */
+void polyMulScalar(const RnsPoly &a, const std::vector<u64> &scalar_per_limb,
+                   const std::vector<Modulus> &moduli, RnsPoly &r);
+
+/** Add one scalar per limb to coefficient 0... no: add to every slot. */
+void polyAddScalar(const RnsPoly &a, const std::vector<u64> &scalar_per_limb,
+                   const std::vector<Modulus> &moduli, RnsPoly &r);
+
+/** In-place forward NTT of every limb; poly must be in Coeff rep. */
+void polyNttForward(RnsPoly &p, const std::vector<NttTables> &tables);
+
+/** In-place inverse NTT of every limb; poly must be in Eval rep. */
+void polyNttInverse(RnsPoly &p, const std::vector<NttTables> &tables);
+
+/**
+ * Lift a vector of signed coefficients into RNS form (Coeff rep):
+ * limb i holds coeffs mod q_i.
+ */
+RnsPoly polyFromSigned(const std::vector<i64> &coeffs,
+                       const std::vector<Modulus> &moduli);
+
+} // namespace ark

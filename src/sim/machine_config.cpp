@@ -1,0 +1,54 @@
+#include "sim/machine_config.h"
+
+namespace ark {
+
+MachineConfig
+MachineConfig::arkBase()
+{
+    return MachineConfig{};
+}
+
+MachineConfig
+MachineConfig::altDataDistribution()
+{
+    MachineConfig m;
+    m.name = "Alt. data distribution";
+    m.dist = DataDist::LimbWiseOnly;
+    return m;
+}
+
+MachineConfig
+MachineConfig::doubleClusters()
+{
+    MachineConfig m;
+    m.name = "2x clusters";
+    m.clusters = 8; // total scratchpad size stays 512 MiB (paper)
+    return m;
+}
+
+MachineConfig
+MachineConfig::doubleHbm()
+{
+    MachineConfig m;
+    m.name = "2x HBM bandwidth";
+    m.hbm_gb_per_s = 2000;
+    return m;
+}
+
+MachineConfig
+MachineConfig::withMacs(size_t macs) const
+{
+    MachineConfig m = *this;
+    m.macs_per_bconv_lane = macs;
+    return m;
+}
+
+MachineConfig
+MachineConfig::withScratchpad(double mib) const
+{
+    MachineConfig m = *this;
+    m.scratchpad_mib = mib;
+    return m;
+}
+
+} // namespace ark

@@ -1,0 +1,57 @@
+/**
+ * @file
+ * ARK machine configuration (paper Section V / VI) and the alternative
+ * designs evaluated in Fig. 8 / Fig. 9.
+ */
+
+#pragma once
+
+#include <cstddef>
+#include <string>
+
+namespace ark {
+
+/** On-chip data distribution policy (paper Section V-B). */
+enum class DataDist {
+    Alternating,  ///< limb-wise <-> coefficient-wise around BConv
+    LimbWiseOnly, ///< F1-style; needs on-transit-adder NoC (Fig. 8 alt)
+};
+
+/** Static hardware parameters of an ARK-like chip. */
+struct MachineConfig
+{
+    std::string name = "ARK";
+    size_t clusters = 4;
+    size_t lanes = 256;             ///< vector lanes per cluster
+    size_t macs_per_bconv_lane = 6; ///< BConvU systolic depth
+    size_t madus_per_cluster = 2;
+    double scratchpad_mib = 512;    ///< total on-chip scratchpad
+    double hbm_gb_per_s = 1000;     ///< off-chip bandwidth (2x HBM2)
+    double noc_gb_per_s = 8000;     ///< all-to-all NoC bandwidth
+    double freq_ghz = 1.0;
+    DataDist dist = DataDist::Alternating;
+
+    /** The paper's baseline ARK. */
+    static MachineConfig arkBase();
+    /** Fig. 8 variants. */
+    static MachineConfig altDataDistribution();
+    static MachineConfig doubleClusters();
+    static MachineConfig doubleHbm();
+    /** Fig. 9 sweep helpers. */
+    MachineConfig withMacs(size_t macs) const;
+    MachineConfig withScratchpad(double mib) const;
+
+    /** Modular multipliers per cycle chip-wide, by FU type. */
+    double nttMults() const { return clusters * lanes * 8.0; }
+    double bconvMults() const
+    {
+        return clusters * lanes *
+               static_cast<double>(macs_per_bconv_lane);
+    }
+    double madMults() const
+    {
+        return clusters * lanes * static_cast<double>(madus_per_cluster);
+    }
+};
+
+} // namespace ark

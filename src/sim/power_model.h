@@ -1,0 +1,54 @@
+/**
+ * @file
+ * Area and power model of ARK (paper Table IV), parameterized by the
+ * machine configuration.
+ *
+ * The paper models FUs with ASAP7 and SRAM with FinCACTI; our
+ * substitute is an analytical model seeded with Table IV's
+ * per-component area and peak power at the base configuration and
+ * scaled with the configuration knobs (clusters, BConv MACs,
+ * scratchpad capacity, HBM bandwidth). Average power weights each
+ * component's peak by its utilization from the cycle simulation,
+ * which reproduces the paper's 100-135 W (44% of peak gmean) range.
+ */
+
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "sim/machine_config.h"
+
+namespace ark {
+
+/** Component-level area/power entry. */
+struct ComponentCost
+{
+    std::string name;
+    double area_mm2 = 0;
+    double peak_w = 0;
+};
+
+/** Full chip estimate. */
+struct ChipCost
+{
+    std::vector<ComponentCost> components;
+    double totalArea() const;
+    double totalPeakPower() const;
+    const ComponentCost &component(const std::string &name) const;
+};
+
+/** Table IV model scaled to @p m. */
+ChipCost chipCost(const MachineConfig &m);
+
+/** Per-component utilizations (0..1), same order as chipCost(). */
+struct ComponentUtil
+{
+    double bconv = 0, ntt = 0, autou = 0, madu = 0;
+    double rf = 0, sram = 0, noc = 0, hbm = 0;
+};
+
+/** Utilization-weighted average power. */
+double averagePower(const MachineConfig &m, const ComponentUtil &u);
+
+} // namespace ark

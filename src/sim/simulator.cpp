@@ -1,0 +1,201 @@
+#include "sim/simulator.h"
+
+#include <list>
+#include <map>
+
+#include "common/logging.h"
+#include "core/hdft_plan.h"
+
+namespace ark {
+
+namespace {
+
+/**
+ * Streamed-pipeline efficiency: FU chains overlap but not perfectly
+ * (RF hazards, stage ramp-up, scheduling bubbles). Calibrated against
+ * the paper's bootstrapping latency on the base configuration.
+ */
+constexpr double kPipelineEff = 0.40;
+
+/** Working-set polynomials alive during a key switch (hoisted digits,
+ *  BSGS babies, accumulators). Sets the scratchpad pressure. */
+constexpr double kWorkingPolys = 12.0;
+
+double
+workingSetBytes(const CkksParams &p, int level)
+{
+    return kWorkingPolys * (level + 1 + p.alpha()) *
+           static_cast<double>(p.degree) * p.word_bytes;
+}
+
+} // namespace
+
+ArkSimulator::OpCycles
+ArkSimulator::opCycles(const SimOp &op, const CkksParams &p,
+                       const CostModel &cost) const
+{
+    const double n = static_cast<double>(p.degree);
+    const int lv = op.level;
+    const size_t limbs = static_cast<size_t>(lv) + 1;
+    const double lane_words =
+        static_cast<double>(machine_.clusters * machine_.lanes);
+    const double noc_bytes_per_cycle =
+        machine_.noc_gb_per_s / machine_.freq_ghz; // GB/s at GHz = B/cyc
+
+    OpCycles oc;
+    switch (op.kind) {
+      case SimOpKind::KeySwitch: {
+        OpCost c = cost.keySwitch(lv);
+        oc.ntt = c.ntt / machine_.nttMults();
+        oc.bconv = c.bconv / machine_.bconvMults();
+        oc.mad = (c.evk_mult + c.other) / machine_.madMults();
+        oc.autou = limbs * n / lane_words; // rotation permutation pass
+        const int a = p.alpha();
+        const int digits = (lv + a) / a;
+        double noc_words;
+        if (machine_.dist == DataDist::Alternating) {
+            // (dnum + 2) distribution switches per key switch.
+            noc_words = (digits + 2.0) * (limbs + a) * n;
+        } else {
+            // Limb-wise only: redistribution for the accumulation,
+            // 2 * dnum * (alpha + l + 1) * N words when dnum > 2.
+            noc_words = 2.0 * std::max(digits, 2) * (limbs + a) * n;
+        }
+        oc.noc = noc_words * p.word_bytes / noc_bytes_per_cycle;
+        break;
+      }
+      case SimOpKind::PMult: {
+        const bool of = algo_.of_limb && op.of_limb_eligible;
+        OpCost c = cost.pmult(lv, of);
+        oc.ntt = c.ntt / machine_.nttMults();
+        oc.mad = c.other / machine_.madMults();
+        oc.hbm_bytes = static_cast<double>(
+            HdftPlan::plaintextBytes(p, lv, of));
+        break;
+      }
+      case SimOpKind::Elementwise:
+        oc.mad = 2.0 * limbs * n / machine_.madMults();
+        break;
+      case SimOpKind::Rescale: {
+        OpCost c = cost.rescale(lv);
+        oc.ntt = c.ntt / machine_.nttMults();
+        oc.mad = c.other / machine_.madMults();
+        break;
+      }
+      case SimOpKind::ModRaise: {
+        const int L = p.max_level;
+        oc.ntt = 2.0 * (L + 2) * cost.nttLimb() / machine_.nttMults();
+        oc.mad = 2.0 * (L + 1) * n / machine_.madMults();
+        break;
+      }
+    }
+
+    double crit = std::max({oc.ntt, oc.bconv, oc.autou, oc.mad});
+    if (machine_.dist == DataDist::Alternating) {
+        oc.duration = std::max(crit / kPipelineEff, oc.noc);
+    } else {
+        // The on-transit-adder NoC cannot overlap the accumulation
+        // redistribution with the FU pipeline.
+        oc.duration = crit / kPipelineEff + oc.noc;
+    }
+    return oc;
+}
+
+SimResult
+ArkSimulator::run(const SimProgram &prog) const
+{
+    const CkksParams &p = prog.params;
+    CostModel cost(p);
+    const double spad_bytes = machine_.scratchpad_mib * 1024.0 * 1024.0;
+    const double hbm_bytes_per_cycle =
+        machine_.hbm_gb_per_s / machine_.freq_ghz;
+    const double full_evk_bytes =
+        static_cast<double>(HdftPlan::evkBytes(p, p.max_level));
+
+    // LRU evk cache: capacity is what the working set leaves free.
+    double evk_capacity =
+        std::max(0.0, spad_bytes - workingSetBytes(p, p.max_level));
+    std::list<int> lru; // front = most recent
+    std::map<int, std::list<int>::iterator> where;
+    double cached_bytes = 0;
+
+    SimResult r;
+    double compute_free = 0, hbm_free = 0;
+
+    for (const auto &op : prog.ops) {
+        OpCycles oc = opCycles(op, p, cost);
+        double load_bytes = oc.hbm_bytes;
+
+        if (op.kind == SimOpKind::KeySwitch && op.evk_id >= 0) {
+            auto it = where.find(op.evk_id);
+            if (it != where.end()) {
+                lru.splice(lru.begin(), lru, it->second); // refresh
+                r.evk_hits += 1;
+            } else {
+                r.evk_misses += 1;
+                load_bytes +=
+                    static_cast<double>(HdftPlan::evkBytes(p, op.level));
+                while (cached_bytes + full_evk_bytes > evk_capacity &&
+                       !lru.empty()) {
+                    where.erase(lru.back());
+                    lru.pop_back();
+                    cached_bytes -= full_evk_bytes;
+                }
+                if (full_evk_bytes <= evk_capacity) {
+                    lru.push_front(op.evk_id);
+                    where[op.evk_id] = lru.begin();
+                    cached_bytes += full_evk_bytes;
+                }
+            }
+            // Scratchpad spill: when the working set plus the active
+            // key exceed capacity, the overflow streams to HBM.
+            double need = workingSetBytes(p, op.level) +
+                          HdftPlan::evkBytes(p, op.level);
+            if (need > spad_bytes)
+                load_bytes += need - spad_bytes;
+        }
+
+        // Software prefetch: the stream for this op starts as soon as
+        // HBM frees up, independent of compute progress.
+        double load_done = hbm_free + load_bytes / hbm_bytes_per_cycle;
+        hbm_free = load_done;
+        r.busy_hbm += load_bytes / hbm_bytes_per_cycle;
+        r.hbm_bytes += load_bytes;
+
+        double start = std::max(compute_free, load_done - oc.duration);
+        start = std::max(start, load_done - oc.duration);
+        // Compute cannot start before its operands finish streaming
+        // minus the part of the op that overlaps the tail of the load;
+        // conservatively: start when both the pipe is free and the
+        // load completes.
+        start = std::max(compute_free, load_done);
+        if (load_bytes == 0)
+            start = compute_free;
+        compute_free = start + oc.duration;
+
+        r.busy_ntt += oc.ntt;
+        r.busy_bconv += oc.bconv;
+        r.busy_auto += oc.autou;
+        r.busy_mad += oc.mad;
+        r.busy_noc += oc.noc;
+        r.noc_bytes += oc.noc;
+    }
+
+    r.cycles = std::max(compute_free, hbm_free);
+    r.seconds = r.cycles / (machine_.freq_ghz * 1e9);
+
+    r.util.ntt = std::min(1.0, r.busy_ntt / r.cycles);
+    r.util.bconv = std::min(1.0, r.busy_bconv / r.cycles);
+    r.util.autou = std::min(1.0, r.busy_auto / r.cycles);
+    r.util.madu = std::min(1.0, r.busy_mad / r.cycles);
+    r.util.hbm = std::min(1.0, r.busy_hbm / r.cycles);
+    r.util.noc = std::min(1.0, r.busy_noc / r.cycles);
+    double compute_util =
+        std::max({r.util.ntt, r.util.bconv, r.util.madu});
+    r.util.rf = compute_util;
+    r.util.sram = 0.5 * compute_util + 0.5 * r.util.hbm;
+    r.avg_power_w = averagePower(machine_, r.util);
+    return r;
+}
+
+} // namespace ark

@@ -1,0 +1,83 @@
+/**
+ * @file
+ * Cycle-level simulator of the ARK accelerator.
+ *
+ * Mirrors the paper's performance methodology (Section VI): HE
+ * programs are statically scheduled sequences of primary-function
+ * groups; the model tracks FU occupancy (NTTU / BConvU / AutoU /
+ * MADU), the NoC occupancy of the limb-wise <-> coefficient-wise
+ * distribution switches, HBM streaming with software prefetch, and
+ * scratchpad residency of evaluation keys (LRU). Min-KS manifests as
+ * evk-id reuse (scratchpad hits); OF-Limb as smaller plaintext streams
+ * plus extra NTTU work.
+ */
+
+#pragma once
+
+#include <algorithm>
+
+#include "boot/linear_transform.h" // KeySchedule
+#include "core/op_cost.h"
+#include "sim/machine_config.h"
+#include "sim/power_model.h"
+#include "sim/program.h"
+
+namespace ark {
+
+/** Algorithm knobs applied when simulating a program. */
+struct SimAlgo
+{
+    KeySchedule schedule = KeySchedule::MinKS;
+    bool of_limb = true;
+};
+
+/** Simulation outcome. */
+struct SimResult
+{
+    double cycles = 0;
+    double seconds = 0;
+    double hbm_bytes = 0;
+    double noc_bytes = 0;
+    double busy_ntt = 0, busy_bconv = 0, busy_auto = 0, busy_mad = 0;
+    double busy_hbm = 0, busy_noc = 0;
+    double evk_hits = 0, evk_misses = 0;
+    double avg_power_w = 0;
+    ComponentUtil util;
+
+    double utilization() const
+    {
+        return std::max({busy_ntt, busy_bconv, busy_mad}) / cycles;
+    }
+};
+
+/** The machine model. */
+class ArkSimulator
+{
+  public:
+    ArkSimulator(MachineConfig machine, SimAlgo algo)
+        : machine_(std::move(machine)), algo_(algo)
+    {
+    }
+
+    /** Run a program to completion and report aggregate statistics. */
+    SimResult run(const SimProgram &prog) const;
+
+    const MachineConfig &machine() const { return machine_; }
+
+  private:
+    /** Per-op FU busy cycles (chip-aggregate). */
+    struct OpCycles
+    {
+        double ntt = 0, bconv = 0, autou = 0, mad = 0, noc = 0;
+        double duration = 0; ///< streamed-pipeline critical path
+        double hbm_bytes = 0;
+    };
+
+    OpCycles opCycles(const SimOp &op, const CkksParams &p,
+                      const CostModel &cost) const;
+
+    MachineConfig machine_;
+    SimAlgo algo_;
+};
+
+} // namespace ark

@@ -1,0 +1,308 @@
+/**
+ * @file
+ * End-to-end tests of the CKKS primitive HE ops (paper Table II):
+ * encryption round trips, HAdd, CAdd/CMult, PMult, HMult + HRescale,
+ * HRot, conjugation, hoisted rotations, key-switching internals, and
+ * ModRaise.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "ckks/encoder.h"
+#include "ckks/encryptor.h"
+#include "ckks/evaluator.h"
+#include "ckks/keygen.h"
+
+namespace ark {
+namespace {
+
+class CkksTest : public ::testing::Test
+{
+  protected:
+    void SetUp() override
+    {
+        ctx_ = std::make_unique<CkksContext>(CkksParams::testTiny());
+        rng_ = std::make_unique<Rng>(4242);
+        enc_ = std::make_unique<CkksEncoder>(*ctx_);
+        keygen_ = std::make_unique<KeyGenerator>(*ctx_, *rng_);
+        sk_ = keygen_->secretKey();
+        encryptor_ = std::make_unique<CkksEncryptor>(*ctx_, *rng_);
+        decryptor_ = std::make_unique<CkksDecryptor>(*ctx_, sk_);
+        eval_ = std::make_unique<CkksEvaluator>(*ctx_);
+        slots_ = 64;
+    }
+
+    std::vector<Complex> randomMessage(u64 seed, double mag = 1.0)
+    {
+        Rng rng(seed);
+        std::vector<Complex> m(slots_);
+        for (auto &x : m)
+            x = Complex((rng.uniformReal() * 2 - 1) * mag,
+                        (rng.uniformReal() * 2 - 1) * mag);
+        return m;
+    }
+
+    Ciphertext encrypt(const std::vector<Complex> &m,
+                       int level = -1)
+    {
+        if (level < 0)
+            level = ctx_->maxLevel();
+        auto pt = enc_->encode(m, level);
+        auto ct = encryptor_->encryptSymmetric(pt, sk_);
+        ct.slots = slots_;
+        return ct;
+    }
+
+    std::vector<Complex> decrypt(const Ciphertext &ct)
+    {
+        return enc_->decode(decryptor_->decrypt(ct), slots_);
+    }
+
+    static void expectClose(const std::vector<Complex> &a,
+                            const std::vector<Complex> &b, double tol)
+    {
+        ASSERT_EQ(a.size(), b.size());
+        for (size_t i = 0; i < a.size(); ++i)
+            EXPECT_LT(std::abs(a[i] - b[i]), tol) << "slot " << i;
+    }
+
+    std::unique_ptr<CkksContext> ctx_;
+    std::unique_ptr<Rng> rng_;
+    std::unique_ptr<CkksEncoder> enc_;
+    std::unique_ptr<KeyGenerator> keygen_;
+    SecretKey sk_;
+    std::unique_ptr<CkksEncryptor> encryptor_;
+    std::unique_ptr<CkksDecryptor> decryptor_;
+    std::unique_ptr<CkksEvaluator> eval_;
+    size_t slots_;
+};
+
+TEST_F(CkksTest, EncryptDecryptSymmetric)
+{
+    auto m = randomMessage(1);
+    auto back = decrypt(encrypt(m));
+    expectClose(m, back, 1e-5);
+}
+
+TEST_F(CkksTest, EncryptDecryptPublicKey)
+{
+    auto pk = keygen_->publicKey(sk_);
+    auto m = randomMessage(2);
+    auto pt = enc_->encode(m, ctx_->maxLevel());
+    auto ct = encryptor_->encryptPublic(pt, pk);
+    ct.slots = slots_;
+    expectClose(m, decrypt(ct), 1e-4);
+}
+
+TEST_F(CkksTest, HAddAndHSub)
+{
+    auto m1 = randomMessage(3), m2 = randomMessage(4);
+    auto c1 = encrypt(m1), c2 = encrypt(m2);
+    auto sum = decrypt(eval_->add(c1, c2));
+    auto diff = decrypt(eval_->sub(c1, c2));
+    for (size_t i = 0; i < slots_; ++i) {
+        EXPECT_LT(std::abs(sum[i] - (m1[i] + m2[i])), 1e-5);
+        EXPECT_LT(std::abs(diff[i] - (m1[i] - m2[i])), 1e-5);
+    }
+}
+
+TEST_F(CkksTest, CAddScalar)
+{
+    auto m = randomMessage(5);
+    auto out = decrypt(eval_->addScalar(encrypt(m), 2.5));
+    for (size_t i = 0; i < slots_; ++i)
+        EXPECT_LT(std::abs(out[i] - (m[i] + 2.5)), 1e-5);
+}
+
+TEST_F(CkksTest, CMultScalarWithRescale)
+{
+    auto m = randomMessage(6);
+    auto ct = eval_->mulScalar(encrypt(m), -1.75);
+    ct = eval_->rescale(ct);
+    auto out = decrypt(ct);
+    for (size_t i = 0; i < slots_; ++i)
+        EXPECT_LT(std::abs(out[i] - m[i] * -1.75), 1e-4);
+}
+
+TEST_F(CkksTest, MulByImaginaryUnit)
+{
+    auto m = randomMessage(7);
+    auto out = decrypt(eval_->mulByI(encrypt(m)));
+    for (size_t i = 0; i < slots_; ++i)
+        EXPECT_LT(std::abs(out[i] - m[i] * Complex(0, 1)), 1e-5);
+}
+
+TEST_F(CkksTest, PMultPlaintext)
+{
+    auto m1 = randomMessage(8), m2 = randomMessage(9);
+    auto ct = encrypt(m1);
+    auto pt = enc_->encode(m2, ct.level());
+    auto prod = eval_->rescale(eval_->mulPlain(ct, pt));
+    auto out = decrypt(prod);
+    for (size_t i = 0; i < slots_; ++i)
+        EXPECT_LT(std::abs(out[i] - m1[i] * m2[i]), 1e-4);
+}
+
+TEST_F(CkksTest, HMultWithRelinAndRescale)
+{
+    auto evk = keygen_->evkMult(sk_);
+    auto m1 = randomMessage(10), m2 = randomMessage(11);
+    auto prod = eval_->rescale(eval_->mul(encrypt(m1), encrypt(m2), evk));
+    auto out = decrypt(prod);
+    for (size_t i = 0; i < slots_; ++i)
+        EXPECT_LT(std::abs(out[i] - m1[i] * m2[i]), 1e-3);
+}
+
+TEST_F(CkksTest, MultiplicativeDepthChain)
+{
+    // Consume all levels: ((m^2)^2)... checking scale bookkeeping.
+    auto evk = keygen_->evkMult(sk_);
+    auto m = randomMessage(12, 0.9);
+    auto ct = encrypt(m);
+    std::vector<Complex> expect = m;
+    for (int lv = ctx_->maxLevel(); lv >= 1; --lv) {
+        ct = eval_->rescale(eval_->square(ct, evk));
+        for (auto &x : expect)
+            x *= x;
+    }
+    EXPECT_EQ(ct.level(), 0);
+    expectClose(expect, decrypt(ct), 2e-2);
+}
+
+TEST_F(CkksTest, HRotRotatesSlots)
+{
+    auto m = randomMessage(13);
+    for (i64 r : {1, 2, 7, 31}) {
+        auto evk = keygen_->evkRotation(sk_, r);
+        auto out = decrypt(eval_->rotate(encrypt(m), r, evk));
+        for (size_t i = 0; i < slots_; ++i)
+            EXPECT_LT(std::abs(out[i] - m[(i + r) % slots_]), 1e-4)
+                << "r=" << r;
+    }
+}
+
+TEST_F(CkksTest, HRotNegativeAmount)
+{
+    auto m = randomMessage(14);
+    auto evk = keygen_->evkRotation(sk_, -3);
+    auto out = decrypt(eval_->rotate(encrypt(m), -3, evk));
+    for (size_t i = 0; i < slots_; ++i)
+        EXPECT_LT(std::abs(out[i] - m[(i + slots_ - 3) % slots_]), 1e-4);
+}
+
+TEST_F(CkksTest, Conjugate)
+{
+    auto m = randomMessage(15);
+    auto evk = keygen_->evkConjugate(sk_);
+    auto out = decrypt(eval_->conjugate(encrypt(m), evk));
+    for (size_t i = 0; i < slots_; ++i)
+        EXPECT_LT(std::abs(out[i] - std::conj(m[i])), 1e-4);
+}
+
+TEST_F(CkksTest, HoistedRotationsMatchIndividual)
+{
+    auto m = randomMessage(16);
+    auto ct = encrypt(m);
+    std::vector<i64> rots = {1, 2, 4};
+    std::vector<EvalKey> keys;
+    keys.reserve(rots.size());
+    std::vector<const EvalKey *> key_ptrs;
+    for (i64 r : rots)
+        keys.push_back(keygen_->evkRotation(sk_, r));
+    for (auto &k : keys)
+        key_ptrs.push_back(&k);
+
+    auto hoisted = eval_->rotateHoisted(ct, rots, key_ptrs);
+    ASSERT_EQ(hoisted.size(), rots.size());
+    for (size_t k = 0; k < rots.size(); ++k) {
+        auto individual = decrypt(eval_->rotate(ct, rots[k], keys[k]));
+        auto h = decrypt(hoisted[k]);
+        for (size_t i = 0; i < slots_; ++i)
+            EXPECT_LT(std::abs(h[i] - individual[i]), 1e-4);
+    }
+}
+
+TEST_F(CkksTest, RotationAtLowerLevel)
+{
+    // Key-switching must work after rescales (digit count shrinks).
+    auto evk_mult = keygen_->evkMult(sk_);
+    auto evk_rot = keygen_->evkRotation(sk_, 5);
+    auto m = randomMessage(17);
+    auto ct = encrypt(m);
+    ct = eval_->rescale(eval_->square(ct, evk_mult)); // level L-1
+    ct = eval_->rescale(eval_->square(ct, evk_mult)); // level L-2
+    auto out = decrypt(eval_->rotate(ct, 5, evk_rot));
+    for (size_t i = 0; i < slots_; ++i) {
+        Complex expect = std::pow(m[(i + 5) % slots_], 4);
+        EXPECT_LT(std::abs(out[i] - expect), 5e-3);
+    }
+}
+
+TEST_F(CkksTest, ModDownToPreservesValue)
+{
+    auto m = randomMessage(18);
+    auto ct = eval_->modDownTo(encrypt(m), 1);
+    EXPECT_EQ(ct.level(), 1);
+    expectClose(m, decrypt(ct), 1e-5);
+}
+
+TEST_F(CkksTest, ModRaisePreservesValueModQ0)
+{
+    // After ModRaise the plaintext is Pm + q0*I; mod q0 (limb 0) the
+    // decryption must be unchanged.
+    auto m = randomMessage(19);
+    auto ct0 = eval_->modDownTo(encrypt(m), 0);
+    auto raised = eval_->modRaise(ct0);
+    EXPECT_EQ(raised.level(), ctx_->maxLevel());
+
+    auto pt0 = decryptor_->decrypt(ct0);
+    auto ptL = decryptor_->decrypt(raised);
+    polyNttInverse(pt0.poly, ctx_->qTables());
+    polyNttInverse(ptL.poly, ctx_->qTables());
+    size_t mismatches = 0;
+    for (size_t i = 0; i < ctx_->degree(); ++i) {
+        if (pt0.poly.limb(0)[i] != ptL.poly.limb(0)[i])
+            ++mismatches;
+    }
+    // ModRaise introduces no error mod q0 beyond its own tiny rounding;
+    // the q0 limb must match exactly.
+    EXPECT_EQ(mismatches, 0u);
+}
+
+TEST_F(CkksTest, KeySwitchIdentity)
+{
+    // Switching d under an evk for s itself must return (B', A') with
+    // B' + A'*s ~= d*s (small error): verify via a full HMult-free
+    // path: decompose-and-accumulate on c.a with evk for s gives a
+    // re-encryption of the same ciphertext.
+    auto evk_s = [&] {
+        // evk encrypting P*g*s (i.e., "switching" s -> s).
+        KeyGenerator kg(*ctx_, *rng_);
+        return kg.evkGalois(sk_, 1); // psi_1 is the identity map
+    }();
+    auto m = randomMessage(20);
+    auto ct = encrypt(m);
+    auto out = decrypt(eval_->applyGalois(ct, 1, evk_s));
+    expectClose(m, out, 1e-4);
+}
+
+TEST_F(CkksTest, ScaleMismatchDies)
+{
+    auto m = randomMessage(21);
+    auto c1 = encrypt(m);
+    auto c2 = eval_->mulScalar(encrypt(m), 1.0);
+    EXPECT_DEATH((void)eval_->add(c1, c2), "");
+}
+
+TEST_F(CkksTest, LevelMismatchDies)
+{
+    auto m = randomMessage(22);
+    auto c1 = encrypt(m);
+    auto c2 = eval_->modDownTo(c1, 1);
+    EXPECT_DEATH((void)eval_->add(c1, c2), "");
+}
+
+} // namespace
+} // namespace ark

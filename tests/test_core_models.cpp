@@ -1,0 +1,124 @@
+/**
+ * @file
+ * Tests for the analytical models (src/core): op costs vs the paper's
+ * Fig. 4 breakdown, H-(I)DFT plan structure, traffic analysis vs the
+ * Fig. 2 targets, and the Section III-C F1 bound.
+ */
+
+#include <gtest/gtest.h>
+
+#include "core/f1_analysis.h"
+#include "core/traffic_analyzer.h"
+
+namespace ark {
+namespace {
+
+TEST(OpCost, Fig4BreakdownShape)
+{
+    // dnum = 4: (I)NTT ~55%, BConv ~34%; dnum = max: NTT ~73%, BConv ~9%.
+    CkksParams p4 = CkksParams::ark();
+    CostModel m4(p4);
+    OpCost c4 = m4.hrot(p4.max_level);
+    EXPECT_NEAR(c4.ntt / c4.total(), 0.548, 0.08);
+    EXPECT_NEAR(c4.bconv / c4.total(), 0.342, 0.08);
+
+    CkksParams pmax = CkksParams::ark();
+    pmax.dnum = 24;
+    CostModel mmax(pmax);
+    OpCost cmax = mmax.hrot(pmax.max_level);
+    EXPECT_NEAR(cmax.ntt / cmax.total(), 0.733, 0.08);
+    EXPECT_NEAR(cmax.bconv / cmax.total(), 0.092, 0.05);
+    // BConv share collapses and NTT share grows at max dnum.
+    EXPECT_GT(cmax.ntt / cmax.total(), c4.ntt / c4.total());
+    EXPECT_LT(cmax.bconv / cmax.total(), c4.bconv / c4.total());
+}
+
+TEST(OpCost, OfLimbAddsNttWork)
+{
+    CostModel m(CkksParams::ark());
+    OpCost plain = m.pmult(20, false);
+    OpCost of = m.pmult(20, true);
+    EXPECT_EQ(plain.ntt, 0.0);
+    EXPECT_GT(of.ntt, 0.0);
+    EXPECT_EQ(plain.other, of.other);
+}
+
+TEST(HdftPlan, MatchesPaperCounts)
+{
+    auto p = CkksParams::ark();
+    HdftPlan plan = HdftPlan::make(p, true, p.max_level);
+    EXPECT_EQ(plan.iterations.size(), 3u); // log_32(2^15)
+    EXPECT_NEAR(plan.totalHrots(), 40.0, 3.0);
+    EXPECT_NEAR(plan.totalPmults(), 158.0, 3.0);
+    EXPECT_EQ(plan.distinctEvks(KeySchedule::MinKS), 6u);   // 2/iter
+    EXPECT_EQ(plan.distinctEvks(KeySchedule::MinimalKS), 9u);
+    EXPECT_EQ(plan.distinctEvks(KeySchedule::Baseline),
+              plan.totalHrots());
+}
+
+TEST(HdftPlan, EvkBytesMatchTable3)
+{
+    auto p = CkksParams::ark();
+    // A full evk at max level is 120 MiB (Table III).
+    EXPECT_NEAR(HdftPlan::evkBytes(p, p.max_level) / (1024.0 * 1024.0),
+                120.0, 0.1);
+    // Plaintext at max level is 12 MiB; OF-Limb stores one limb.
+    EXPECT_NEAR(HdftPlan::plaintextBytes(p, p.max_level, false) /
+                    (1024.0 * 1024.0), 12.0, 0.1);
+    EXPECT_EQ(HdftPlan::plaintextBytes(p, p.max_level, true),
+              p.degree * p.word_bytes);
+}
+
+TEST(Traffic, Fig2HidftTargets)
+{
+    auto p = CkksParams::ark();
+    TrafficAnalyzer an(p);
+    HdftPlan plan = HdftPlan::make(p, true, p.max_level);
+
+    TrafficPoint base = an.analyze(plan, {KeySchedule::Baseline, false});
+    TrafficPoint minks = an.analyze(plan, {KeySchedule::MinKS, false});
+    TrafficPoint both = an.analyze(plan, {KeySchedule::MinKS, true});
+
+    // Paper: baseline ~6.4 GB; 88% removed; final 11.1 ops/byte.
+    EXPECT_NEAR(base.totalBytes() / 1e9, 6.4, 0.6);
+    EXPECT_NEAR(1.0 - both.totalBytes() / base.totalBytes(), 0.88, 0.04);
+    EXPECT_NEAR(both.opsPerByte(), 11.1, 1.5);
+    // Min-KS alone raises intensity ~2.6x.
+    EXPECT_NEAR(minks.opsPerByte() / base.opsPerByte(), 2.6, 0.4);
+    // OF-Limb increases compute (runtime data generation).
+    EXPECT_GT(both.mod_mults, minks.mod_mults);
+}
+
+TEST(Traffic, MonotoneAcrossConfigs)
+{
+    auto p = CkksParams::ark();
+    TrafficAnalyzer an(p);
+    for (bool inverse : {true, false}) {
+        HdftPlan plan = HdftPlan::make(p, inverse, inverse ? 23 : 11);
+        TrafficPoint base =
+            an.analyze(plan, {KeySchedule::Baseline, false});
+        TrafficPoint minimal =
+            an.analyze(plan, {KeySchedule::MinimalKS, false});
+        TrafficPoint minks =
+            an.analyze(plan, {KeySchedule::MinKS, false});
+        TrafficPoint both = an.analyze(plan, {KeySchedule::MinKS, true});
+        EXPECT_GT(base.totalBytes(), minimal.totalBytes());
+        EXPECT_GT(minimal.totalBytes(), minks.totalBytes());
+        EXPECT_GT(minks.totalBytes(), both.totalBytes());
+    }
+}
+
+TEST(F1Analysis, Section3CTargets)
+{
+    auto p = CkksParams::ark();
+    ScaledF1Config cfg;
+    HdftPlan hidft = HdftPlan::make(p, true, p.max_level);
+    F1Utilization u = scaledF1Bound(p, hidft, cfg);
+    // Paper: 2.1 ms load, 8.61% utilization for H-IDFT.
+    EXPECT_NEAR(u.load_time_s * 1e3, 2.1, 0.3);
+    EXPECT_NEAR(u.utilization, 0.0861, 0.02);
+    EXPECT_LT(u.utilization, 0.15); // the memory wall is real
+}
+
+} // namespace
+} // namespace ark

@@ -1,0 +1,216 @@
+/**
+ * @file
+ * Algebraic property tests on the CKKS evaluator: the homomorphism
+ * laws that every downstream workload silently relies on, checked as
+ * properties over random messages (TEST_P over seeds).
+ */
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "ckks/encoder.h"
+#include "ckks/encryptor.h"
+#include "ckks/evaluator.h"
+#include "ckks/keygen.h"
+
+namespace ark {
+namespace {
+
+class EvalPropTest : public ::testing::TestWithParam<u64>
+{
+  protected:
+    static void SetUpTestSuite()
+    {
+        ctx_ = new CkksContext(CkksParams::testTiny());
+        rng_ = new Rng(555);
+        enc_ = new CkksEncoder(*ctx_);
+        keygen_ = new KeyGenerator(*ctx_, *rng_);
+        sk_ = new SecretKey(keygen_->secretKey());
+        evk_mult_ = new EvalKey(keygen_->evkMult(*sk_));
+        evk_conj_ = new EvalKey(keygen_->evkConjugate(*sk_));
+        encryptor_ = new CkksEncryptor(*ctx_, *rng_);
+        decryptor_ = new CkksDecryptor(*ctx_, *sk_);
+        eval_ = new CkksEvaluator(*ctx_);
+    }
+
+    static void TearDownTestSuite()
+    {
+        delete eval_;
+        delete decryptor_;
+        delete encryptor_;
+        delete evk_conj_;
+        delete evk_mult_;
+        delete sk_;
+        delete keygen_;
+        delete enc_;
+        delete rng_;
+        delete ctx_;
+    }
+
+    std::vector<Complex> randomMessage(u64 seed)
+    {
+        Rng rng(seed);
+        std::vector<Complex> m(slots_);
+        for (auto &x : m)
+            x = Complex(rng.uniformReal() * 2 - 1,
+                        rng.uniformReal() * 2 - 1);
+        return m;
+    }
+
+    Ciphertext encrypt(const std::vector<Complex> &m)
+    {
+        auto ct = encryptor_->encryptSymmetric(
+            enc_->encode(m, ctx_->maxLevel()), *sk_);
+        ct.slots = slots_;
+        return ct;
+    }
+
+    std::vector<Complex> decrypt(const Ciphertext &ct)
+    {
+        return enc_->decode(decryptor_->decrypt(ct), slots_);
+    }
+
+    static double maxDiff(const std::vector<Complex> &a,
+                          const std::vector<Complex> &b)
+    {
+        double e = 0;
+        for (size_t i = 0; i < a.size(); ++i)
+            e = std::max(e, std::abs(a[i] - b[i]));
+        return e;
+    }
+
+    static constexpr size_t slots_ = 32;
+    static CkksContext *ctx_;
+    static Rng *rng_;
+    static CkksEncoder *enc_;
+    static KeyGenerator *keygen_;
+    static SecretKey *sk_;
+    static EvalKey *evk_mult_;
+    static EvalKey *evk_conj_;
+    static CkksEncryptor *encryptor_;
+    static CkksDecryptor *decryptor_;
+    static CkksEvaluator *eval_;
+};
+
+CkksContext *EvalPropTest::ctx_ = nullptr;
+Rng *EvalPropTest::rng_ = nullptr;
+CkksEncoder *EvalPropTest::enc_ = nullptr;
+KeyGenerator *EvalPropTest::keygen_ = nullptr;
+SecretKey *EvalPropTest::sk_ = nullptr;
+EvalKey *EvalPropTest::evk_mult_ = nullptr;
+EvalKey *EvalPropTest::evk_conj_ = nullptr;
+CkksEncryptor *EvalPropTest::encryptor_ = nullptr;
+CkksDecryptor *EvalPropTest::decryptor_ = nullptr;
+CkksEvaluator *EvalPropTest::eval_ = nullptr;
+
+TEST_P(EvalPropTest, AddCommutes)
+{
+    auto a = encrypt(randomMessage(GetParam()));
+    auto b = encrypt(randomMessage(GetParam() + 1));
+    EXPECT_LT(maxDiff(decrypt(eval_->add(a, b)),
+                      decrypt(eval_->add(b, a))), 1e-9);
+}
+
+TEST_P(EvalPropTest, AddAssociates)
+{
+    auto a = encrypt(randomMessage(GetParam()));
+    auto b = encrypt(randomMessage(GetParam() + 1));
+    auto c = encrypt(randomMessage(GetParam() + 2));
+    auto lhs = eval_->add(eval_->add(a, b), c);
+    auto rhs = eval_->add(a, eval_->add(b, c));
+    EXPECT_LT(maxDiff(decrypt(lhs), decrypt(rhs)), 1e-9);
+}
+
+TEST_P(EvalPropTest, MulCommutes)
+{
+    auto a = encrypt(randomMessage(GetParam()));
+    auto b = encrypt(randomMessage(GetParam() + 1));
+    auto ab = eval_->rescale(eval_->mul(a, b, *evk_mult_));
+    auto ba = eval_->rescale(eval_->mul(b, a, *evk_mult_));
+    EXPECT_LT(maxDiff(decrypt(ab), decrypt(ba)), 1e-6);
+}
+
+TEST_P(EvalPropTest, MulDistributesOverAdd)
+{
+    auto ma = randomMessage(GetParam());
+    auto mb = randomMessage(GetParam() + 1);
+    auto mc = randomMessage(GetParam() + 2);
+    auto a = encrypt(ma), b = encrypt(mb), c = encrypt(mc);
+    auto lhs = eval_->rescale(
+        eval_->mul(a, eval_->add(b, c), *evk_mult_));
+    auto rhs = eval_->add(eval_->rescale(eval_->mul(a, b, *evk_mult_)),
+                          eval_->rescale(eval_->mul(a, c, *evk_mult_)));
+    EXPECT_LT(maxDiff(decrypt(lhs), decrypt(rhs)), 1e-3);
+}
+
+TEST_P(EvalPropTest, NegateIsMulByMinusOne)
+{
+    auto a = encrypt(randomMessage(GetParam()));
+    auto n1 = decrypt(eval_->negate(a));
+    auto expect = randomMessage(GetParam());
+    for (size_t i = 0; i < slots_; ++i)
+        EXPECT_LT(std::abs(n1[i] + expect[i]), 1e-5);
+}
+
+TEST_P(EvalPropTest, ConjugateOfProductIsProductOfConjugates)
+{
+    auto a = encrypt(randomMessage(GetParam()));
+    auto b = encrypt(randomMessage(GetParam() + 1));
+    auto lhs = eval_->conjugate(
+        eval_->rescale(eval_->mul(a, b, *evk_mult_)), *evk_conj_);
+    auto rhs = eval_->rescale(
+        eval_->mul(eval_->conjugate(a, *evk_conj_),
+                   eval_->conjugate(b, *evk_conj_), *evk_mult_));
+    EXPECT_LT(maxDiff(decrypt(lhs), decrypt(rhs)), 1e-3);
+}
+
+TEST_P(EvalPropTest, TimesConjugateIsSquaredMagnitude)
+{
+    auto m = randomMessage(GetParam());
+    auto a = encrypt(m);
+    auto prod = eval_->rescale(
+        eval_->mul(a, eval_->conjugate(a, *evk_conj_), *evk_mult_));
+    auto out = decrypt(prod);
+    for (size_t i = 0; i < slots_; ++i) {
+        EXPECT_NEAR(out[i].real(), std::norm(m[i]), 1e-3);
+        EXPECT_NEAR(out[i].imag(), 0.0, 1e-3);
+    }
+}
+
+TEST_P(EvalPropTest, MulByIFourTimesIsIdentity)
+{
+    auto m = randomMessage(GetParam());
+    auto a = encrypt(m);
+    for (int k = 0; k < 4; ++k)
+        a = eval_->mulByI(a);
+    EXPECT_LT(maxDiff(decrypt(a), m), 1e-5);
+}
+
+TEST_P(EvalPropTest, RotationComposition)
+{
+    auto m = randomMessage(GetParam());
+    auto evk2 = keygen_->evkRotation(*sk_, 2);
+    auto evk3 = keygen_->evkRotation(*sk_, 3);
+    auto evk5 = keygen_->evkRotation(*sk_, 5);
+    auto a = encrypt(m);
+    auto two_then_three =
+        eval_->rotate(eval_->rotate(a, 2, evk2), 3, evk3);
+    auto five = eval_->rotate(a, 5, evk5);
+    EXPECT_LT(maxDiff(decrypt(two_then_three), decrypt(five)), 1e-3);
+}
+
+TEST_P(EvalPropTest, RescaleKeepsMessage)
+{
+    auto m = randomMessage(GetParam());
+    auto a = encrypt(m);
+    // Multiply by exactly 1.0 at scale Delta, then rescale.
+    auto out = decrypt(eval_->rescale(eval_->mulScalar(a, 1.0)));
+    EXPECT_LT(maxDiff(out, m), 1e-4);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, EvalPropTest,
+                         ::testing::Values<u64>(11, 23, 37, 59));
+
+} // namespace
+} // namespace ark

@@ -1,0 +1,83 @@
+/**
+ * @file
+ * Tests for parameter presets: Table III data sizes must match the
+ * paper's reported values.
+ */
+
+#include <gtest/gtest.h>
+
+#include "ckks/params.h"
+
+namespace ark {
+namespace {
+
+TEST(Params, ArkPresetMatchesTable3)
+{
+    auto p = CkksParams::ark();
+    EXPECT_EQ(p.degree, 1ULL << 16);
+    EXPECT_EQ(p.max_level, 23);
+    EXPECT_EQ(p.boot_levels, 15);
+    EXPECT_EQ(p.dnum, 4);
+    EXPECT_EQ(p.alpha(), 6);
+    EXPECT_NEAR(p.plaintextMiB(), 12.0, 0.01);
+    EXPECT_NEAR(p.ciphertextMiB(), 24.0, 0.01);
+    EXPECT_NEAR(p.evkMiB(), 120.0, 0.01);
+}
+
+TEST(Params, LattigoPresetMatchesTable3)
+{
+    auto p = CkksParams::lattigo();
+    EXPECT_EQ(p.degree, 1ULL << 16);
+    EXPECT_EQ(p.max_level, 24);
+    EXPECT_EQ(p.dnum, 5);
+    EXPECT_EQ(p.alpha(), 5);
+    EXPECT_NEAR(p.plaintextMiB(), 12.5, 0.01);
+    EXPECT_NEAR(p.ciphertextMiB(), 25.0, 0.01);
+    EXPECT_NEAR(p.evkMiB(), 150.0, 0.01);
+}
+
+TEST(Params, HundredXPresetMatchesTable3)
+{
+    auto p = CkksParams::hundredX();
+    EXPECT_EQ(p.degree, 1ULL << 17);
+    EXPECT_EQ(p.max_level, 29);
+    EXPECT_EQ(p.dnum, 3);
+    EXPECT_EQ(p.alpha(), 10);
+    EXPECT_NEAR(p.plaintextMiB(), 30.0, 0.01);
+    EXPECT_NEAR(p.ciphertextMiB(), 60.0, 0.01);
+    EXPECT_NEAR(p.evkMiB(), 240.0, 0.01);
+}
+
+TEST(Params, F1PresetMatchesTable3)
+{
+    auto p = CkksParams::f1();
+    EXPECT_EQ(p.degree, 1ULL << 14);
+    EXPECT_EQ(p.max_level, 15);
+    EXPECT_EQ(p.dnum, 16);
+    EXPECT_EQ(p.alpha(), 1);
+    EXPECT_EQ(p.word_bytes, 4u); // 32-bit machine words
+    EXPECT_NEAR(p.plaintextMiB(), 1.0, 0.01);
+    EXPECT_NEAR(p.ciphertextMiB(), 2.0, 0.01);
+    EXPECT_NEAR(p.evkMiB(), 34.0, 0.01);
+}
+
+TEST(Params, DnumDividesLevels)
+{
+    for (auto p : {CkksParams::ark(), CkksParams::lattigo(),
+                   CkksParams::hundredX(), CkksParams::f1(),
+                   CkksParams::testTiny(), CkksParams::testSmall(),
+                   CkksParams::testBoot()}) {
+        EXPECT_EQ((p.max_level + 1) % p.dnum, 0)
+            << p.name << ": dnum must divide L+1";
+        EXPECT_EQ(p.alpha() * p.dnum, p.max_level + 1) << p.name;
+    }
+}
+
+TEST(Params, ScaleIsPowerOfTwo)
+{
+    auto p = CkksParams::ark();
+    EXPECT_EQ(p.scale(), static_cast<double>(1ULL << p.log_scale));
+}
+
+} // namespace
+} // namespace ark

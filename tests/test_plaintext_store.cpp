@@ -1,0 +1,124 @@
+/**
+ * @file
+ * Tests for the OF-Limb plaintext store and the rotation-key cache —
+ * the two working-set levers of the paper, at the data-structure
+ * level.
+ */
+
+#include <gtest/gtest.h>
+
+#include "boot/key_cache.h"
+#include "boot/plaintext_store.h"
+#include "ckks/encoder.h"
+
+namespace ark {
+namespace {
+
+class StoreTest : public ::testing::Test
+{
+  protected:
+    void SetUp() override
+    {
+        ctx_ = std::make_unique<CkksContext>(CkksParams::testTiny());
+        enc_ = std::make_unique<CkksEncoder>(*ctx_);
+    }
+
+    Plaintext encodeSeeded(u64 seed, int level)
+    {
+        Rng rng(seed);
+        std::vector<Complex> m(32);
+        for (auto &x : m)
+            x = Complex(rng.uniformReal() * 2 - 1,
+                        rng.uniformReal() * 2 - 1);
+        return enc_->encode(m, level);
+    }
+
+    std::unique_ptr<CkksContext> ctx_;
+    std::unique_ptr<CkksEncoder> enc_;
+};
+
+TEST_F(StoreTest, OfLimbReconstructionIsExact)
+{
+    PlaintextStore full(*ctx_, PlaintextMode::Full);
+    PlaintextStore of(*ctx_, PlaintextMode::OFLimb);
+    auto pt = encodeSeeded(1, ctx_->maxLevel());
+    full.insert(pt);
+    of.insert(pt);
+
+    for (int lv = 0; lv <= ctx_->maxLevel(); ++lv) {
+        auto a = full.get(0, lv);
+        auto b = of.get(0, lv);
+        ASSERT_EQ(a.poly.numLimbs(), b.poly.numLimbs());
+        for (size_t l = 0; l < a.poly.numLimbs(); ++l) {
+            for (size_t i = 0; i < ctx_->degree(); ++i)
+                ASSERT_EQ(a.poly.limb(l)[i], b.poly.limb(l)[i])
+                    << "level " << lv << " limb " << l;
+        }
+    }
+}
+
+TEST_F(StoreTest, OfLimbStorageIsOneLimb)
+{
+    PlaintextStore of(*ctx_, PlaintextMode::OFLimb);
+    PlaintextStore full(*ctx_, PlaintextMode::Full);
+    for (u64 s = 0; s < 5; ++s) {
+        of.insert(encodeSeeded(s, ctx_->maxLevel()));
+        full.insert(encodeSeeded(s, ctx_->maxLevel()));
+    }
+    EXPECT_EQ(of.storedBytes(), 5 * ctx_->degree() * sizeof(u64));
+    EXPECT_EQ(full.storedBytes() / of.storedBytes(),
+              static_cast<size_t>(ctx_->maxLevel()) + 1);
+}
+
+TEST_F(StoreTest, ScaleAndLevelPreserved)
+{
+    PlaintextStore of(*ctx_, PlaintextMode::OFLimb);
+    auto pt = encodeSeeded(9, ctx_->maxLevel());
+    of.insert(pt);
+    auto back = of.get(0, 1);
+    EXPECT_EQ(back.level, 1);
+    EXPECT_EQ(back.scale, pt.scale);
+    EXPECT_EQ(back.poly.rep(), Rep::Eval);
+    EXPECT_EQ(back.poly.numLimbs(), 2u);
+}
+
+TEST_F(StoreTest, OutOfRangeIndexDies)
+{
+    PlaintextStore of(*ctx_, PlaintextMode::OFLimb);
+    of.insert(encodeSeeded(2, ctx_->maxLevel()));
+    EXPECT_DEATH((void)of.get(1, 0), "");
+}
+
+TEST_F(StoreTest, KeyCacheCountsDistinctKeys)
+{
+    Rng rng(3);
+    KeyGenerator keygen(*ctx_, rng);
+    SecretKey sk = keygen.secretKey();
+    KeyCache cache(keygen, sk, ctx_->degree());
+
+    EXPECT_EQ(cache.distinctGaloisKeys(), 0u);
+    (void)cache.rotation(1);
+    (void)cache.rotation(1); // reuse: no new key
+    (void)cache.rotation(2);
+    (void)cache.conjugation();
+    EXPECT_EQ(cache.distinctGaloisKeys(), 3u);
+    size_t bytes_before_mult = cache.byteSize();
+    (void)cache.multiplication();
+    EXPECT_GT(cache.byteSize(), bytes_before_mult);
+}
+
+TEST_F(StoreTest, KeyCacheRotationIdentityAmounts)
+{
+    Rng rng(4);
+    KeyGenerator keygen(*ctx_, rng);
+    SecretKey sk = keygen.secretKey();
+    KeyCache cache(keygen, sk, ctx_->degree());
+    // Rotation amounts equal mod the rotation-group order share a key.
+    const i64 order = static_cast<i64>(ctx_->degree() / 2);
+    (void)cache.rotation(3);
+    (void)cache.rotation(3 + order);
+    EXPECT_EQ(cache.distinctGaloisKeys(), 1u);
+}
+
+} // namespace
+} // namespace ark

@@ -1,0 +1,65 @@
+/**
+ * @file
+ * Tests for NTT-friendly prime generation.
+ */
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "common/math_util.h"
+#include "rns/primes.h"
+
+namespace ark {
+namespace {
+
+class PrimeGenTest : public ::testing::TestWithParam<std::tuple<int, size_t>>
+{
+};
+
+TEST_P(PrimeGenTest, PrimesAreNttFriendlyAndDistinct)
+{
+    const int bits = std::get<0>(GetParam());
+    const size_t degree = std::get<1>(GetParam());
+    const size_t count = 8;
+    auto primes = generatePrimes(bits, count, degree);
+    ASSERT_EQ(primes.size(), count);
+    std::set<u64> seen;
+    for (u64 p : primes) {
+        EXPECT_TRUE(isPrime(p)) << p;
+        EXPECT_EQ((p - 1) % (2 * degree), 0u) << p;
+        // Within one bit of the target size.
+        EXPECT_GE(p, 1ULL << (bits - 1));
+        EXPECT_LT(p, 1ULL << (bits + 1));
+        EXPECT_TRUE(seen.insert(p).second) << "duplicate prime " << p;
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sweep, PrimeGenTest,
+    ::testing::Combine(::testing::Values(30, 40, 50, 60),
+                       ::testing::Values<size_t>(1 << 10, 1 << 12,
+                                                 1 << 14, 1 << 16)));
+
+TEST(PrimeGen, SkipListRespected)
+{
+    const size_t degree = 1 << 12;
+    auto first = generatePrimes(45, 4, degree);
+    auto second = generatePrimes(45, 4, degree, first);
+    for (u64 p : second) {
+        for (u64 s : first)
+            EXPECT_NE(p, s);
+    }
+}
+
+TEST(PrimeGen, FirstPrimeLargerBitSize)
+{
+    const size_t degree = 1 << 13;
+    u64 q0 = generateFirstPrime(60, degree);
+    EXPECT_TRUE(isPrime(q0));
+    EXPECT_EQ((q0 - 1) % (2 * degree), 0u);
+    EXPECT_GE(q0, 1ULL << 59);
+}
+
+} // namespace
+} // namespace ark

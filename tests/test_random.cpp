@@ -1,0 +1,98 @@
+/**
+ * @file
+ * Unit tests for the deterministic sampler.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "common/random.h"
+
+namespace ark {
+namespace {
+
+TEST(Random, DeterministicPerSeed)
+{
+    Rng a(42), b(42), c(43);
+    for (int i = 0; i < 100; ++i) {
+        u64 va = a.next();
+        EXPECT_EQ(va, b.next());
+        (void)c;
+    }
+    Rng a2(42), c2(43);
+    bool all_equal = true;
+    for (int i = 0; i < 16; ++i)
+        all_equal &= (a2.next() == c2.next());
+    EXPECT_FALSE(all_equal);
+}
+
+TEST(Random, UniformBound)
+{
+    Rng rng(7);
+    for (u64 bound : {1ULL, 2ULL, 3ULL, 1000ULL, (1ULL << 50) + 17}) {
+        for (int i = 0; i < 200; ++i)
+            EXPECT_LT(rng.uniform(bound), bound);
+    }
+}
+
+TEST(Random, UniformVectorModQ)
+{
+    Rng rng(11);
+    const u64 q = 0x1fffffffffe00001ULL;
+    auto v = rng.uniformVector(4096, q);
+    ASSERT_EQ(v.size(), 4096u);
+    double mean = 0;
+    for (u64 x : v) {
+        EXPECT_LT(x, q);
+        mean += static_cast<double>(x) / 4096.0;
+    }
+    // Mean of uniform[0, q) should be near q/2 (within 5%).
+    EXPECT_NEAR(mean / static_cast<double>(q), 0.5, 0.05);
+}
+
+TEST(Random, TernaryDense)
+{
+    Rng rng(13);
+    auto v = rng.ternaryVector(8192);
+    int counts[3] = {0, 0, 0};
+    for (i64 x : v) {
+        ASSERT_GE(x, -1);
+        ASSERT_LE(x, 1);
+        counts[x + 1]++;
+    }
+    // Each symbol ~1/3; allow generous slack.
+    for (int c : counts)
+        EXPECT_NEAR(c / 8192.0, 1.0 / 3.0, 0.05);
+}
+
+TEST(Random, TernarySparseHammingWeight)
+{
+    Rng rng(17);
+    const size_t hw = 64;
+    auto v = rng.ternaryVector(4096, hw);
+    size_t nonzeros = 0;
+    for (i64 x : v)
+        nonzeros += (x != 0);
+    EXPECT_EQ(nonzeros, hw);
+}
+
+TEST(Random, ErrorVectorMoments)
+{
+    Rng rng(19);
+    auto v = rng.errorVector(1 << 16);
+    double mean = 0, var = 0;
+    for (i64 x : v)
+        mean += static_cast<double>(x);
+    mean /= v.size();
+    for (i64 x : v)
+        var += (x - mean) * (x - mean);
+    var /= v.size();
+    EXPECT_NEAR(mean, 0.0, 0.1);
+    // Target sigma ~3.2 per the HE standard; accept [2.5, 4.0].
+    EXPECT_GT(std::sqrt(var), 2.5);
+    EXPECT_LT(std::sqrt(var), 4.0);
+}
+
+} // namespace
+} // namespace ark

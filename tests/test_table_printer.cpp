@@ -1,0 +1,63 @@
+/**
+ * @file
+ * Tests for the bench-output table printer (alignment, arity checks,
+ * number formatting).
+ */
+
+#include <gtest/gtest.h>
+
+#include "common/table_printer.h"
+
+namespace ark {
+namespace {
+
+TEST(TablePrinter, AlignsColumns)
+{
+    TablePrinter t({"A", "Long header"});
+    t.addRow({"x", "1"});
+    t.addRow({"yyyy", "2.5"});
+    std::string out = t.toString();
+    // Every rendered line has the same width.
+    size_t first_nl = out.find('\n');
+    ASSERT_NE(first_nl, std::string::npos);
+    size_t width = first_nl;
+    size_t pos = 0;
+    while (pos < out.size()) {
+        size_t nl = out.find('\n', pos);
+        ASSERT_NE(nl, std::string::npos);
+        EXPECT_EQ(nl - pos, width);
+        pos = nl + 1;
+    }
+    EXPECT_NE(out.find("Long header"), std::string::npos);
+    EXPECT_NE(out.find("yyyy"), std::string::npos);
+}
+
+TEST(TablePrinter, FmtPrecision)
+{
+    EXPECT_EQ(TablePrinter::fmt(3.14159, 2), "3.14");
+    EXPECT_EQ(TablePrinter::fmt(2.0, 0), "2");
+    EXPECT_EQ(TablePrinter::fmt(-0.5, 1), "-0.5");
+}
+
+TEST(TablePrinter, ArityMismatchDies)
+{
+    TablePrinter t({"A", "B"});
+    EXPECT_DEATH(t.addRow({"only-one"}), "");
+}
+
+TEST(TablePrinter, HeaderSeparatorPresent)
+{
+    TablePrinter t({"H"});
+    t.addRow({"v"});
+    std::string out = t.toString();
+    // Three rules: top, after header, bottom.
+    size_t rules = 0, pos = 0;
+    while ((pos = out.find("+--", pos)) != std::string::npos) {
+        ++rules;
+        pos += 3;
+    }
+    EXPECT_EQ(rules, 3u);
+}
+
+} // namespace
+} // namespace ark
