@@ -2,16 +2,24 @@
  * @file
  * google-benchmark microbenchmarks of the functional library's primary
  * kernels: NTT, 4-step NTT, BConv, automorphism, and full key
- * switching — the same functions ARK's FUs accelerate.
+ * switching — the same functions ARK's FUs accelerate — plus a
+ * scalar-vs-parallel kernel-backend comparison table (run first, before
+ * the google-benchmark suite).
  */
 
 #include <benchmark/benchmark.h>
+
+#include <chrono>
+#include <cstdio>
 
 #include "ckks/encoder.h"
 #include "ckks/encryptor.h"
 #include "ckks/evaluator.h"
 #include "ckks/keygen.h"
 #include "common/random.h"
+#include "common/table_printer.h"
+#include "common/thread_pool.h"
+#include "rns/backend.h"
 #include "rns/bconv.h"
 #include "rns/primes.h"
 #include "rns/four_step_ntt.h"
@@ -142,7 +150,128 @@ BM_HMult(benchmark::State &state)
 }
 BENCHMARK(BM_HMult);
 
+// ---------------------------------------------------------------------------
+// Scalar vs parallel kernel-backend comparison (common/table_printer)
+// ---------------------------------------------------------------------------
+
+/** Best-of-reps wall time of fn(), in milliseconds. */
+template <typename Fn>
+double
+timeMs(int reps, Fn &&fn)
+{
+    using clock = std::chrono::steady_clock;
+    double best = 1e300;
+    for (int r = 0; r < reps; ++r) {
+        auto t0 = clock::now();
+        fn();
+        auto t1 = clock::now();
+        best = std::min(
+            best, std::chrono::duration<double, std::milli>(t1 - t0)
+                      .count());
+    }
+    return best;
+}
+
+void
+printBackendComparison()
+{
+    const size_t threads =
+        backendThreadsFromEnv(ThreadPool::defaultThreads());
+    auto scalar = makeKernelBackend(BackendKind::Scalar);
+    auto parallel = makeKernelBackend(BackendKind::Parallel, threads);
+
+    std::printf("Kernel-backend comparison (parallel: %zu threads)\n",
+                parallel->threads());
+    TablePrinter t({"Kernel", "N", "limbs", "scalar (ms)",
+                    "parallel (ms)", "speedup"});
+
+    const int reps = 5;
+    for (size_t log_n : {12u, 14u}) {
+        const size_t n = size_t(1) << log_n;
+        const size_t limbs = 8;
+        auto qs = generatePrimes(50, limbs, n);
+        std::vector<Modulus> moduli;
+        std::vector<NttTables> tables;
+        std::vector<const NttTables *> table_ptrs;
+        for (u64 q : qs) {
+            moduli.emplace_back(q);
+            tables.emplace_back(n, Modulus(q));
+        }
+        for (auto &tb : tables)
+            table_ptrs.push_back(&tb);
+
+        Rng rng(7);
+        RnsPoly poly(n, limbs, Rep::Eval);
+        for (size_t l = 0; l < limbs; ++l) {
+            auto v = rng.uniformVector(n, qs[l]);
+            std::copy(v.begin(), v.end(), poly.limb(l));
+        }
+
+        auto out_qs = generatePrimes(51, limbs, n);
+        std::vector<Modulus> out_base;
+        std::vector<NttTables> out_tables;
+        std::vector<const NttTables *> out_ptrs;
+        for (u64 q : out_qs) {
+            out_base.emplace_back(q);
+            out_tables.emplace_back(n, Modulus(q));
+        }
+        for (auto &tb : out_tables)
+            out_ptrs.push_back(&tb);
+        BaseConverter bc(moduli, out_base);
+        Automorphism am(galoisElt(5, n), n);
+
+        auto row = [&](const char *name, auto &&kernel) {
+            // The kernel receives the backend; transformed data is
+            // still valid input for the next rep.
+            double ms_s = timeMs(reps, [&] { kernel(*scalar); });
+            double ms_p = timeMs(reps, [&] { kernel(*parallel); });
+            t.addRow({name, std::to_string(n), std::to_string(limbs),
+                      TablePrinter::fmt(ms_s, 3),
+                      TablePrinter::fmt(ms_p, 3),
+                      TablePrinter::fmt(ms_s / ms_p, 2)});
+        };
+
+        row("ntt_forward", [&](KernelBackend &kb) {
+            RnsPoly p = poly;
+            p.setRep(Rep::Coeff);
+            kb.nttForward(p, table_ptrs);
+        });
+        row("ntt_inverse", [&](KernelBackend &kb) {
+            RnsPoly p = poly;
+            kb.nttInverse(p, table_ptrs);
+        });
+        row("bconv", [&](KernelBackend &kb) {
+            RnsPoly p = poly;
+            p.setRep(Rep::Coeff);
+            auto out = kb.bconv(bc, p);
+            (void)out;
+        });
+        row("automorphism", [&](KernelBackend &kb) {
+            auto out = kb.automorphism(am, poly, moduli);
+            (void)out;
+        });
+        row("mul_eval", [&](KernelBackend &kb) {
+            RnsPoly r(n, limbs, Rep::Eval);
+            kb.mulEval(poly, poly, moduli, r);
+        });
+        row("ntt_bconv_ntt", [&](KernelBackend &kb) {
+            auto out = kb.nttBconvNtt(poly, table_ptrs, bc, out_ptrs);
+            (void)out;
+        });
+    }
+    t.print();
+    std::printf("\n");
+}
+
 } // namespace
 } // namespace ark
 
-BENCHMARK_MAIN();
+int
+main(int argc, char **argv)
+{
+    ark::printBackendComparison();
+    benchmark::Initialize(&argc, argv);
+    benchmark::RunSpecifiedBenchmarks();
+    benchmark::Shutdown();
+    return 0;
+}

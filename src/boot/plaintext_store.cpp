@@ -1,6 +1,9 @@
 #include "boot/plaintext_store.h"
 
+#include <algorithm>
+
 #include "common/logging.h"
+#include "rns/backend.h"
 
 namespace ark {
 
@@ -16,7 +19,7 @@ PlaintextStore::insert(const Plaintext &pt)
         // Keep only the q0-limb, in the coefficient representation.
         RnsPoly coeff = pt.poly;
         if (coeff.rep() == Rep::Eval)
-            polyNttInverse(coeff, ctx_.qTables());
+            ctx_.backend().nttInverse(coeff, ctx_.qTables());
         e.poly = RnsPoly(ctx_.degree(), 1, Rep::Coeff);
         std::copy(coeff.limb(0), coeff.limb(0) + ctx_.degree(),
                   e.poly.limb(0));
@@ -30,6 +33,7 @@ PlaintextStore::get(size_t idx, int level) const
 {
     ARK_ASSERT(idx < entries_.size(), "plaintext index out of range");
     const Entry &e = entries_[idx];
+    KernelBackend &kb = ctx_.backend();
     Plaintext pt;
     pt.scale = e.scale;
     pt.level = level;
@@ -39,28 +43,22 @@ PlaintextStore::get(size_t idx, int level) const
                    "full-mode plaintext stored at a lower level");
         pt.poly = e.poly;
         pt.poly.resizeLimbs(level + 1); // ModDown is free limb dropping
+        // Full-mode plaintexts stream every limb from storage.
+        kb.notePlaintextWords(static_cast<u64>(level + 1) *
+                              ctx_.degree());
         return pt;
     }
 
     // OF-Limb extension (Eq. 12): center the q0 residue and reduce it
-    // into every current limb, then NTT each generated limb.
+    // into every current limb, then NTT each generated limb. Only the
+    // stored q0 limb streams from storage; the rest is runtime data
+    // generation.
     const size_t n = ctx_.degree();
-    const u64 q0 = ctx_.qModuli()[0].value();
+    kb.notePlaintextWords(n);
+    std::vector<u64> src(e.poly.limb(0), e.poly.limb(0) + n);
     pt.poly = RnsPoly(n, level + 1, Rep::Coeff);
-    const u64 *src = e.poly.limb(0);
-    for (int l = 0; l <= level; ++l) {
-        const u64 q = ctx_.qModuli()[l].value();
-        const u64 q0_mod = q0 % q;
-        u64 *dst = pt.poly.limb(l);
-        for (size_t i = 0; i < n; ++i) {
-            u64 v = src[i];
-            u64 r = v % q;
-            if (v > q0 / 2) // negative coefficient: subtract q0
-                r = subMod(r, q0_mod, q);
-            dst[i] = r;
-        }
-    }
-    polyNttForward(pt.poly, ctx_.qTables());
+    kb.limbEmbed(src, ctx_.qModuli()[0], ctx_.qModuli(), pt.poly);
+    kb.nttForward(pt.poly, ctx_.qTables());
     return pt;
 }
 

@@ -1,11 +1,18 @@
 #include "ckks/context.h"
 
+#include <algorithm>
+#include <utility>
+
 #include "common/logging.h"
 #include "rns/primes.h"
 
 namespace ark {
 
-CkksContext::CkksContext(CkksParams params) : params_(std::move(params))
+CkksContext::CkksContext(CkksParams params)
+    : params_(std::move(params)),
+      backend_(makeKernelBackend(
+          backendKindFromEnv(params_.backend),
+          backendThreadsFromEnv(params_.backend_threads)))
 {
     const size_t n = params_.degree;
     const int L = params_.max_level;
@@ -162,22 +169,87 @@ CkksContext::automorphism(u64 galois_elt) const
     return *it->second;
 }
 
+const std::vector<const NttTables *> &
+CkksContext::qTablePtrs(size_t count) const
+{
+    ARK_ASSERT(count <= q_tables_.size(), "not enough q tables");
+    auto it = q_table_ptrs_cache_.find(count);
+    if (it == q_table_ptrs_cache_.end()) {
+        std::vector<const NttTables *> ptrs(count);
+        for (size_t l = 0; l < count; ++l)
+            ptrs[l] = &q_tables_[l];
+        it = q_table_ptrs_cache_.emplace(count, std::move(ptrs)).first;
+    }
+    return it->second;
+}
+
+const std::vector<const NttTables *> &
+CkksContext::keyTablePtrs(int level) const
+{
+    auto it = key_table_ptrs_cache_.find(level);
+    if (it == key_table_ptrs_cache_.end()) {
+        const size_t nq = static_cast<size_t>(level) + 1;
+        std::vector<const NttTables *> ptrs(nq + p_tables_.size());
+        for (size_t l = 0; l < ptrs.size(); ++l)
+            ptrs[l] = &keyTable(l, level);
+        it = key_table_ptrs_cache_.emplace(level, std::move(ptrs)).first;
+    }
+    return it->second;
+}
+
+const BaseConverter &
+CkksContext::digitConverter(int level, int digit) const
+{
+    const auto key = std::make_pair(level, digit);
+    auto it = digit_bconv_cache_.find(key);
+    if (it != digit_bconv_cache_.end())
+        return *it->second;
+
+    const size_t nq = static_cast<size_t>(level) + 1;
+    const size_t a = static_cast<size_t>(alpha());
+    const size_t lo = static_cast<size_t>(digit) * a;
+    const size_t hi = std::min(lo + a, nq);
+    ARK_ASSERT(lo < nq, "digit out of range for this level");
+
+    std::vector<Modulus> in_base(q_moduli_.begin() + lo,
+                                 q_moduli_.begin() + hi);
+    std::vector<Modulus> out_base;
+    for (size_t l = 0; l < nq; ++l) {
+        if (l < lo || l >= hi)
+            out_base.push_back(q_moduli_[l]);
+    }
+    out_base.insert(out_base.end(), p_moduli_.begin(), p_moduli_.end());
+
+    it = digit_bconv_cache_
+             .emplace(key, std::make_unique<BaseConverter>(
+                               std::move(in_base), std::move(out_base)))
+             .first;
+    return *it->second;
+}
+
+const BaseConverter &
+CkksContext::modDownConverter(int level) const
+{
+    auto it = moddown_bconv_cache_.find(level);
+    if (it == moddown_bconv_cache_.end()) {
+        it = moddown_bconv_cache_
+                 .emplace(level, std::make_unique<BaseConverter>(
+                                     p_moduli_, levelModuli(level)))
+                 .first;
+    }
+    return *it->second;
+}
+
 void
 CkksContext::keyNttForward(RnsPoly &p, int level) const
 {
-    ARK_ASSERT(p.rep() == Rep::Coeff, "forward NTT needs Coeff rep");
-    for (size_t l = 0; l < p.numLimbs(); ++l)
-        keyTable(l, level).forward(p.limb(l));
-    p.setRep(Rep::Eval);
+    backend().nttForward(p, keyTablePtrs(level));
 }
 
 void
 CkksContext::keyNttInverse(RnsPoly &p, int level) const
 {
-    ARK_ASSERT(p.rep() == Rep::Eval, "inverse NTT needs Eval rep");
-    for (size_t l = 0; l < p.numLimbs(); ++l)
-        keyTable(l, level).inverse(p.limb(l));
-    p.setRep(Rep::Coeff);
+    backend().nttInverse(p, keyTablePtrs(level));
 }
 
 } // namespace ark

@@ -18,6 +18,7 @@
 
 #include "ckks/params.h"
 #include "rns/automorphism.h"
+#include "rns/backend.h"
 #include "rns/bconv.h"
 #include "rns/ntt.h"
 #include "rns/poly.h"
@@ -90,6 +91,30 @@ class CkksContext
     const Automorphism &automorphism(u64 galois_elt) const;
 
     /**
+     * The kernel engine executing all limb-level compute for this
+     * context (selected by CkksParams::backend, overridable with
+     * ARK_BACKEND / ARK_THREADS). Every scheme layer dispatches its
+     * kernels through this object; its KernelStats accumulate the
+     * measured per-kernel counts the core/ and sim/ models consume.
+     */
+    KernelBackend &backend() const { return *backend_; }
+
+    /** NTT-table pointers for the first @p count q limbs (cached —
+     *  built once per count; key-switch paths call this per op). */
+    const std::vector<const NttTables *> &qTablePtrs(size_t count) const;
+    /** Per-limb tables of an extended level-@p level poly
+     *  (q_0..q_level then the specials); cached per level. */
+    const std::vector<const NttTables *> &keyTablePtrs(int level) const;
+
+    /**
+     * Cached BConv tables for key-switch digit @p digit at @p level
+     * (digit primes -> every other prime of the extended basis).
+     */
+    const BaseConverter &digitConverter(int level, int digit) const;
+    /** Cached BConv tables for ModDown: B -> q_0..q_level. */
+    const BaseConverter &modDownConverter(int level) const;
+
+    /**
      * Forward NTT of every limb of an extended level-@p level poly
      * (limbs ordered q first, then specials).
      */
@@ -98,6 +123,7 @@ class CkksContext
 
   private:
     CkksParams params_;
+    std::unique_ptr<KernelBackend> backend_;
     std::vector<Modulus> q_moduli_;
     std::vector<Modulus> p_moduli_;
     std::vector<NttTables> q_tables_;
@@ -108,6 +134,16 @@ class CkksContext
     std::vector<std::vector<u64>> q_last_inv_;
     std::vector<u64> q_mod_q_;
     mutable std::map<u64, std::unique_ptr<Automorphism>> auto_cache_;
+    /** (level, digit) -> decompose converter; level -> ModDown one. */
+    mutable std::map<std::pair<int, int>,
+                     std::unique_ptr<BaseConverter>>
+        digit_bconv_cache_;
+    mutable std::map<int, std::unique_ptr<BaseConverter>>
+        moddown_bconv_cache_;
+    mutable std::map<size_t, std::vector<const NttTables *>>
+        q_table_ptrs_cache_;
+    mutable std::map<int, std::vector<const NttTables *>>
+        key_table_ptrs_cache_;
 };
 
 /** An encoded (unencrypted) polynomial with scale bookkeeping. */

@@ -4,6 +4,7 @@
 
 #include "common/logging.h"
 #include "common/math_util.h"
+#include "rns/backend.h"
 
 namespace ark {
 
@@ -126,7 +127,7 @@ CkksEncoder::coeffsToPlaintext(const std::vector<Complex> &coeffs,
             pt.poly.limb(l)[i + half_] = static_cast<u64>(v);
         }
     }
-    polyNttForward(pt.poly, ctx_.qTables());
+    ctx_.backend().nttForward(pt.poly, ctx_.qTables());
     return pt;
 }
 
@@ -175,7 +176,7 @@ CkksEncoder::decode(const Plaintext &pt, size_t num_slots) const
     ARK_ASSERT(num_slots > 0 && num_slots <= half_, "bad slot count");
     RnsPoly poly = pt.poly;
     if (poly.rep() == Rep::Eval)
-        polyNttInverse(poly, ctx_.qTables());
+        ctx_.backend().nttInverse(poly, ctx_.qTables());
 
     const auto moduli = ctx_.levelModuli(pt.level);
     // Reconstruct centered coefficients via CRT over the first one or

@@ -1,8 +1,25 @@
 #include "ckks/encryptor.h"
 
+#include <algorithm>
+
 #include "common/logging.h"
+#include "rns/backend.h"
 
 namespace ark {
+
+namespace {
+
+/** First @p limbs q-limbs of a key poly (q limbs come first). */
+RnsPoly
+truncatedKeyPoly(const RnsPoly &key, size_t limbs, size_t degree)
+{
+    RnsPoly s(degree, limbs, Rep::Eval);
+    for (size_t l = 0; l < limbs; ++l)
+        std::copy(key.limb(l), key.limb(l) + degree, s.limb(l));
+    return s;
+}
+
+} // namespace
 
 CkksEncryptor::CkksEncryptor(const CkksContext &ctx, Rng &rng)
     : ctx_(ctx), rng_(rng)
@@ -16,6 +33,7 @@ CkksEncryptor::encryptSymmetric(const Plaintext &pt, const SecretKey &sk)
     const auto moduli = ctx_.levelModuli(pt.level);
     const size_t nl = moduli.size();
     const size_t n = ctx_.degree();
+    KernelBackend &kb = ctx_.backend();
 
     Ciphertext ct;
     ct.scale = pt.scale;
@@ -26,19 +44,16 @@ CkksEncryptor::encryptSymmetric(const Plaintext &pt, const SecretKey &sk)
         std::copy(v.begin(), v.end(), ct.a.limb(l));
     }
     RnsPoly e = polyFromSigned(rng_.errorVector(n), moduli);
-    polyNttForward(e, ctx_.qTables());
+    kb.nttForward(e, ctx_.qTables());
 
+    // b = m + e - a*s over the first nl limbs of the secret key.
+    RnsPoly s = truncatedKeyPoly(sk.s, nl, n);
+    RnsPoly as(n, nl, Rep::Eval);
+    kb.mulEval(ct.a, s, moduli, as);
+    RnsPoly t(n, nl, Rep::Eval);
+    kb.sub(e, as, moduli, t);
     ct.b = RnsPoly(n, nl, Rep::Eval);
-    for (size_t l = 0; l < nl; ++l) {
-        const Modulus &q = moduli[l];
-        const u64 *pa = ct.a.limb(l);
-        const u64 *ps = sk.s.limb(l);
-        const u64 *pe = e.limb(l);
-        const u64 *pm = pt.poly.limb(l);
-        u64 *pb = ct.b.limb(l);
-        for (size_t i = 0; i < n; ++i)
-            pb[i] = q.add(q.add(q.neg(q.mul(pa[i], ps[i])), pe[i]), pm[i]);
-    }
+    kb.add(t, pt.poly, moduli, ct.b);
     return ct;
 }
 
@@ -49,34 +64,30 @@ CkksEncryptor::encryptPublic(const Plaintext &pt, const PublicKey &pk)
     const auto moduli = ctx_.levelModuli(pt.level);
     const size_t nl = moduli.size();
     const size_t n = ctx_.degree();
+    KernelBackend &kb = ctx_.backend();
 
     RnsPoly v = polyFromSigned(rng_.ternaryVector(n), moduli);
-    polyNttForward(v, ctx_.qTables());
+    kb.nttForward(v, ctx_.qTables());
     RnsPoly e0 = polyFromSigned(rng_.errorVector(n), moduli);
-    polyNttForward(e0, ctx_.qTables());
+    kb.nttForward(e0, ctx_.qTables());
     RnsPoly e1 = polyFromSigned(rng_.errorVector(n), moduli);
-    polyNttForward(e1, ctx_.qTables());
+    kb.nttForward(e1, ctx_.qTables());
 
     Ciphertext ct;
     ct.scale = pt.scale;
     ct.slots = ctx_.params().num_slots;
     ct.b = RnsPoly(n, nl, Rep::Eval);
     ct.a = RnsPoly(n, nl, Rep::Eval);
-    for (size_t l = 0; l < nl; ++l) {
-        const Modulus &q = moduli[l];
-        const u64 *pv = v.limb(l);
-        const u64 *pkb = pk.b.limb(l);
-        const u64 *pka = pk.a.limb(l);
-        const u64 *pe0 = e0.limb(l);
-        const u64 *pe1 = e1.limb(l);
-        const u64 *pm = pt.poly.limb(l);
-        u64 *pb = ct.b.limb(l);
-        u64 *pa = ct.a.limb(l);
-        for (size_t i = 0; i < n; ++i) {
-            pb[i] = q.add(q.add(q.mul(pv[i], pkb[i]), pe0[i]), pm[i]);
-            pa[i] = q.add(q.mul(pv[i], pka[i]), pe1[i]);
-        }
-    }
+
+    // pk polys span all L+1 q-limbs; use the first nl of them.
+    RnsPoly pkb = truncatedKeyPoly(pk.b, nl, n);
+    RnsPoly pka = truncatedKeyPoly(pk.a, nl, n);
+    RnsPoly t(n, nl, Rep::Eval);
+    kb.mulEval(v, pkb, moduli, t); // v*b + e0 + m
+    kb.add(t, e0, moduli, t);
+    kb.add(t, pt.poly, moduli, ct.b);
+    kb.mulEval(v, pka, moduli, t); // v*a + e1
+    kb.add(t, e1, moduli, ct.a);
     return ct;
 }
 
@@ -90,20 +101,15 @@ CkksDecryptor::decrypt(const Ciphertext &ct) const
 {
     const auto moduli = ctx_.levelModuli(ct.level());
     const size_t n = ctx_.degree();
+    KernelBackend &kb = ctx_.backend();
 
     Plaintext pt;
     pt.level = ct.level();
     pt.scale = ct.scale;
-    pt.poly = RnsPoly(n, moduli.size(), Rep::Eval);
-    for (size_t l = 0; l < moduli.size(); ++l) {
-        const Modulus &q = moduli[l];
-        const u64 *pb = ct.b.limb(l);
-        const u64 *pa = ct.a.limb(l);
-        const u64 *ps = sk_.s.limb(l);
-        u64 *pm = pt.poly.limb(l);
-        for (size_t i = 0; i < n; ++i)
-            pm[i] = q.add(pb[i], q.mul(pa[i], ps[i]));
-    }
+    // m = b + a*s.
+    RnsPoly s = truncatedKeyPoly(sk_.s, moduli.size(), n);
+    pt.poly = ct.b;
+    kb.mulAccEval(ct.a, s, moduli, pt.poly);
     return pt;
 }
 

@@ -1,9 +1,11 @@
 #include "ckks/evaluator.h"
 
+#include <algorithm>
 #include <cmath>
 
 #include "common/logging.h"
 #include "rns/automorphism.h"
+#include "rns/backend.h"
 #include "rns/bconv.h"
 
 namespace ark {
@@ -25,9 +27,10 @@ CkksEvaluator::add(const Ciphertext &c1, const Ciphertext &c2) const
 {
     checkCompatible(c1, c2);
     const auto moduli = ctx_.levelModuli(c1.level());
+    KernelBackend &kb = ctx_.backend();
     Ciphertext r = c1;
-    polyAdd(c1.b, c2.b, moduli, r.b);
-    polyAdd(c1.a, c2.a, moduli, r.a);
+    kb.add(c1.b, c2.b, moduli, r.b);
+    kb.add(c1.a, c2.a, moduli, r.a);
     return r;
 }
 
@@ -36,9 +39,10 @@ CkksEvaluator::sub(const Ciphertext &c1, const Ciphertext &c2) const
 {
     checkCompatible(c1, c2);
     const auto moduli = ctx_.levelModuli(c1.level());
+    KernelBackend &kb = ctx_.backend();
     Ciphertext r = c1;
-    polySub(c1.b, c2.b, moduli, r.b);
-    polySub(c1.a, c2.a, moduli, r.a);
+    kb.sub(c1.b, c2.b, moduli, r.b);
+    kb.sub(c1.a, c2.a, moduli, r.a);
     return r;
 }
 
@@ -46,9 +50,10 @@ Ciphertext
 CkksEvaluator::negate(const Ciphertext &c) const
 {
     const auto moduli = ctx_.levelModuli(c.level());
+    KernelBackend &kb = ctx_.backend();
     Ciphertext r = c;
-    polyNeg(c.b, moduli, r.b);
-    polyNeg(c.a, moduli, r.a);
+    kb.neg(c.b, moduli, r.b);
+    kb.neg(c.a, moduli, r.a);
     return r;
 }
 
@@ -61,7 +66,7 @@ CkksEvaluator::addPlain(const Ciphertext &c, const Plaintext &p) const
                "plaintext scale mismatch");
     const auto moduli = ctx_.levelModuli(c.level());
     Ciphertext r = c;
-    polyAdd(c.b, p.poly, moduli, r.b);
+    ctx_.backend().add(c.b, p.poly, moduli, r.b);
     return r;
 }
 
@@ -71,7 +76,7 @@ CkksEvaluator::subPlain(const Ciphertext &c, const Plaintext &p) const
     ARK_ASSERT(c.level() == p.level, "plaintext level mismatch");
     const auto moduli = ctx_.levelModuli(c.level());
     Ciphertext r = c;
-    polySub(c.b, p.poly, moduli, r.b);
+    ctx_.backend().sub(c.b, p.poly, moduli, r.b);
     return r;
 }
 
@@ -80,9 +85,10 @@ CkksEvaluator::mulPlain(const Ciphertext &c, const Plaintext &p) const
 {
     ARK_ASSERT(c.level() == p.level, "plaintext level mismatch");
     const auto moduli = ctx_.levelModuli(c.level());
+    KernelBackend &kb = ctx_.backend();
     Ciphertext r = c;
-    polyMulEval(c.b, p.poly, moduli, r.b);
-    polyMulEval(c.a, p.poly, moduli, r.a);
+    kb.mulEval(c.b, p.poly, moduli, r.b);
+    kb.mulEval(c.a, p.poly, moduli, r.a);
     r.scale = c.scale * p.scale;
     return r;
 }
@@ -101,7 +107,7 @@ CkksEvaluator::addScalar(const Ciphertext &c, double value) const
     for (size_t l = 0; l < moduli.size(); ++l)
         residues[l] = reduceI128(k, moduli[l].value());
     Ciphertext r = c;
-    polyAddScalar(c.b, residues, moduli, r.b);
+    ctx_.backend().addScalar(c.b, residues, moduli, r.b);
     return r;
 }
 
@@ -116,9 +122,10 @@ CkksEvaluator::mulScalar(const Ciphertext &c, double value,
     const i128 k = roundToI128(static_cast<long double>(value) * scale);
     for (size_t l = 0; l < moduli.size(); ++l)
         residues[l] = reduceI128(k, moduli[l].value());
+    KernelBackend &kb = ctx_.backend();
     Ciphertext r = c;
-    polyMulScalar(c.b, residues, moduli, r.b);
-    polyMulScalar(c.a, residues, moduli, r.a);
+    kb.mulScalar(c.b, residues, moduli, r.b);
+    kb.mulScalar(c.a, residues, moduli, r.a);
     r.scale = c.scale * scale;
     return r;
 }
@@ -127,27 +134,17 @@ Ciphertext
 CkksEvaluator::mulByI(const Ciphertext &c) const
 {
     // i is the monomial X^{N/2}; multiplying by it is an exact,
-    // noise-free automorphism-like index shift. In the evaluation
-    // representation multiply each position by the eval of X^{N/2}.
-    // Simpler: go through the coefficient representation.
+    // noise-free index shift, executed in the coefficient
+    // representation as a negacyclic monomial multiply.
     const auto moduli = ctx_.levelModuli(c.level());
-    const size_t n = ctx_.degree();
-    const size_t half = n / 2;
+    const size_t half = ctx_.degree() / 2;
+    KernelBackend &kb = ctx_.backend();
     auto shift = [&](const RnsPoly &src) {
         RnsPoly p = src;
-        polyNttInverse(p, ctx_.qTables());
-        RnsPoly out(n, p.numLimbs(), Rep::Coeff);
-        for (size_t l = 0; l < p.numLimbs(); ++l) {
-            const u64 q = moduli[l].value();
-            const u64 *ps = p.limb(l);
-            u64 *po = out.limb(l);
-            // X^{N/2} * X^k = X^{k + N/2}, wrapping with negation.
-            for (size_t k = 0; k < half; ++k)
-                po[k + half] = ps[k];
-            for (size_t k = half; k < n; ++k)
-                po[k - half] = ps[k] == 0 ? 0 : q - ps[k];
-        }
-        polyNttForward(out, ctx_.qTables());
+        kb.nttInverse(p, ctx_.qTables());
+        RnsPoly out(p.degree(), p.numLimbs(), Rep::Coeff);
+        kb.monomialMul(p, half, moduli, out);
+        kb.nttForward(out, ctx_.qTables());
         return out;
     };
     Ciphertext r = c;
@@ -167,6 +164,7 @@ CkksEvaluator::decompose(const RnsPoly &d, int level) const
     const size_t np = ctx_.pModuli().size();
     const int a = ctx_.alpha();
     const int digits = ctx_.numDigits(level);
+    KernelBackend &kb = ctx_.backend();
 
     std::vector<RnsPoly> out;
     out.reserve(digits);
@@ -174,30 +172,28 @@ CkksEvaluator::decompose(const RnsPoly &d, int level) const
         const size_t lo = static_cast<size_t>(dig) * a;
         const size_t hi = std::min(lo + a, nq);
 
-        // Pull the digit limbs and INTT them (start of BConvRoutine).
+        // Pull the digit limbs, then run the whole BConvRoutine
+        // (Alg. 1: INTT -> BConv -> NTT) as one fused backend call.
         RnsPoly digit(n, hi - lo, Rep::Eval);
-        std::vector<Modulus> in_base;
-        for (size_t l = lo; l < hi; ++l) {
+        for (size_t l = lo; l < hi; ++l)
             std::copy(d.limb(l), d.limb(l) + n, digit.limb(l - lo));
-            in_base.push_back(ctx_.qModuli()[l]);
-        }
-        for (size_t l = 0; l < digit.numLimbs(); ++l)
-            ctx_.qTables()[lo + l].inverse(digit.limb(l));
-        digit.setRep(Rep::Coeff);
 
-        // BConv to every other modulus of the extended basis.
-        std::vector<Modulus> out_base;
-        for (size_t l = 0; l < nq; ++l) {
+        std::vector<const NttTables *> in_tables(hi - lo);
+        for (size_t l = lo; l < hi; ++l)
+            in_tables[l - lo] = &ctx_.qTables()[l];
+        std::vector<const NttTables *> out_tables;
+        out_tables.reserve(nq - (hi - lo) + np);
+        for (size_t l = 0; l < nq + np; ++l) {
             if (l < lo || l >= hi)
-                out_base.push_back(ctx_.qModuli()[l]);
+                out_tables.push_back(&ctx_.keyTable(l, level));
         }
-        for (size_t l = 0; l < np; ++l)
-            out_base.push_back(ctx_.pModuli()[l]);
-        BaseConverter bc(in_base, out_base);
-        RnsPoly conv = bc.convert(digit);
 
-        // NTT the converted limbs and assemble the extended poly with
-        // limbs ordered [q_0..q_level, p_0..p_alpha-1].
+        RnsPoly conv = kb.nttBconvNtt(
+            digit, in_tables, ctx_.digitConverter(level, dig),
+            out_tables);
+
+        // Assemble the extended poly with limbs ordered
+        // [q_0..q_level, p_0..p_alpha-1].
         RnsPoly ext(n, nq + np, Rep::Eval);
         size_t conv_idx = 0;
         for (size_t l = 0; l < nq + np; ++l) {
@@ -206,7 +202,6 @@ CkksEvaluator::decompose(const RnsPoly &d, int level) const
             } else {
                 std::copy(conv.limb(conv_idx),
                           conv.limb(conv_idx) + n, ext.limb(l));
-                ctx_.keyTable(l, level).forward(ext.limb(l));
                 ++conv_idx;
             }
         }
@@ -223,31 +218,29 @@ CkksEvaluator::modDownByP(const RnsPoly &extended, int level) const
     const size_t nq = static_cast<size_t>(level) + 1;
     const size_t np = ctx_.pModuli().size();
     ARK_ASSERT(extended.numLimbs() == nq + np, "not an extended poly");
+    KernelBackend &kb = ctx_.backend();
 
-    // INTT the special limbs, BConv B -> C, NTT back (Alg. 2 line 6-7).
+    // INTT the special limbs, BConv B -> C, NTT back (Alg. 2 line 6-7)
+    // — the same fused digit path key switching uses.
     RnsPoly special(n, np, Rep::Eval);
-    for (size_t l = 0; l < np; ++l) {
+    for (size_t l = 0; l < np; ++l)
         std::copy(extended.limb(nq + l), extended.limb(nq + l) + n,
                   special.limb(l));
-        ctx_.pTables()[l].inverse(special.limb(l));
-    }
-    special.setRep(Rep::Coeff);
 
-    BaseConverter bc(ctx_.pModuli(), ctx_.levelModuli(level));
-    RnsPoly conv = bc.convert(special);
-    polyNttForward(conv, ctx_.qTables());
+    std::vector<const NttTables *> in_tables(np);
+    for (size_t l = 0; l < np; ++l)
+        in_tables[l] = &ctx_.pTables()[l];
+    RnsPoly conv = kb.nttBconvNtt(special, in_tables,
+                                  ctx_.modDownConverter(level),
+                                  ctx_.qTablePtrs(nq));
 
+    // out = (extended - conv) * P^{-1} limb-wise over the q limbs.
+    const auto moduli = ctx_.levelModuli(level);
+    std::vector<u64> pinv(nq);
+    for (size_t l = 0; l < nq; ++l)
+        pinv[l] = ctx_.pInvModQ(l);
     RnsPoly out(n, nq, Rep::Eval);
-    for (size_t l = 0; l < nq; ++l) {
-        const Modulus &q = ctx_.qModuli()[l];
-        const u64 pinv = ctx_.pInvModQ(l);
-        const u64 pinv_shoup = q.shoupPrecompute(pinv);
-        const u64 *pe = extended.limb(l);
-        const u64 *pc = conv.limb(l);
-        u64 *po = out.limb(l);
-        for (size_t i = 0; i < n; ++i)
-            po[i] = q.mulShoup(q.sub(pe[i], pc[i]), pinv, pinv_shoup);
-    }
+    kb.subMulScalar(extended, conv, pinv, moduli, out);
     return out;
 }
 
@@ -262,25 +255,14 @@ CkksEvaluator::keySwitchDigits(const std::vector<RnsPoly> &digits,
     ARK_ASSERT(digits.size() <=
                    static_cast<size_t>(evk.numDigits()),
                "more digits than the evk provides");
+    KernelBackend &kb = ctx_.backend();
 
     RnsPoly acc_b(n, nq + np, Rep::Eval);
     RnsPoly acc_a(n, nq + np, Rep::Eval);
     const auto key_moduli = ctx_.keyModuli(level);
     for (size_t dig = 0; dig < digits.size(); ++dig) {
-        for (size_t l = 0; l < nq + np; ++l) {
-            // evk polys span the full basis; select the matching limb.
-            const size_t evk_limb = l < nq ? l : full_nq + (l - nq);
-            const Modulus &m = key_moduli[l];
-            const u64 *pd = digits[dig].limb(l);
-            const u64 *kb = evk.b[dig].limb(evk_limb);
-            const u64 *ka = evk.a[dig].limb(evk_limb);
-            u64 *ab = acc_b.limb(l);
-            u64 *aa = acc_a.limb(l);
-            for (size_t i = 0; i < n; ++i) {
-                ab[i] = m.add(ab[i], m.mul(pd[i], kb[i]));
-                aa[i] = m.add(aa[i], m.mul(pd[i], ka[i]));
-            }
-        }
+        kb.evkMulAcc(digits[dig], evk.b[dig], evk.a[dig], nq, full_nq,
+                     key_moduli, acc_b, acc_a);
     }
     return {modDownByP(acc_b, level), modDownByP(acc_a, level)};
 }
@@ -302,24 +284,25 @@ CkksEvaluator::mul(const Ciphertext &c1, const Ciphertext &c2,
     const auto moduli = ctx_.levelModuli(level);
     const size_t n = ctx_.degree();
     const size_t nl = moduli.size();
+    KernelBackend &kb = ctx_.backend();
 
     RnsPoly d0(n, nl, Rep::Eval), d1(n, nl, Rep::Eval);
     RnsPoly d2(n, nl, Rep::Eval);
-    polyMulEval(c1.b, c2.b, moduli, d0);
-    polyMulEval(c1.a, c2.a, moduli, d2);
+    kb.mulEval(c1.b, c2.b, moduli, d0);
+    kb.mulEval(c1.a, c2.a, moduli, d2);
     // d1 = a1*b2 + a2*b1.
-    polyMulEval(c1.a, c2.b, moduli, d1);
-    polyMulAccEval(c2.a, c1.b, moduli, d1);
+    kb.mulEval(c1.a, c2.b, moduli, d1);
+    kb.mulAccEval(c2.a, c1.b, moduli, d1);
 
-    auto [kb, ka] = keySwitch(d2, evk_mult, level);
+    auto [kb_poly, ka_poly] = keySwitch(d2, evk_mult, level);
 
     Ciphertext r;
     r.slots = c1.slots;
     r.scale = c1.scale * c2.scale;
     r.b = RnsPoly(n, nl, Rep::Eval);
     r.a = RnsPoly(n, nl, Rep::Eval);
-    polyAdd(d0, kb, moduli, r.b);
-    polyAdd(d1, ka, moduli, r.a);
+    kb.add(d0, kb_poly, moduli, r.b);
+    kb.add(d1, ka_poly, moduli, r.a);
     return r;
 }
 
@@ -337,33 +320,25 @@ CkksEvaluator::rescale(const Ciphertext &c) const
     const auto moduli = ctx_.levelModuli(level);
     const size_t n = ctx_.degree();
     const Modulus &q_last = moduli.back();
+    KernelBackend &kb = ctx_.backend();
+
+    std::vector<u64> inv(level);
+    for (int l = 0; l < level; ++l)
+        inv[l] = ctx_.qLastInvModQ(level, l);
 
     auto drop = [&](const RnsPoly &src) {
-        // INTT the last limb, reduce it into each remaining limb, and
-        // multiply by q_last^{-1} (floor division in RNS).
+        // INTT the last limb, embed its centered residues into each
+        // remaining limb, and multiply by q_last^{-1} (floor division
+        // in RNS).
         std::vector<u64> last(src.limb(level), src.limb(level) + n);
-        ctx_.qTables()[level].inverse(last.data());
+        kb.nttInverseLimb(last.data(), ctx_.qTables()[level]);
+
+        RnsPoly tmp(n, level, Rep::Coeff);
+        kb.limbEmbed(last, q_last, moduli, tmp);
+        kb.nttForward(tmp, ctx_.qTablePtrs(level));
 
         RnsPoly out(n, level, Rep::Eval);
-        std::vector<u64> tmp(n);
-        for (int l = 0; l < level; ++l) {
-            const Modulus &q = moduli[l];
-            const u64 inv = ctx_.qLastInvModQ(level, l);
-            const u64 inv_shoup = q.shoupPrecompute(inv);
-            // Center the last-limb residue before reducing mod q_l so
-            // the floor division rounds symmetrically.
-            const u64 half = q_last.value() / 2;
-            const u64 half_mod = half % q.value();
-            for (size_t i = 0; i < n; ++i) {
-                u64 v = addMod(last[i], half, q_last.value());
-                tmp[i] = subMod(v % q.value(), half_mod, q.value());
-            }
-            ctx_.qTables()[l].forward(tmp.data());
-            const u64 *ps = src.limb(l);
-            u64 *po = out.limb(l);
-            for (size_t i = 0; i < n; ++i)
-                po[i] = q.mulShoup(q.sub(ps[i], tmp[i]), inv, inv_shoup);
-        }
+        kb.subMulScalar(src, tmp, inv, moduli, out);
         return out;
     };
 
@@ -392,16 +367,17 @@ CkksEvaluator::applyGalois(const Ciphertext &c, u64 galois_elt,
     const int level = c.level();
     const auto moduli = ctx_.levelModuli(level);
     const Automorphism &am = ctx_.automorphism(galois_elt);
+    KernelBackend &kbe = ctx_.backend();
 
-    RnsPoly b_rot = am.apply(c.b, moduli);
-    RnsPoly a_rot = am.apply(c.a, moduli);
+    RnsPoly b_rot = kbe.automorphism(am, c.b, moduli);
+    RnsPoly a_rot = kbe.automorphism(am, c.a, moduli);
     auto [kb, ka] = keySwitch(a_rot, evk, level);
 
     Ciphertext r;
     r.slots = c.slots;
     r.scale = c.scale;
     r.b = RnsPoly(ctx_.degree(), moduli.size(), Rep::Eval);
-    polyAdd(b_rot, kb, moduli, r.b);
+    kbe.add(b_rot, kb, moduli, r.b);
     r.a = std::move(ka);
     return r;
 }
@@ -430,6 +406,7 @@ CkksEvaluator::rotateHoisted(const Ciphertext &c,
     const int level = c.level();
     const auto moduli = ctx_.levelModuli(level);
     const auto key_moduli = ctx_.keyModuli(level);
+    KernelBackend &kbe = ctx_.backend();
 
     // Hoisting: decompose once; the automorphism commutes with the
     // digit extension, so each rotation only permutes the digits.
@@ -444,16 +421,16 @@ CkksEvaluator::rotateHoisted(const Ciphertext &c,
         std::vector<RnsPoly> rot_digits;
         rot_digits.reserve(digits.size());
         for (const auto &dig : digits)
-            rot_digits.push_back(am.apply(dig, key_moduli));
+            rot_digits.push_back(kbe.automorphism(am, dig, key_moduli));
 
         auto [kb, ka] = keySwitchDigits(rot_digits, *evks[k], level);
-        RnsPoly b_rot = am.apply(c.b, moduli);
+        RnsPoly b_rot = kbe.automorphism(am, c.b, moduli);
 
         Ciphertext r;
         r.slots = c.slots;
         r.scale = c.scale;
         r.b = RnsPoly(ctx_.degree(), moduli.size(), Rep::Eval);
-        polyAdd(b_rot, kb, moduli, r.b);
+        kbe.add(b_rot, kb, moduli, r.b);
         r.a = std::move(ka);
         out.push_back(std::move(r));
     }
@@ -467,26 +444,17 @@ CkksEvaluator::modRaise(const Ciphertext &c) const
     const int L = ctx_.maxLevel();
     const auto moduli = ctx_.levelModuli(L);
     const size_t n = ctx_.degree();
-    const u64 q0 = ctx_.qModuli()[0].value();
+    const Modulus &q0 = ctx_.qModuli()[0];
+    KernelBackend &kb = ctx_.backend();
 
     auto raise = [&](const RnsPoly &src) {
         std::vector<u64> coeffs(src.limb(0), src.limb(0) + n);
-        ctx_.qTables()[0].inverse(coeffs.data());
+        kb.nttInverseLimb(coeffs.data(), ctx_.qTables()[0]);
 
+        // Center mod q0 and embed into every limb of the full chain.
         RnsPoly out(n, L + 1, Rep::Coeff);
-        for (int l = 0; l <= L; ++l) {
-            const u64 q = moduli[l].value();
-            u64 *po = out.limb(l);
-            for (size_t i = 0; i < n; ++i) {
-                // Center mod q0, then embed mod q_l.
-                u64 v = coeffs[i];
-                if (v > q0 / 2)
-                    po[i] = subMod(v % q, (q0 % q), q); // v - q0 mod q
-                else
-                    po[i] = v % q;
-            }
-        }
-        polyNttForward(out, ctx_.qTables());
+        kb.limbEmbed(coeffs, q0, moduli, out);
+        kb.nttForward(out, ctx_.qTables());
         return out;
     };
 

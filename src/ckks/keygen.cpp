@@ -1,7 +1,10 @@
 #include "ckks/keygen.h"
 
+#include <algorithm>
+
 #include "common/logging.h"
 #include "rns/automorphism.h"
+#include "rns/backend.h"
 
 namespace ark {
 
@@ -53,28 +56,27 @@ KeyGenerator::publicKey(const SecretKey &sk)
     const int L = ctx_.maxLevel();
     const auto q_moduli = ctx_.levelModuli(L);
     const size_t nq = q_moduli.size();
+    const size_t n = ctx_.degree();
+    KernelBackend &kb = ctx_.backend();
 
     PublicKey pk;
-    pk.a = RnsPoly(ctx_.degree(), nq, Rep::Eval);
+    pk.a = RnsPoly(n, nq, Rep::Eval);
     for (size_t l = 0; l < nq; ++l) {
-        auto v = rng_.uniformVector(ctx_.degree(), q_moduli[l].value());
+        auto v = rng_.uniformVector(n, q_moduli[l].value());
         std::copy(v.begin(), v.end(), pk.a.limb(l));
     }
-    auto e = rng_.errorVector(ctx_.degree());
+    auto e = rng_.errorVector(n);
     RnsPoly ep = polyFromSigned(e, q_moduli);
-    polyNttForward(ep, ctx_.qTables());
+    kb.nttForward(ep, ctx_.qTables());
 
-    // b = -a*s + e over Q.
-    pk.b = RnsPoly(ctx_.degree(), nq, Rep::Eval);
-    for (size_t l = 0; l < nq; ++l) {
-        const Modulus &q = q_moduli[l];
-        const u64 *pa = pk.a.limb(l);
-        const u64 *ps = sk.s.limb(l); // q limbs of sk come first
-        const u64 *pe = ep.limb(l);
-        u64 *pb = pk.b.limb(l);
-        for (size_t i = 0; i < ctx_.degree(); ++i)
-            pb[i] = q.add(q.neg(q.mul(pa[i], ps[i])), pe[i]);
-    }
+    // b = e - a*s over Q (the q limbs of sk come first).
+    RnsPoly s(n, nq, Rep::Eval);
+    for (size_t l = 0; l < nq; ++l)
+        std::copy(sk.s.limb(l), sk.s.limb(l) + n, s.limb(l));
+    RnsPoly as(n, nq, Rep::Eval);
+    kb.mulEval(pk.a, s, q_moduli, as);
+    pk.b = RnsPoly(n, nq, Rep::Eval);
+    kb.sub(ep, as, q_moduli, pk.b);
     return pk;
 }
 
@@ -85,29 +87,29 @@ KeyGenerator::makeEvk(const SecretKey &sk, const RnsPoly &s_prime)
     const auto moduli = ctx_.keyModuli(L);
     const size_t nq = static_cast<size_t>(L) + 1;
     const size_t n = ctx_.degree();
+    KernelBackend &kb = ctx_.backend();
 
     EvalKey evk;
     for (int d = 0; d < ctx_.dnum(); ++d) {
         RnsPoly a = uniformKeyPoly();
         RnsPoly e = errorKeyPoly();
-        RnsPoly b(n, moduli.size(), Rep::Eval);
         const auto &g = ctx_.gadget(d);
-        for (size_t l = 0; l < moduli.size(); ++l) {
-            const Modulus &m = moduli[l];
-            // Payload P * g_d * s' vanishes mod the special primes
-            // because P = prod(B) = 0 mod p_j.
-            const u64 payload_const =
-                l < nq ? m.mul(ctx_.pModQ(l), g[l]) : 0;
-            const u64 *pa = a.limb(l);
-            const u64 *ps = sk.s.limb(l);
-            const u64 *pe = e.limb(l);
-            const u64 *psp = s_prime.limb(l);
-            u64 *pb = b.limb(l);
-            for (size_t i = 0; i < n; ++i) {
-                u64 v = m.add(m.neg(m.mul(pa[i], ps[i])), pe[i]);
-                pb[i] = m.add(v, m.mul(payload_const, psp[i]));
-            }
-        }
+
+        // Payload constant P * g_d per limb; it vanishes mod the
+        // special primes because P = prod(B) = 0 mod p_j.
+        std::vector<u64> payload(moduli.size(), 0);
+        for (size_t l = 0; l < nq; ++l)
+            payload[l] = moduli[l].mul(ctx_.pModQ(l), g[l]);
+
+        // b = (e - a*s) + (P * g_d) * s'.
+        RnsPoly as(n, moduli.size(), Rep::Eval);
+        kb.mulEval(a, sk.s, moduli, as);
+        RnsPoly b(n, moduli.size(), Rep::Eval);
+        kb.sub(e, as, moduli, b);
+        RnsPoly pay(n, moduli.size(), Rep::Eval);
+        kb.mulScalar(s_prime, payload, moduli, pay);
+        kb.add(b, pay, moduli, b);
+
         evk.a.push_back(std::move(a));
         evk.b.push_back(std::move(b));
     }
@@ -119,7 +121,7 @@ KeyGenerator::evkMult(const SecretKey &sk)
 {
     const auto moduli = ctx_.keyModuli(ctx_.maxLevel());
     RnsPoly s2(ctx_.degree(), moduli.size(), Rep::Eval);
-    polyMulEval(sk.s, sk.s, moduli, s2);
+    ctx_.backend().mulEval(sk.s, sk.s, moduli, s2);
     return makeEvk(sk, s2);
 }
 
@@ -128,7 +130,7 @@ KeyGenerator::evkGalois(const SecretKey &sk, u64 galois_elt)
 {
     const auto moduli = ctx_.keyModuli(ctx_.maxLevel());
     const Automorphism &am = ctx_.automorphism(galois_elt);
-    RnsPoly sr = am.apply(sk.s, moduli);
+    RnsPoly sr = ctx_.backend().automorphism(am, sk.s, moduli);
     return makeEvk(sk, sr);
 }
 

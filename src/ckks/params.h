@@ -16,6 +16,7 @@
 #include <string>
 
 #include "common/types.h"
+#include "rns/backend_kind.h"
 
 namespace ark {
 
@@ -35,6 +36,15 @@ struct CkksParams
     size_t hamming_weight = 0; ///< secret key weight (0 = dense ternary)
     /** Levels consumed by bootstrapping (paper Table III, L_boot). */
     int boot_levels = 0;
+
+    /**
+     * Kernel engine executing all limb-level compute (rns/backend.h).
+     * Overridable at runtime with ARK_BACKEND=scalar|parallel.
+     */
+    BackendKind backend = BackendKind::Scalar;
+    /** Thread-pool size for the parallel backend (0 = hardware
+     *  concurrency; overridable with ARK_THREADS). */
+    size_t backend_threads = 0;
 
     /** alpha = (L + 1) / dnum special primes. */
     int alpha() const { return (max_level + 1) / dnum; }

@@ -39,4 +39,16 @@ TrafficAnalyzer::analyze(const HdftPlan &plan, const AlgoConfig &cfg) const
     return pt;
 }
 
+TrafficPoint
+TrafficAnalyzer::analyzeMeasured(const KernelStats &stats) const
+{
+    TrafficPoint pt;
+    const double wb = static_cast<double>(params_.word_bytes);
+    pt.evk_bytes = static_cast<double>(stats.evk_words) * wb;
+    pt.plaintext_bytes =
+        static_cast<double>(stats.plaintext_words) * wb;
+    pt.mod_mults = static_cast<double>(stats.totalMults());
+    return pt;
+}
+
 } // namespace ark

@@ -16,6 +16,7 @@
 
 #include "core/hdft_plan.h"
 #include "core/op_cost.h"
+#include "rns/kernel_stats.h"
 
 namespace ark {
 
@@ -49,6 +50,17 @@ class TrafficAnalyzer
     /** Traffic + compute of one full H-(I)DFT under @p cfg. */
     TrafficPoint analyze(const HdftPlan &plan,
                          const AlgoConfig &cfg) const;
+
+    /**
+     * Traffic + compute from *measured* kernel tallies instead of the
+     * analytic plan: a KernelBackend records what actually executed
+     * (per-kernel modular mults, evk and plaintext operand streams)
+     * while the functional library runs a transform, and this converts
+     * those counts into the same Fig. 2 axes. Capture with
+     * backend.resetStats() / backend.stats() around the region of
+     * interest.
+     */
+    TrafficPoint analyzeMeasured(const KernelStats &stats) const;
 
   private:
     CkksParams params_;

@@ -1,0 +1,569 @@
+#include "rns/backend.h"
+
+#include <cstdlib>
+#include <cstring>
+
+#include "common/logging.h"
+#include "common/thread_pool.h"
+
+namespace ark {
+
+namespace {
+
+void
+checkBinary(const RnsPoly &a, const RnsPoly &b,
+            const std::vector<Modulus> &moduli, const RnsPoly &r)
+{
+    ARK_ASSERT(a.sameShape(b) && a.sameShape(r),
+               "operand shape mismatch");
+    ARK_ASSERT(a.rep() == b.rep(), "operand representation mismatch");
+    ARK_ASSERT(moduli.size() >= a.numLimbs(), "not enough moduli");
+}
+
+/** Butterfly mult count of one N-point (I)NTT limb. */
+u64
+nttMults(size_t n)
+{
+    u64 m = 0;
+    for (size_t s = n; s > 1; s >>= 1)
+        ++m;
+    return static_cast<u64>(n / 2) * m;
+}
+
+/** BConv scale stage for input limb @p j: dst = src * phat_j^-1. */
+void
+bconvScaleLimb(const BaseConverter &bc, size_t j, const u64 *src,
+               u64 *dst, size_t n)
+{
+    const Modulus &pj = bc.inBase()[j];
+    const u64 s = bc.phatInvModP(j);
+    const u64 ss = bc.phatInvModPShoup(j);
+    for (size_t c = 0; c < n; ++c)
+        dst[c] = pj.mulShoup(src[c], s, ss);
+}
+
+/** BConv base-table MAC lane for output limb @p i (lazy u128 acc). */
+void
+bconvMatmulLimb(const BaseConverter &bc, const RnsPoly &scaled, size_t i,
+                u64 *dst, size_t n)
+{
+    const Modulus &qi = bc.outBase()[i];
+    const size_t nb = bc.inBase().size();
+    for (size_t c = 0; c < n; ++c) {
+        u128 acc = 0;
+        for (size_t j = 0; j < nb; ++j)
+            acc += static_cast<u128>(scaled.limb(j)[c]) *
+                   bc.baseTable(i, j);
+        dst[c] = qi.reduce(acc);
+    }
+}
+
+} // namespace
+
+// ---------------------------------------------------------------------------
+// Element-wise limb kernels. Loop bodies are the reference scalar code;
+// the executor (run) decides how limb jobs map onto threads, which is
+// the only difference between backends — hence bit-exact parity.
+// ---------------------------------------------------------------------------
+
+void
+KernelBackend::add(const RnsPoly &a, const RnsPoly &b,
+                   const std::vector<Modulus> &moduli, RnsPoly &r)
+{
+    checkBinary(a, b, moduli, r);
+    const size_t n = a.degree();
+    stats_.record(KernelOp::Add, a.numLimbs(), 3 * a.numLimbs() * n, 0);
+    run(a.numLimbs(), [&](size_t l) {
+        const u64 q = moduli[l].value();
+        const u64 *pa = a.limb(l), *pb = b.limb(l);
+        u64 *pr = r.limb(l);
+        for (size_t i = 0; i < n; ++i)
+            pr[i] = addMod(pa[i], pb[i], q);
+    });
+    r.setRep(a.rep());
+}
+
+void
+KernelBackend::sub(const RnsPoly &a, const RnsPoly &b,
+                   const std::vector<Modulus> &moduli, RnsPoly &r)
+{
+    checkBinary(a, b, moduli, r);
+    const size_t n = a.degree();
+    stats_.record(KernelOp::Sub, a.numLimbs(), 3 * a.numLimbs() * n, 0);
+    run(a.numLimbs(), [&](size_t l) {
+        const u64 q = moduli[l].value();
+        const u64 *pa = a.limb(l), *pb = b.limb(l);
+        u64 *pr = r.limb(l);
+        for (size_t i = 0; i < n; ++i)
+            pr[i] = subMod(pa[i], pb[i], q);
+    });
+    r.setRep(a.rep());
+}
+
+void
+KernelBackend::neg(const RnsPoly &a, const std::vector<Modulus> &moduli,
+                   RnsPoly &r)
+{
+    ARK_ASSERT(a.sameShape(r), "operand shape mismatch");
+    const size_t n = a.degree();
+    stats_.record(KernelOp::Neg, a.numLimbs(), 2 * a.numLimbs() * n, 0);
+    run(a.numLimbs(), [&](size_t l) {
+        const u64 q = moduli[l].value();
+        const u64 *pa = a.limb(l);
+        u64 *pr = r.limb(l);
+        for (size_t i = 0; i < n; ++i)
+            pr[i] = pa[i] == 0 ? 0 : q - pa[i];
+    });
+    r.setRep(a.rep());
+}
+
+void
+KernelBackend::mulEval(const RnsPoly &a, const RnsPoly &b,
+                       const std::vector<Modulus> &moduli, RnsPoly &r)
+{
+    checkBinary(a, b, moduli, r);
+    ARK_ASSERT(a.rep() == Rep::Eval,
+               "pointwise multiply requires evaluation representation");
+    const size_t n = a.degree();
+    stats_.record(KernelOp::MulEval, a.numLimbs(),
+                  3 * a.numLimbs() * n, a.numLimbs() * n);
+    run(a.numLimbs(), [&](size_t l) {
+        const Modulus &q = moduli[l];
+        const u64 *pa = a.limb(l), *pb = b.limb(l);
+        u64 *pr = r.limb(l);
+        for (size_t i = 0; i < n; ++i)
+            pr[i] = q.mul(pa[i], pb[i]);
+    });
+    r.setRep(Rep::Eval);
+}
+
+void
+KernelBackend::mulAccEval(const RnsPoly &a, const RnsPoly &b,
+                          const std::vector<Modulus> &moduli, RnsPoly &r)
+{
+    checkBinary(a, b, moduli, r);
+    ARK_ASSERT(a.rep() == Rep::Eval && r.rep() == Rep::Eval,
+               "MAC requires evaluation representation");
+    const size_t n = a.degree();
+    stats_.record(KernelOp::MulAccEval, a.numLimbs(),
+                  4 * a.numLimbs() * n, a.numLimbs() * n);
+    run(a.numLimbs(), [&](size_t l) {
+        const Modulus &q = moduli[l];
+        const u64 *pa = a.limb(l), *pb = b.limb(l);
+        u64 *pr = r.limb(l);
+        for (size_t i = 0; i < n; ++i)
+            pr[i] = q.add(pr[i], q.mul(pa[i], pb[i]));
+    });
+}
+
+void
+KernelBackend::mulScalar(const RnsPoly &a,
+                         const std::vector<u64> &scalar_per_limb,
+                         const std::vector<Modulus> &moduli, RnsPoly &r)
+{
+    ARK_ASSERT(a.sameShape(r), "operand shape mismatch");
+    ARK_ASSERT(scalar_per_limb.size() >= a.numLimbs(), "missing scalars");
+    const size_t n = a.degree();
+    stats_.record(KernelOp::MulScalar, a.numLimbs(),
+                  2 * a.numLimbs() * n, a.numLimbs() * n);
+    run(a.numLimbs(), [&](size_t l) {
+        const Modulus &q = moduli[l];
+        const u64 s = scalar_per_limb[l];
+        const u64 ss = q.shoupPrecompute(s);
+        const u64 *pa = a.limb(l);
+        u64 *pr = r.limb(l);
+        for (size_t i = 0; i < n; ++i)
+            pr[i] = q.mulShoup(pa[i], s, ss);
+    });
+    r.setRep(a.rep());
+}
+
+void
+KernelBackend::addScalar(const RnsPoly &a,
+                         const std::vector<u64> &scalar_per_limb,
+                         const std::vector<Modulus> &moduli, RnsPoly &r)
+{
+    ARK_ASSERT(a.sameShape(r), "operand shape mismatch");
+    const size_t n = a.degree();
+    stats_.record(KernelOp::AddScalar, a.numLimbs(),
+                  2 * a.numLimbs() * n, 0);
+    run(a.numLimbs(), [&](size_t l) {
+        const u64 q = moduli[l].value();
+        const u64 s = scalar_per_limb[l];
+        const u64 *pa = a.limb(l);
+        u64 *pr = r.limb(l);
+        for (size_t i = 0; i < n; ++i)
+            pr[i] = addMod(pa[i], s, q);
+    });
+    r.setRep(a.rep());
+}
+
+void
+KernelBackend::subMulScalar(const RnsPoly &a, const RnsPoly &b,
+                            const std::vector<u64> &scalar_per_limb,
+                            const std::vector<Modulus> &moduli, RnsPoly &r)
+{
+    const size_t limbs = r.numLimbs();
+    ARK_ASSERT(a.numLimbs() >= limbs && b.numLimbs() >= limbs,
+               "operands carry fewer limbs than the result");
+    ARK_ASSERT(a.degree() == r.degree() && b.degree() == r.degree(),
+               "degree mismatch");
+    ARK_ASSERT(a.rep() == b.rep(), "operand representation mismatch");
+    ARK_ASSERT(scalar_per_limb.size() >= limbs && moduli.size() >= limbs,
+               "missing scalars or moduli");
+    const size_t n = r.degree();
+    stats_.record(KernelOp::SubMulScalar, limbs, 3 * limbs * n,
+                  limbs * n);
+    run(limbs, [&](size_t l) {
+        const Modulus &q = moduli[l];
+        const u64 s = scalar_per_limb[l];
+        const u64 ss = q.shoupPrecompute(s);
+        const u64 *pa = a.limb(l), *pb = b.limb(l);
+        u64 *pr = r.limb(l);
+        for (size_t i = 0; i < n; ++i)
+            pr[i] = q.mulShoup(q.sub(pa[i], pb[i]), s, ss);
+    });
+    r.setRep(a.rep());
+}
+
+void
+KernelBackend::monomialMul(const RnsPoly &a, size_t shift,
+                           const std::vector<Modulus> &moduli, RnsPoly &r)
+{
+    ARK_ASSERT(a.sameShape(r), "operand shape mismatch");
+    ARK_ASSERT(a.rep() == Rep::Coeff,
+               "monomial multiply needs the coefficient representation");
+    const size_t n = a.degree();
+    ARK_ASSERT(shift < n, "shift must be < N");
+    stats_.record(KernelOp::MonomialMul, a.numLimbs(),
+                  2 * a.numLimbs() * n, 0);
+    run(a.numLimbs(), [&](size_t l) {
+        const u64 q = moduli[l].value();
+        const u64 *pa = a.limb(l);
+        u64 *pr = r.limb(l);
+        // X^shift * X^k = X^(k+shift), negated when it wraps past N.
+        for (size_t k = 0; k + shift < n; ++k)
+            pr[k + shift] = pa[k];
+        for (size_t k = n - shift; k < n; ++k)
+            pr[k + shift - n] = pa[k] == 0 ? 0 : q - pa[k];
+    });
+    r.setRep(Rep::Coeff);
+}
+
+void
+KernelBackend::limbEmbed(const std::vector<u64> &src, const Modulus &src_q,
+                         const std::vector<Modulus> &out_moduli,
+                         RnsPoly &out)
+{
+    const size_t n = out.degree();
+    ARK_ASSERT(src.size() == n, "source limb length mismatch");
+    ARK_ASSERT(out_moduli.size() >= out.numLimbs(), "not enough moduli");
+    ARK_ASSERT(out.rep() == Rep::Coeff, "limbEmbed produces Coeff rep");
+    const u64 q0 = src_q.value();
+    const u64 half = q0 / 2;
+    stats_.record(KernelOp::LimbEmbed, out.numLimbs(),
+                  2 * out.numLimbs() * n, 0);
+    run(out.numLimbs(), [&](size_t l) {
+        const u64 q = out_moduli[l].value();
+        const u64 q0_mod = q0 % q;
+        u64 *dst = out.limb(l);
+        for (size_t i = 0; i < n; ++i) {
+            const u64 v = src[i];
+            u64 rr = v % q;
+            if (v > half) // negative centered residue: subtract q0
+                rr = subMod(rr, q0_mod, q);
+            dst[i] = rr;
+        }
+    });
+}
+
+void
+KernelBackend::evkMulAcc(const RnsPoly &digit, const RnsPoly &evk_b,
+                         const RnsPoly &evk_a, size_t nq, size_t full_nq,
+                         const std::vector<Modulus> &key_moduli,
+                         RnsPoly &acc_b, RnsPoly &acc_a)
+{
+    const size_t limbs = digit.numLimbs();
+    const size_t n = digit.degree();
+    ARK_ASSERT(digit.rep() == Rep::Eval && acc_b.rep() == Rep::Eval &&
+                   acc_a.rep() == Rep::Eval,
+               "evk MAC requires evaluation representation");
+    ARK_ASSERT(acc_b.sameShape(digit) && acc_a.sameShape(digit),
+               "accumulator shape mismatch");
+    ARK_ASSERT(limbs >= nq && key_moduli.size() >= limbs,
+               "digit limb count inconsistent with nq");
+    ARK_ASSERT(evk_b.numLimbs() == full_nq + (limbs - nq) &&
+                   evk_b.sameShape(evk_a),
+               "evk polys must span the full key basis");
+    stats_.record(KernelOp::EvkMulAcc, limbs, 7 * limbs * n,
+                  2 * limbs * n);
+    stats_.evk_words += 2 * limbs * n; // evk operand stream
+    run(limbs, [&](size_t l) {
+        // evk polys span the full basis; select the matching limb.
+        const size_t evk_limb = l < nq ? l : full_nq + (l - nq);
+        const Modulus &m = key_moduli[l];
+        const u64 *pd = digit.limb(l);
+        const u64 *kb = evk_b.limb(evk_limb);
+        const u64 *ka = evk_a.limb(evk_limb);
+        u64 *ab = acc_b.limb(l);
+        u64 *aa = acc_a.limb(l);
+        for (size_t i = 0; i < n; ++i) {
+            ab[i] = m.add(ab[i], m.mul(pd[i], kb[i]));
+            aa[i] = m.add(aa[i], m.mul(pd[i], ka[i]));
+        }
+    });
+}
+
+// ---------------------------------------------------------------------------
+// NTT kernels
+// ---------------------------------------------------------------------------
+
+void
+KernelBackend::nttForward(RnsPoly &p,
+                          const std::vector<const NttTables *> &tables)
+{
+    ARK_ASSERT(p.rep() == Rep::Coeff, "forward NTT needs Coeff rep");
+    ARK_ASSERT(tables.size() >= p.numLimbs(), "not enough NTT tables");
+    const size_t n = p.degree();
+    stats_.record(KernelOp::NttForward, p.numLimbs(),
+                  2 * p.numLimbs() * n, p.numLimbs() * nttMults(n));
+    run(p.numLimbs(), [&](size_t l) { tables[l]->forward(p.limb(l)); });
+    p.setRep(Rep::Eval);
+}
+
+void
+KernelBackend::nttInverse(RnsPoly &p,
+                          const std::vector<const NttTables *> &tables)
+{
+    ARK_ASSERT(p.rep() == Rep::Eval, "inverse NTT needs Eval rep");
+    ARK_ASSERT(tables.size() >= p.numLimbs(), "not enough NTT tables");
+    const size_t n = p.degree();
+    stats_.record(KernelOp::NttInverse, p.numLimbs(),
+                  2 * p.numLimbs() * n,
+                  p.numLimbs() * (nttMults(n) + n));
+    run(p.numLimbs(), [&](size_t l) { tables[l]->inverse(p.limb(l)); });
+    p.setRep(Rep::Coeff);
+}
+
+void
+KernelBackend::nttForward(RnsPoly &p, const std::vector<NttTables> &tables)
+{
+    std::vector<const NttTables *> ptrs(p.numLimbs());
+    for (size_t l = 0; l < p.numLimbs(); ++l)
+        ptrs[l] = &tables[l];
+    nttForward(p, ptrs);
+}
+
+void
+KernelBackend::nttInverse(RnsPoly &p, const std::vector<NttTables> &tables)
+{
+    std::vector<const NttTables *> ptrs(p.numLimbs());
+    for (size_t l = 0; l < p.numLimbs(); ++l)
+        ptrs[l] = &tables[l];
+    nttInverse(p, ptrs);
+}
+
+void
+KernelBackend::nttForwardLimb(u64 *limb, const NttTables &table)
+{
+    const size_t n = table.degree();
+    stats_.record(KernelOp::NttForward, 1, 2 * n, nttMults(n));
+    table.forward(limb);
+}
+
+void
+KernelBackend::nttInverseLimb(u64 *limb, const NttTables &table)
+{
+    const size_t n = table.degree();
+    stats_.record(KernelOp::NttInverse, 1, 2 * n, nttMults(n) + n);
+    table.inverse(limb);
+}
+
+// ---------------------------------------------------------------------------
+// BConv, automorphism, and the fused key-switch digit path
+// ---------------------------------------------------------------------------
+
+RnsPoly
+KernelBackend::bconv(const BaseConverter &bc, const RnsPoly &in)
+{
+    ARK_ASSERT(in.rep() == Rep::Coeff, "BConv needs Coeff rep");
+    ARK_ASSERT(in.numLimbs() == bc.inBase().size(),
+               "input limb count must match input base");
+    const size_t nb = bc.inBase().size();
+    const size_t nc = bc.outBase().size();
+    const size_t n = in.degree();
+    ARK_ASSERT(nb <= 256, "too many input limbs for lazy accumulation");
+    stats_.record(KernelOp::BConv, nb + nc, (nb + nc) * n,
+                  nb * n + nb * nc * n);
+
+    // Scale stage: limb j times phat_j^-1 mod p_j.
+    RnsPoly scaled(n, nb, Rep::Coeff);
+    run(nb, [&](size_t j) {
+        bconvScaleLimb(bc, j, in.limb(j), scaled.limb(j), n);
+    });
+
+    // Matmul stage: one output limb per job (a 1 x |B| MAC lane).
+    RnsPoly out(n, nc, Rep::Coeff);
+    run(nc, [&](size_t i) {
+        bconvMatmulLimb(bc, scaled, i, out.limb(i), n);
+    });
+    return out;
+}
+
+RnsPoly
+KernelBackend::automorphism(const Automorphism &am, const RnsPoly &p,
+                            const std::vector<Modulus> &moduli)
+{
+    const size_t n = p.degree();
+    stats_.record(KernelOp::Automorphism, p.numLimbs(),
+                  2 * p.numLimbs() * n, 0);
+    RnsPoly out(n, p.numLimbs(), p.rep());
+    run(p.numLimbs(), [&](size_t l) {
+        if (p.rep() == Rep::Coeff)
+            am.applyCoeff(p.limb(l), out.limb(l), moduli[l]);
+        else
+            am.applyEval(p.limb(l), out.limb(l));
+    });
+    return out;
+}
+
+RnsPoly
+KernelBackend::nttBconvNtt(const RnsPoly &digit,
+                           const std::vector<const NttTables *> &in_tables,
+                           const BaseConverter &bc,
+                           const std::vector<const NttTables *> &out_tables)
+{
+    const size_t nb = bc.inBase().size();
+    const size_t nc = bc.outBase().size();
+    const size_t n = digit.degree();
+    ARK_ASSERT(digit.rep() == Rep::Eval,
+               "fused digit path starts from the evaluation rep");
+    ARK_ASSERT(digit.numLimbs() == nb, "digit limbs must match in-base");
+    ARK_ASSERT(in_tables.size() >= nb && out_tables.size() >= nc,
+               "not enough NTT tables");
+    ARK_ASSERT(nb <= 256, "too many input limbs for lazy accumulation");
+    // Tally the fused call itself, then credit the component counters
+    // so FU-level consumers (simulator) see the right per-FU split.
+    stats_.record(KernelOp::NttBconvNtt, nb + nc, 0, 0);
+    stats_.record(KernelOp::NttInverse, nb, 2 * nb * n,
+                  nb * (nttMults(n) + n));
+    stats_.record(KernelOp::BConv, nb + nc, (nb + nc) * n,
+                  nb * n + nb * nc * n);
+    stats_.record(KernelOp::NttForward, nc, 2 * nc * n,
+                  nc * nttMults(n));
+
+    // Stage 1: INTT each digit limb and fold the BConv scale stage
+    // into the INTT output pass (the NTTU's BConv-mult unit, Fig. 5),
+    // writing one shared scratch matrix.
+    RnsPoly scaled(n, nb, Rep::Coeff);
+    run(nb, [&](size_t j) {
+        u64 *dst = scaled.limb(j);
+        std::memcpy(dst, digit.limb(j), n * sizeof(u64));
+        in_tables[j]->inverse(dst);
+        bconvScaleLimb(bc, j, dst, dst, n);
+    });
+
+    // Stage 2: per output limb, run the base-table MAC and immediately
+    // forward-NTT the produced limb in place — no materialized
+    // coefficient-rep intermediate between BConv and NTT.
+    RnsPoly out(n, nc, Rep::Coeff);
+    run(nc, [&](size_t i) {
+        bconvMatmulLimb(bc, scaled, i, out.limb(i), n);
+        out_tables[i]->forward(out.limb(i));
+    });
+    out.setRep(Rep::Eval);
+    return out;
+}
+
+// ---------------------------------------------------------------------------
+// Engines and factory
+// ---------------------------------------------------------------------------
+
+void
+ScalarBackend::run(size_t jobs, const std::function<void(size_t)> &fn) const
+{
+    for (size_t i = 0; i < jobs; ++i)
+        fn(i);
+}
+
+ParallelBackend::ParallelBackend(size_t num_threads)
+    : pool_(std::make_unique<ThreadPool>(num_threads))
+{
+}
+
+ParallelBackend::~ParallelBackend() = default;
+
+size_t
+ParallelBackend::threads() const
+{
+    return pool_->threads();
+}
+
+void
+ParallelBackend::run(size_t jobs,
+                     const std::function<void(size_t)> &fn) const
+{
+    pool_->parallelFor(jobs, fn);
+}
+
+std::unique_ptr<KernelBackend>
+makeKernelBackend(BackendKind kind, size_t num_threads)
+{
+    switch (kind) {
+      case BackendKind::Scalar:
+        return std::make_unique<ScalarBackend>();
+      case BackendKind::Parallel:
+        return std::make_unique<ParallelBackend>(num_threads);
+    }
+    ARK_PANIC("unreachable");
+}
+
+bool
+parseBackendKind(const char *name, BackendKind &out)
+{
+    if (std::strcmp(name, "scalar") == 0) {
+        out = BackendKind::Scalar;
+        return true;
+    }
+    if (std::strcmp(name, "parallel") == 0) {
+        out = BackendKind::Parallel;
+        return true;
+    }
+    return false;
+}
+
+BackendKind
+backendKindFromEnv(BackendKind fallback)
+{
+    const char *env = std::getenv("ARK_BACKEND");
+    if (env == nullptr || *env == '\0')
+        return fallback;
+    BackendKind kind;
+    if (!parseBackendKind(env, kind))
+        ARK_FATAL("ARK_BACKEND must be 'scalar' or 'parallel'");
+    return kind;
+}
+
+size_t
+backendThreadsFromEnv(size_t fallback)
+{
+    const char *env = std::getenv("ARK_THREADS");
+    if (env == nullptr || *env == '\0')
+        return fallback;
+    char *end = nullptr;
+    const unsigned long v = std::strtoul(env, &end, 10);
+    if (end == env || *end != '\0')
+        ARK_FATAL("ARK_THREADS must be a non-negative integer");
+    return static_cast<size_t>(v);
+}
+
+KernelBackend &
+processBackend()
+{
+    static std::unique_ptr<KernelBackend> backend = makeKernelBackend(
+        backendKindFromEnv(BackendKind::Scalar),
+        backendThreadsFromEnv(0));
+    return *backend;
+}
+
+} // namespace ark

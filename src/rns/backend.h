@@ -1,0 +1,199 @@
+/**
+ * @file
+ * Pluggable kernel-backend layer: every limb-level kernel of the
+ * library — element-wise limb ops, (I)NTT, BConv, automorphism, the
+ * evk MAC, and the fused INTT->BConv->NTT key-switch digit path
+ * (Alg. 1) — executes behind this interface.
+ *
+ * The scheme layers (ckks/, boot/) never touch kernel loops directly;
+ * they dispatch through the KernelBackend owned by their CkksContext.
+ * That seam is what lets the same scheme code run on the scalar
+ * reference engine, the limb-parallel thread-pool engine, and any
+ * future accelerator-style engine, and it is where per-kernel
+ * invocation counts and word-traffic tallies (KernelStats) are
+ * recorded for core/traffic_analyzer and sim/simulator to consume.
+ *
+ * Both shipped backends execute the exact same per-limb loop bodies —
+ * they differ only in the executor that maps limb jobs onto threads —
+ * so ParallelBackend results are bit-identical to ScalarBackend by
+ * construction (and tests/test_backend_parity.cpp enforces it).
+ */
+
+#pragma once
+
+#include <functional>
+#include <memory>
+#include <vector>
+
+#include "rns/automorphism.h"
+#include "rns/backend_kind.h"
+#include "rns/bconv.h"
+#include "rns/kernel_stats.h"
+#include "rns/ntt.h"
+#include "rns/poly.h"
+
+namespace ark {
+
+/** Engine executing all limb-level kernels; owned by a CkksContext. */
+class KernelBackend
+{
+  public:
+    virtual ~KernelBackend() = default;
+
+    virtual const char *name() const = 0;
+    virtual BackendKind kind() const = 0;
+    /** Threads applied to a kernel (1 for the scalar engine). */
+    virtual size_t threads() const = 0;
+
+    /// @name Element-wise limb kernels
+    /// @{
+    void add(const RnsPoly &a, const RnsPoly &b,
+             const std::vector<Modulus> &moduli, RnsPoly &r);
+    void sub(const RnsPoly &a, const RnsPoly &b,
+             const std::vector<Modulus> &moduli, RnsPoly &r);
+    void neg(const RnsPoly &a, const std::vector<Modulus> &moduli,
+             RnsPoly &r);
+    void mulEval(const RnsPoly &a, const RnsPoly &b,
+                 const std::vector<Modulus> &moduli, RnsPoly &r);
+    void mulAccEval(const RnsPoly &a, const RnsPoly &b,
+                    const std::vector<Modulus> &moduli, RnsPoly &r);
+    void mulScalar(const RnsPoly &a,
+                   const std::vector<u64> &scalar_per_limb,
+                   const std::vector<Modulus> &moduli, RnsPoly &r);
+    void addScalar(const RnsPoly &a,
+                   const std::vector<u64> &scalar_per_limb,
+                   const std::vector<Modulus> &moduli, RnsPoly &r);
+    /**
+     * Fused r_l = (a_l - b_l) * s_l over the first r.numLimbs() limbs
+     * (the ModDown-by-P and rescale tails; a/b may carry more limbs).
+     */
+    void subMulScalar(const RnsPoly &a, const RnsPoly &b,
+                      const std::vector<u64> &scalar_per_limb,
+                      const std::vector<Modulus> &moduli, RnsPoly &r);
+    /** Negacyclic multiply by X^shift (Coeff rep; mulByI uses N/2). */
+    void monomialMul(const RnsPoly &a, size_t shift,
+                     const std::vector<Modulus> &moduli, RnsPoly &r);
+    /**
+     * Extend one limb of centered residues mod @p src_q into every
+     * limb of @p out (Coeff rep): values above src_q/2 embed as
+     * negative. This is the ModRaise embedding and the OF-Limb
+     * runtime limb generation (Eq. 12).
+     */
+    void limbEmbed(const std::vector<u64> &src, const Modulus &src_q,
+                   const std::vector<Modulus> &out_moduli, RnsPoly &out);
+    /**
+     * One key-switch MAC (Alg. 2 line 5, the MADU inner loop):
+     * acc_b += digit * evk_b, acc_a += digit * evk_a, where the evk
+     * polys span the full [q_0..q_L, p_*] basis and the digit spans
+     * [q_0..q_level, p_*]; @p nq = level+1, @p full_nq = L+1 select
+     * the matching evk limb. Also tallies the evk operand stream.
+     */
+    void evkMulAcc(const RnsPoly &digit, const RnsPoly &evk_b,
+                   const RnsPoly &evk_a, size_t nq, size_t full_nq,
+                   const std::vector<Modulus> &key_moduli,
+                   RnsPoly &acc_b, RnsPoly &acc_a);
+    /// @}
+
+    /// @name NTT kernels
+    /// @{
+    void nttForward(RnsPoly &p, const std::vector<NttTables> &tables);
+    void nttInverse(RnsPoly &p, const std::vector<NttTables> &tables);
+    /** Per-limb table selection (extended/key polys, digit slices). */
+    void nttForward(RnsPoly &p,
+                    const std::vector<const NttTables *> &tables);
+    void nttInverse(RnsPoly &p,
+                    const std::vector<const NttTables *> &tables);
+    /** Single detached limb (rescale / ModRaise bookkeeping). */
+    void nttForwardLimb(u64 *limb, const NttTables &table);
+    void nttInverseLimb(u64 *limb, const NttTables &table);
+    /// @}
+
+    /// @name Base conversion and automorphism
+    /// @{
+    /** BConv @p in (Coeff rep over bc.inBase()) to bc.outBase(). */
+    RnsPoly bconv(const BaseConverter &bc, const RnsPoly &in);
+    /** Apply @p am to every limb of @p p (either representation). */
+    RnsPoly automorphism(const Automorphism &am, const RnsPoly &p,
+                         const std::vector<Modulus> &moduli);
+    /**
+     * Fused key-switch digit path (Alg. 1): INTT the Eval-rep digit
+     * with @p in_tables, base-convert through @p bc, and forward-NTT
+     * each output limb with @p out_tables — one pipelined call with a
+     * single scratch buffer instead of three materialized
+     * intermediates. Returns the converted limbs in Eval rep.
+     */
+    RnsPoly nttBconvNtt(const RnsPoly &digit,
+                        const std::vector<const NttTables *> &in_tables,
+                        const BaseConverter &bc,
+                        const std::vector<const NttTables *> &out_tables);
+    /// @}
+
+    /// @name Measured execution tallies
+    /// @{
+    const KernelStats &stats() const { return stats_; }
+    void resetStats() { stats_.clear(); }
+    /** Operand-stream traffic noted by scheme layers (PlaintextStore). */
+    void notePlaintextWords(u64 words)
+    {
+        stats_.plaintext_words += words;
+    }
+    /// @}
+
+  protected:
+    /**
+     * Execute @p jobs independent jobs (one per limb row, or one per
+     * output limb). The only point where the engines differ.
+     */
+    virtual void run(size_t jobs,
+                     const std::function<void(size_t)> &fn) const = 0;
+
+    KernelStats stats_;
+};
+
+/** The reference engine: serial execution of every job. */
+class ScalarBackend final : public KernelBackend
+{
+  public:
+    const char *name() const override { return "scalar"; }
+    BackendKind kind() const override { return BackendKind::Scalar; }
+    size_t threads() const override { return 1; }
+
+  protected:
+    void run(size_t jobs,
+             const std::function<void(size_t)> &fn) const override;
+};
+
+class ThreadPool;
+
+/** Limb-parallel engine over a work-stealing thread pool. */
+class ParallelBackend final : public KernelBackend
+{
+  public:
+    /** @param num_threads pool workers; 0 = hardware concurrency. */
+    explicit ParallelBackend(size_t num_threads = 0);
+    ~ParallelBackend() override;
+
+    const char *name() const override { return "parallel"; }
+    BackendKind kind() const override { return BackendKind::Parallel; }
+    size_t threads() const override;
+
+  protected:
+    void run(size_t jobs,
+             const std::function<void(size_t)> &fn) const override;
+
+  private:
+    std::unique_ptr<ThreadPool> pool_;
+};
+
+/** Build a backend of @p kind (@p num_threads: 0 = hardware). */
+std::unique_ptr<KernelBackend> makeKernelBackend(BackendKind kind,
+                                                 size_t num_threads = 0);
+
+/**
+ * Process-wide backend used by the RnsPoly free-function wrappers
+ * (callers without a CkksContext). Selected by ARK_BACKEND /
+ * ARK_THREADS at first use; defaults to the scalar engine.
+ */
+KernelBackend &processBackend();
+
+} // namespace ark

@@ -1,0 +1,35 @@
+/**
+ * @file
+ * Backend selector shared by CkksParams and the kernel-backend
+ * factory. Lives in its own header so the lightweight params header
+ * does not have to pull in the full backend interface.
+ */
+
+#pragma once
+
+#include <cstddef>
+
+namespace ark {
+
+/** Which kernel engine executes limb-level compute. */
+enum class BackendKind {
+    Scalar,   ///< single-threaded reference loops
+    Parallel, ///< limb-parallel over a work-stealing thread pool
+};
+
+inline const char *
+backendKindName(BackendKind kind)
+{
+    return kind == BackendKind::Scalar ? "scalar" : "parallel";
+}
+
+/** Parse "scalar" / "parallel"; returns false on anything else. */
+bool parseBackendKind(const char *name, BackendKind &out);
+
+/** ARK_BACKEND env override, else @p fallback. */
+BackendKind backendKindFromEnv(BackendKind fallback);
+
+/** ARK_THREADS env override, else @p fallback (0 = hardware). */
+size_t backendThreadsFromEnv(size_t fallback);
+
+} // namespace ark

@@ -56,6 +56,14 @@ class BaseConverter
         return base_table_[i * in_base_.size() + j];
     }
 
+    /** Scale-stage constant phat_j^-1 mod p_j (for kernel backends). */
+    u64 phatInvModP(size_t j) const { return phat_inv_mod_pj_[j]; }
+    /** Shoup companion of phatInvModP. */
+    u64 phatInvModPShoup(size_t j) const
+    {
+        return phat_inv_mod_pj_shoup_[j];
+    }
+
   private:
     std::vector<Modulus> in_base_;
     std::vector<Modulus> out_base_;

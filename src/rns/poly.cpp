@@ -1,6 +1,7 @@
 #include "rns/poly.h"
 
 #include "common/logging.h"
+#include "rns/backend.h"
 
 namespace ark {
 
@@ -26,156 +27,67 @@ RnsPoly::extendLimbs(size_t extra)
     data_.resize(num_limbs_ * degree_, 0);
 }
 
-namespace {
-
-void
-checkBinary(const RnsPoly &a, const RnsPoly &b,
-            const std::vector<Modulus> &moduli, const RnsPoly &r)
-{
-    ARK_ASSERT(a.sameShape(b) && a.sameShape(r),
-               "operand shape mismatch");
-    ARK_ASSERT(a.rep() == b.rep(), "operand representation mismatch");
-    ARK_ASSERT(moduli.size() >= a.numLimbs(), "not enough moduli");
-}
-
-} // namespace
+// The limb-level loops behind these wrappers live in rns/backend.cpp;
+// the process-wide backend honours ARK_BACKEND / ARK_THREADS.
 
 void
 polyAdd(const RnsPoly &a, const RnsPoly &b,
         const std::vector<Modulus> &moduli, RnsPoly &r)
 {
-    checkBinary(a, b, moduli, r);
-    const size_t n = a.degree();
-    for (size_t l = 0; l < a.numLimbs(); ++l) {
-        const u64 q = moduli[l].value();
-        const u64 *pa = a.limb(l), *pb = b.limb(l);
-        u64 *pr = r.limb(l);
-        for (size_t i = 0; i < n; ++i)
-            pr[i] = addMod(pa[i], pb[i], q);
-    }
-    r.setRep(a.rep());
+    processBackend().add(a, b, moduli, r);
 }
 
 void
 polySub(const RnsPoly &a, const RnsPoly &b,
         const std::vector<Modulus> &moduli, RnsPoly &r)
 {
-    checkBinary(a, b, moduli, r);
-    const size_t n = a.degree();
-    for (size_t l = 0; l < a.numLimbs(); ++l) {
-        const u64 q = moduli[l].value();
-        const u64 *pa = a.limb(l), *pb = b.limb(l);
-        u64 *pr = r.limb(l);
-        for (size_t i = 0; i < n; ++i)
-            pr[i] = subMod(pa[i], pb[i], q);
-    }
-    r.setRep(a.rep());
+    processBackend().sub(a, b, moduli, r);
 }
 
 void
 polyNeg(const RnsPoly &a, const std::vector<Modulus> &moduli, RnsPoly &r)
 {
-    ARK_ASSERT(a.sameShape(r), "operand shape mismatch");
-    const size_t n = a.degree();
-    for (size_t l = 0; l < a.numLimbs(); ++l) {
-        const u64 q = moduli[l].value();
-        const u64 *pa = a.limb(l);
-        u64 *pr = r.limb(l);
-        for (size_t i = 0; i < n; ++i)
-            pr[i] = pa[i] == 0 ? 0 : q - pa[i];
-    }
-    r.setRep(a.rep());
+    processBackend().neg(a, moduli, r);
 }
 
 void
 polyMulEval(const RnsPoly &a, const RnsPoly &b,
             const std::vector<Modulus> &moduli, RnsPoly &r)
 {
-    checkBinary(a, b, moduli, r);
-    ARK_ASSERT(a.rep() == Rep::Eval,
-               "pointwise multiply requires evaluation representation");
-    const size_t n = a.degree();
-    for (size_t l = 0; l < a.numLimbs(); ++l) {
-        const Modulus &q = moduli[l];
-        const u64 *pa = a.limb(l), *pb = b.limb(l);
-        u64 *pr = r.limb(l);
-        for (size_t i = 0; i < n; ++i)
-            pr[i] = q.mul(pa[i], pb[i]);
-    }
-    r.setRep(Rep::Eval);
+    processBackend().mulEval(a, b, moduli, r);
 }
 
 void
 polyMulAccEval(const RnsPoly &a, const RnsPoly &b,
                const std::vector<Modulus> &moduli, RnsPoly &r)
 {
-    checkBinary(a, b, moduli, r);
-    ARK_ASSERT(a.rep() == Rep::Eval && r.rep() == Rep::Eval,
-               "MAC requires evaluation representation");
-    const size_t n = a.degree();
-    for (size_t l = 0; l < a.numLimbs(); ++l) {
-        const Modulus &q = moduli[l];
-        const u64 *pa = a.limb(l), *pb = b.limb(l);
-        u64 *pr = r.limb(l);
-        for (size_t i = 0; i < n; ++i)
-            pr[i] = q.add(pr[i], q.mul(pa[i], pb[i]));
-    }
+    processBackend().mulAccEval(a, b, moduli, r);
 }
 
 void
 polyMulScalar(const RnsPoly &a, const std::vector<u64> &scalar_per_limb,
               const std::vector<Modulus> &moduli, RnsPoly &r)
 {
-    ARK_ASSERT(a.sameShape(r), "operand shape mismatch");
-    ARK_ASSERT(scalar_per_limb.size() >= a.numLimbs(), "missing scalars");
-    const size_t n = a.degree();
-    for (size_t l = 0; l < a.numLimbs(); ++l) {
-        const Modulus &q = moduli[l];
-        const u64 s = scalar_per_limb[l];
-        const u64 ss = q.shoupPrecompute(s);
-        const u64 *pa = a.limb(l);
-        u64 *pr = r.limb(l);
-        for (size_t i = 0; i < n; ++i)
-            pr[i] = q.mulShoup(pa[i], s, ss);
-    }
-    r.setRep(a.rep());
+    processBackend().mulScalar(a, scalar_per_limb, moduli, r);
 }
 
 void
 polyAddScalar(const RnsPoly &a, const std::vector<u64> &scalar_per_limb,
               const std::vector<Modulus> &moduli, RnsPoly &r)
 {
-    ARK_ASSERT(a.sameShape(r), "operand shape mismatch");
-    const size_t n = a.degree();
-    for (size_t l = 0; l < a.numLimbs(); ++l) {
-        const u64 q = moduli[l].value();
-        const u64 s = scalar_per_limb[l];
-        const u64 *pa = a.limb(l);
-        u64 *pr = r.limb(l);
-        for (size_t i = 0; i < n; ++i)
-            pr[i] = addMod(pa[i], s, q);
-    }
-    r.setRep(a.rep());
+    processBackend().addScalar(a, scalar_per_limb, moduli, r);
 }
 
 void
 polyNttForward(RnsPoly &p, const std::vector<NttTables> &tables)
 {
-    ARK_ASSERT(p.rep() == Rep::Coeff, "forward NTT needs Coeff rep");
-    ARK_ASSERT(tables.size() >= p.numLimbs(), "not enough NTT tables");
-    for (size_t l = 0; l < p.numLimbs(); ++l)
-        tables[l].forward(p.limb(l));
-    p.setRep(Rep::Eval);
+    processBackend().nttForward(p, tables);
 }
 
 void
 polyNttInverse(RnsPoly &p, const std::vector<NttTables> &tables)
 {
-    ARK_ASSERT(p.rep() == Rep::Eval, "inverse NTT needs Eval rep");
-    ARK_ASSERT(tables.size() >= p.numLimbs(), "not enough NTT tables");
-    for (size_t l = 0; l < p.numLimbs(); ++l)
-        tables[l].inverse(p.limb(l));
-    p.setRep(Rep::Coeff);
+    processBackend().nttInverse(p, tables);
 }
 
 RnsPoly

@@ -8,6 +8,11 @@
  * evaluations; the arithmetic free functions check it so that, e.g., a
  * pointwise multiply on coefficient-representation data is caught
  * immediately instead of producing silent garbage.
+ *
+ * The free functions below are convenience wrappers over the
+ * process-wide KernelBackend (rns/backend.h) for callers that do not
+ * hold a CkksContext; scheme code dispatches through the context's own
+ * backend instead.
  */
 
 #pragma once
@@ -84,7 +89,14 @@ void polyMulAccEval(const RnsPoly &a, const RnsPoly &b,
 void polyMulScalar(const RnsPoly &a, const std::vector<u64> &scalar_per_limb,
                    const std::vector<Modulus> &moduli, RnsPoly &r);
 
-/** Add one scalar per limb to coefficient 0... no: add to every slot. */
+/**
+ * r[l][i] = a[l][i] + scalar_per_limb[l] for every word i of every
+ * limb l — the scalar is added to ALL N positions of its limb, not
+ * just coefficient 0. CAdd relies on this: a constant polynomial is
+ * constant across the evaluation domain, so adding the per-limb
+ * residue of a scalar to every Eval-rep word adds that scalar to
+ * every message slot.
+ */
 void polyAddScalar(const RnsPoly &a, const std::vector<u64> &scalar_per_limb,
                    const std::vector<Modulus> &moduli, RnsPoly &r);
 

@@ -18,6 +18,7 @@
 
 #include "boot/linear_transform.h" // KeySchedule
 #include "core/op_cost.h"
+#include "rns/kernel_stats.h"
 #include "sim/machine_config.h"
 #include "sim/power_model.h"
 #include "sim/program.h"
@@ -61,6 +62,19 @@ class ArkSimulator
 
     /** Run a program to completion and report aggregate statistics. */
     SimResult run(const SimProgram &prog) const;
+
+    /**
+     * Project *measured* kernel tallies onto the machine model: maps
+     * the per-kernel modular-mult counts a KernelBackend recorded
+     * while the functional library executed a workload onto FU
+     * occupancy, and the measured evk/plaintext operand streams onto
+     * HBM cycles — replacing the analytic per-op estimates of run()
+     * with counts of what actually executed. Scratchpad residency is
+     * not replayed (the measured stream already reflects every operand
+     * the computation consumed), so this bounds the no-reuse case.
+     */
+    SimResult runMeasured(const KernelStats &stats,
+                          const CkksParams &params) const;
 
     const MachineConfig &machine() const { return machine_; }
 

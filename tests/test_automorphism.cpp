@@ -121,8 +121,9 @@ TEST_P(AutoTest, CoeffMapMovesMonomialsWithSign)
     EXPECT_EQ(q.limb(0)[idx], expect);
     // All other coefficients remain zero.
     for (size_t i = 0; i < degree_; ++i) {
-        if (i != idx)
+        if (i != idx) {
             EXPECT_EQ(q.limb(0)[i], 0u);
+        }
     }
 }
 

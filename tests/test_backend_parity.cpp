@@ -1,0 +1,280 @@
+/**
+ * @file
+ * Bit-exactness of the ParallelBackend against the ScalarBackend for
+ * every kernel, across several (N, L) shapes, including the fused
+ * nttBconvNtt key-switch digit path — plus sanity checks that both
+ * engines record KernelStats for what they executed.
+ */
+
+#include <gtest/gtest.h>
+
+#include "common/random.h"
+#include "rns/backend.h"
+#include "rns/primes.h"
+
+namespace ark {
+namespace {
+
+struct Shape
+{
+    size_t degree;
+    size_t limbs;
+};
+
+class BackendParityTest : public ::testing::TestWithParam<Shape>
+{
+  protected:
+    void SetUp() override
+    {
+        degree_ = GetParam().degree;
+        limbs_ = GetParam().limbs;
+        auto qs = generatePrimes(40, limbs_, degree_);
+        for (u64 q : qs) {
+            moduli_.emplace_back(q);
+            tables_.emplace_back(degree_, Modulus(q));
+        }
+        for (auto &t : tables_)
+            table_ptrs_.push_back(&t);
+
+        scalar_ = makeKernelBackend(BackendKind::Scalar);
+        parallel_ = makeKernelBackend(BackendKind::Parallel, 4);
+    }
+
+    RnsPoly randomPoly(Rep rep, u64 seed, size_t limbs = 0) const
+    {
+        if (limbs == 0)
+            limbs = limbs_;
+        Rng rng(seed);
+        RnsPoly p(degree_, limbs, rep);
+        for (size_t l = 0; l < limbs; ++l) {
+            auto v = rng.uniformVector(degree_,
+                                       moduli_[l % moduli_.size()].value());
+            std::copy(v.begin(), v.end(), p.limb(l));
+        }
+        return p;
+    }
+
+    static void expectIdentical(const RnsPoly &a, const RnsPoly &b)
+    {
+        ASSERT_EQ(a.numLimbs(), b.numLimbs());
+        ASSERT_EQ(a.degree(), b.degree());
+        EXPECT_EQ(a.rep(), b.rep());
+        for (size_t l = 0; l < a.numLimbs(); ++l) {
+            for (size_t i = 0; i < a.degree(); ++i) {
+                ASSERT_EQ(a.limb(l)[i], b.limb(l)[i])
+                    << "limb " << l << " word " << i;
+            }
+        }
+    }
+
+    size_t degree_ = 0;
+    size_t limbs_ = 0;
+    std::vector<Modulus> moduli_;
+    std::vector<NttTables> tables_;
+    std::vector<const NttTables *> table_ptrs_;
+    std::unique_ptr<KernelBackend> scalar_;
+    std::unique_ptr<KernelBackend> parallel_;
+};
+
+TEST_P(BackendParityTest, ElementwiseKernels)
+{
+    auto a = randomPoly(Rep::Eval, 1);
+    auto b = randomPoly(Rep::Eval, 2);
+    std::vector<u64> scalars;
+    for (auto &m : moduli_)
+        scalars.push_back(m.value() / 5 + 1);
+
+    auto check2 = [&](auto &&op) {
+        RnsPoly rs(degree_, limbs_, Rep::Eval);
+        RnsPoly rp(degree_, limbs_, Rep::Eval);
+        op(*scalar_, rs);
+        op(*parallel_, rp);
+        expectIdentical(rs, rp);
+    };
+
+    check2([&](KernelBackend &kb, RnsPoly &r) { kb.add(a, b, moduli_, r); });
+    check2([&](KernelBackend &kb, RnsPoly &r) { kb.sub(a, b, moduli_, r); });
+    check2([&](KernelBackend &kb, RnsPoly &r) { kb.neg(a, moduli_, r); });
+    check2([&](KernelBackend &kb, RnsPoly &r) {
+        kb.mulEval(a, b, moduli_, r);
+    });
+    check2([&](KernelBackend &kb, RnsPoly &r) {
+        kb.mulScalar(a, scalars, moduli_, r);
+    });
+    check2([&](KernelBackend &kb, RnsPoly &r) {
+        kb.addScalar(a, scalars, moduli_, r);
+    });
+    check2([&](KernelBackend &kb, RnsPoly &r) {
+        kb.subMulScalar(a, b, scalars, moduli_, r);
+    });
+
+    // MAC accumulates into the result: seed both sides identically.
+    RnsPoly acc_s = randomPoly(Rep::Eval, 3);
+    RnsPoly acc_p = acc_s;
+    scalar_->mulAccEval(a, b, moduli_, acc_s);
+    parallel_->mulAccEval(a, b, moduli_, acc_p);
+    expectIdentical(acc_s, acc_p);
+}
+
+TEST_P(BackendParityTest, MonomialMulAndLimbEmbed)
+{
+    auto a = randomPoly(Rep::Coeff, 4);
+    for (size_t shift : {size_t(0), size_t(1), degree_ / 2,
+                         degree_ - 1}) {
+        RnsPoly rs(degree_, limbs_, Rep::Coeff);
+        RnsPoly rp(degree_, limbs_, Rep::Coeff);
+        scalar_->monomialMul(a, shift, moduli_, rs);
+        parallel_->monomialMul(a, shift, moduli_, rp);
+        expectIdentical(rs, rp);
+    }
+
+    Rng rng(5);
+    auto src = rng.uniformVector(degree_, moduli_[0].value());
+    RnsPoly es(degree_, limbs_, Rep::Coeff);
+    RnsPoly ep(degree_, limbs_, Rep::Coeff);
+    scalar_->limbEmbed(src, moduli_[0], moduli_, es);
+    parallel_->limbEmbed(src, moduli_[0], moduli_, ep);
+    expectIdentical(es, ep);
+}
+
+TEST_P(BackendParityTest, NttRoundTrip)
+{
+    auto a = randomPoly(Rep::Coeff, 6);
+    auto original = a;
+    auto b = a;
+
+    scalar_->nttForward(a, table_ptrs_);
+    parallel_->nttForward(b, table_ptrs_);
+    expectIdentical(a, b);
+
+    scalar_->nttInverse(a, table_ptrs_);
+    parallel_->nttInverse(b, table_ptrs_);
+    expectIdentical(a, b);
+    expectIdentical(a, original);
+}
+
+TEST_P(BackendParityTest, BConvMatchesScalarAndReference)
+{
+    const size_t nb = limbs_;
+    auto pc = generatePrimes(41, 3, degree_);
+    std::vector<Modulus> out_base;
+    for (u64 p : pc)
+        out_base.emplace_back(p);
+    BaseConverter bc(moduli_, out_base);
+
+    auto in = randomPoly(Rep::Coeff, 7, nb);
+    RnsPoly rs = scalar_->bconv(bc, in);
+    RnsPoly rp = parallel_->bconv(bc, in);
+    expectIdentical(rs, rp);
+    // Cross-check against the standalone reference implementation.
+    RnsPoly ref = bc.convert(in);
+    expectIdentical(rs, ref);
+}
+
+TEST_P(BackendParityTest, AutomorphismBothReps)
+{
+    const u64 g = galoisElt(3, degree_);
+    Automorphism am(g, degree_);
+    for (Rep rep : {Rep::Coeff, Rep::Eval}) {
+        auto p = randomPoly(rep, 8);
+        RnsPoly rs = scalar_->automorphism(am, p, moduli_);
+        RnsPoly rp = parallel_->automorphism(am, p, moduli_);
+        expectIdentical(rs, rp);
+    }
+}
+
+TEST_P(BackendParityTest, FusedNttBconvNttMatchesUnfusedPipeline)
+{
+    auto pc = generatePrimes(41, 4, degree_);
+    std::vector<Modulus> out_base;
+    std::vector<NttTables> out_tables;
+    std::vector<const NttTables *> out_ptrs;
+    for (u64 p : pc) {
+        out_base.emplace_back(p);
+        out_tables.emplace_back(degree_, Modulus(p));
+    }
+    for (auto &t : out_tables)
+        out_ptrs.push_back(&t);
+    BaseConverter bc(moduli_, out_base);
+
+    auto digit = randomPoly(Rep::Eval, 9);
+    RnsPoly fused_s = scalar_->nttBconvNtt(digit, table_ptrs_, bc,
+                                           out_ptrs);
+    RnsPoly fused_p = parallel_->nttBconvNtt(digit, table_ptrs_, bc,
+                                             out_ptrs);
+    expectIdentical(fused_s, fused_p);
+
+    // The fused path must equal the unfused INTT -> BConv -> NTT
+    // pipeline bit for bit.
+    RnsPoly unfused = digit;
+    scalar_->nttInverse(unfused, table_ptrs_);
+    RnsPoly conv = bc.convert(unfused);
+    scalar_->nttForward(conv, out_ptrs);
+    expectIdentical(fused_s, conv);
+}
+
+TEST_P(BackendParityTest, EvkMulAccParity)
+{
+    // Emulate the key-switch shapes: digit spans nq + np limbs, evk
+    // spans full_nq + np limbs with full_nq >= nq.
+    const size_t np = 2;
+    if (limbs_ <= np)
+        GTEST_SKIP() << "shape too small for an extended basis";
+    const size_t nq = limbs_ - np;
+    const size_t full_nq = nq + 1;
+
+    // key moduli: nq q-primes then np specials (reuse the fixture
+    // moduli; exact values are irrelevant for parity).
+    std::vector<Modulus> key_moduli(moduli_.begin(), moduli_.end());
+
+    auto digit = randomPoly(Rep::Eval, 10, nq + np);
+    Rng rng(11);
+    RnsPoly evk_b(degree_, full_nq + np, Rep::Eval);
+    RnsPoly evk_a(degree_, full_nq + np, Rep::Eval);
+    for (size_t l = 0; l < full_nq + np; ++l) {
+        const size_t ml = l < nq ? l : (l >= full_nq ? nq + (l - full_nq)
+                                                     : 0);
+        auto vb = rng.uniformVector(degree_, moduli_[ml].value());
+        auto va = rng.uniformVector(degree_, moduli_[ml].value());
+        std::copy(vb.begin(), vb.end(), evk_b.limb(l));
+        std::copy(va.begin(), va.end(), evk_a.limb(l));
+    }
+
+    RnsPoly bs(degree_, nq + np, Rep::Eval), as(degree_, nq + np,
+                                                Rep::Eval);
+    RnsPoly bp(degree_, nq + np, Rep::Eval), ap(degree_, nq + np,
+                                                Rep::Eval);
+    scalar_->evkMulAcc(digit, evk_b, evk_a, nq, full_nq, key_moduli,
+                       bs, as);
+    parallel_->evkMulAcc(digit, evk_b, evk_a, nq, full_nq, key_moduli,
+                         bp, ap);
+    expectIdentical(bs, bp);
+    expectIdentical(as, ap);
+}
+
+TEST_P(BackendParityTest, StatsRecordWhatExecuted)
+{
+    auto a = randomPoly(Rep::Eval, 12);
+    auto b = randomPoly(Rep::Eval, 13);
+    RnsPoly r(degree_, limbs_, Rep::Eval);
+
+    for (KernelBackend *kb : {scalar_.get(), parallel_.get()}) {
+        kb->resetStats();
+        kb->mulEval(a, b, moduli_, r);
+        const KernelCounter &c = kb->stats().at(KernelOp::MulEval);
+        EXPECT_EQ(c.calls, 1u);
+        EXPECT_EQ(c.limbs, limbs_);
+        EXPECT_EQ(c.mults, limbs_ * degree_);
+        EXPECT_EQ(kb->stats().totalCalls(), 1u);
+        kb->resetStats();
+        EXPECT_EQ(kb->stats().totalCalls(), 0u);
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Shapes, BackendParityTest,
+    ::testing::Values(Shape{256, 3}, Shape{512, 6}, Shape{1024, 8},
+                      Shape{2048, 4}));
+
+} // namespace
+} // namespace ark

@@ -96,6 +96,19 @@ TEST_F(CkksTest, EncryptDecryptPublicKey)
     expectClose(m, decrypt(ct), 1e-4);
 }
 
+TEST_F(CkksTest, EncryptPublicBelowMaxLevel)
+{
+    // pk polys span all L+1 limbs; encrypting a lower-level plaintext
+    // must use only the matching prefix.
+    auto pk = keygen_->publicKey(sk_);
+    auto m = randomMessage(3);
+    auto pt = enc_->encode(m, ctx_->maxLevel() - 2);
+    auto ct = encryptor_->encryptPublic(pt, pk);
+    ct.slots = slots_;
+    EXPECT_EQ(ct.level(), ctx_->maxLevel() - 2);
+    expectClose(m, decrypt(ct), 1e-4);
+}
+
 TEST_F(CkksTest, HAddAndHSub)
 {
     auto m1 = randomMessage(3), m2 = randomMessage(4);

@@ -7,8 +7,12 @@
 
 #include <gtest/gtest.h>
 
+#include "ckks/evaluator.h"
+#include "ckks/keygen.h"
+#include "common/random.h"
 #include "core/f1_analysis.h"
 #include "core/traffic_analyzer.h"
+#include "sim/simulator.h"
 
 namespace ark {
 namespace {
@@ -106,6 +110,56 @@ TEST(Traffic, MonotoneAcrossConfigs)
         EXPECT_GT(minimal.totalBytes(), minks.totalBytes());
         EXPECT_GT(minks.totalBytes(), both.totalBytes());
     }
+}
+
+TEST(Traffic, MeasuredKernelStatsFromRealKeySwitch)
+{
+    // Run a real key switch through the functional library and feed
+    // the backend's measured tallies into the analytic consumers.
+    CkksContext ctx(CkksParams::testTiny());
+    Rng rng(42);
+    KeyGenerator keygen(ctx, rng);
+    SecretKey sk = keygen.secretKey();
+    EvalKey evk = keygen.evkMult(sk);
+    CkksEvaluator eval(ctx);
+
+    const int level = ctx.maxLevel();
+    RnsPoly d(ctx.degree(), level + 1, Rep::Eval);
+    for (int l = 0; l <= level; ++l) {
+        auto v = rng.uniformVector(ctx.degree(),
+                                   ctx.qModuli()[l].value());
+        std::copy(v.begin(), v.end(), d.limb(l));
+    }
+
+    ctx.backend().resetStats();
+    (void)eval.keySwitch(d, evk, level);
+    const KernelStats &st = ctx.backend().stats();
+
+    // The key-switch pipeline must have gone through the fused digit
+    // path, the evk MAC, and the ModDown tail — with evk traffic.
+    // One fused call per digit plus one ModDown per output poly.
+    EXPECT_EQ(st.at(KernelOp::NttBconvNtt).calls,
+              static_cast<u64>(ctx.numDigits(level)) + 2);
+    EXPECT_EQ(st.at(KernelOp::EvkMulAcc).calls,
+              static_cast<u64>(ctx.numDigits(level)));
+    EXPECT_EQ(st.at(KernelOp::SubMulScalar).calls, 2u); // b and a
+    EXPECT_GT(st.evk_words, 0u);
+    EXPECT_GT(st.totalMults(), 0u);
+
+    TrafficAnalyzer ta(ctx.params());
+    TrafficPoint pt = ta.analyzeMeasured(st);
+    EXPECT_GT(pt.evk_bytes, 0.0);
+    EXPECT_GT(pt.mod_mults, 0.0);
+    EXPECT_GT(pt.opsPerByte(), 0.0);
+
+    ArkSimulator sim(MachineConfig::arkBase(), SimAlgo{});
+    SimResult r = sim.runMeasured(st, ctx.params());
+    EXPECT_GT(r.cycles, 0.0);
+    EXPECT_GT(r.busy_ntt, 0.0);
+    EXPECT_GT(r.busy_bconv, 0.0);
+    EXPECT_GT(r.busy_mad, 0.0);
+    EXPECT_GT(r.hbm_bytes, 0.0);
+    EXPECT_GE(r.cycles, r.busy_hbm);
 }
 
 TEST(F1Analysis, Section3CTargets)

@@ -135,6 +135,24 @@ TEST_F(PolyTest, ScalarMulMatchesElementwise)
     }
 }
 
+TEST_F(PolyTest, AddScalarAddsToEveryWordOfEachLimb)
+{
+    // polyAddScalar adds scalar_per_limb[l] to ALL N words of limb l,
+    // not just coefficient 0 (the documented CAdd semantics: constant
+    // polys are constant across the evaluation domain).
+    auto a = randomPoly(Rep::Eval, 20);
+    std::vector<u64> scalars;
+    for (auto &m : moduli_)
+        scalars.push_back(m.value() / 7 + 3);
+    RnsPoly r(degree_, moduli_.size(), Rep::Eval);
+    polyAddScalar(a, scalars, moduli_, r);
+    for (size_t l = 0; l < moduli_.size(); ++l) {
+        const u64 q = moduli_[l].value();
+        for (size_t i = 0; i < degree_; ++i)
+            EXPECT_EQ(r.limb(l)[i], addMod(a.limb(l)[i], scalars[l], q));
+    }
+}
+
 TEST_F(PolyTest, FromSignedHandlesNegatives)
 {
     std::vector<i64> coeffs(degree_, 0);
