@@ -1,0 +1,205 @@
+/**
+ * @file
+ * Throughput of the concurrent batch-serving runtime (src/serve/).
+ *
+ * Sweeps kernel backend x kernel threads x server workers x batch
+ * size over the standard four-workload mix (bootstrap / HELR /
+ * ResNet-20 / sorting traces lowered to executable requests), then
+ * prints the measured host serving throughput next to the simulated
+ * ARK accelerator draining the same mix (ArkSimulator::runBatch) —
+ * the paper's single-chip FCFS bound against the host's
+ * request-parallel one.
+ *
+ * `--smoke` shrinks the sweep for CI (a handful of requests per
+ * config, small op caps); any failed request exits nonzero so CI can
+ * gate on it.
+ */
+
+#include <cstdlib>
+#include <cstring>
+#include <future>
+#include <vector>
+
+#include "bench_util.h"
+#include "ckks/encoder.h"
+#include "ckks/encryptor.h"
+#include "ckks/keygen.h"
+#include "serve/batch_server.h"
+
+using namespace ark;
+
+namespace {
+
+struct SweepPoint
+{
+    BackendKind kind;
+    size_t kernel_threads; ///< parallel backend pool size (0 = hw)
+    size_t workers;
+};
+
+/** Build the full serving stack for one config and run one batch. */
+ServeReport
+runConfig(const CkksParams &base, const SweepPoint &pt, size_t batch,
+          size_t max_ops, bool &all_ok)
+{
+    CkksParams p = base;
+    p.backend = pt.kind;
+    p.backend_threads = pt.kernel_threads;
+    CkksContext ctx(p);
+
+    Rng rng(20220618); // fixed seed: identical keys/inputs per config
+    KeyGenerator keygen(ctx, rng);
+    SecretKey sk = keygen.secretKey();
+    KeyCache keys(keygen, sk, ctx.degree());
+    CkksEncoder encoder(ctx);
+    CkksEncryptor encryptor(ctx, rng);
+
+    PlaintextStore store(ctx, PlaintextMode::OFLimb);
+    const size_t slots = p.num_slots;
+    for (int k = 0; k < 4; ++k) {
+        std::vector<Complex> m(slots);
+        for (size_t i = 0; i < slots; ++i)
+            m[i] = Complex(0.5 + 0.001 * static_cast<double>(i % 17),
+                           0.01 * k);
+        store.insert(encoder.encode(m, ctx.maxLevel()));
+    }
+
+    LowerOptions opt;
+    opt.max_ops = max_ops;
+    auto workloads = standardServingMix(p, opt);
+
+    std::vector<Ciphertext> inputs;
+    for (int k = 0; k < 2; ++k) {
+        std::vector<Complex> m(slots);
+        for (size_t i = 0; i < slots; ++i)
+            m[i] = Complex(0.9 - 0.002 * static_cast<double>(i % 13),
+                           0.05 * k);
+        Ciphertext ct = encryptor.encryptSymmetric(
+            encoder.encode(m, ctx.maxLevel()), sk);
+        ct.slots = slots;
+        inputs.push_back(std::move(ct));
+    }
+
+    BatchServerConfig cfg;
+    cfg.workers = pt.workers;
+    cfg.queue_capacity = batch;
+    BatchServer server(ctx, keys, store, workloads, inputs, cfg);
+
+    std::vector<std::future<ServeResult>> futs;
+    futs.reserve(batch);
+    for (size_t i = 0; i < batch; ++i)
+        futs.push_back(server.submit(i % server.workloads().size()));
+    ServeReport rep = server.drain();
+    for (auto &f : futs) {
+        if (!f.get().ok)
+            all_ok = false;
+    }
+    return rep;
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    bool smoke = false;
+    for (int i = 1; i < argc; ++i)
+        smoke |= std::strcmp(argv[i], "--smoke") == 0;
+
+    // This binary sweeps backends explicitly; drop any env override so
+    // every row measures what its label says.
+    unsetenv("ARK_BACKEND");
+    unsetenv("ARK_THREADS");
+
+    const CkksParams base = CkksParams::testTiny();
+    const size_t batch = smoke ? 8 : 32;
+    const size_t max_ops = smoke ? 16 : 32;
+
+    const std::vector<SweepPoint> sweep =
+        smoke ? std::vector<SweepPoint>{{BackendKind::Scalar, 0, 1},
+                                        {BackendKind::Scalar, 0, 2},
+                                        {BackendKind::Parallel, 2, 1},
+                                        {BackendKind::Parallel, 2, 2}}
+              : std::vector<SweepPoint>{{BackendKind::Scalar, 0, 1},
+                                        {BackendKind::Scalar, 0, 2},
+                                        {BackendKind::Scalar, 0, 4},
+                                        {BackendKind::Scalar, 0, 8},
+                                        {BackendKind::Parallel, 2, 1},
+                                        {BackendKind::Parallel, 4, 1},
+                                        {BackendKind::Parallel, 4, 2},
+                                        {BackendKind::Parallel, 4, 4}};
+
+    header("serving throughput: backend x kernel threads x workers");
+    std::printf("params %s, batch %zu, <=%zu ops/request, "
+                "4-workload mix\n",
+                base.name.c_str(), batch, max_ops);
+
+    TablePrinter t({"backend", "kthreads", "workers", "wall ms",
+                    "req/s", "HE-ops/s", "Mwords/s", "p50 ms",
+                    "p99 ms"});
+    bool all_ok = true;
+    double scalar_1w = 0, best = 0;
+    std::string best_name = "-";
+    for (const auto &pt : sweep) {
+        ServeReport rep = runConfig(base, pt, batch, max_ops, all_ok);
+        const std::string label =
+            pt.kind == BackendKind::Scalar ? "scalar" : "parallel";
+        t.addRow({label,
+                  pt.kind == BackendKind::Scalar
+                      ? "-"
+                      : std::to_string(pt.kernel_threads),
+                  std::to_string(pt.workers),
+                  TablePrinter::fmt(rep.wall_seconds * 1e3, 1),
+                  TablePrinter::fmt(rep.requests_per_sec, 1),
+                  TablePrinter::fmt(rep.he_ops_per_sec, 0),
+                  TablePrinter::fmt(rep.words_per_sec / 1e6, 1),
+                  TablePrinter::fmt(rep.latency.p50_ms, 2),
+                  TablePrinter::fmt(rep.latency.p99_ms, 2)});
+        if (pt.kind == BackendKind::Scalar && pt.workers == 1)
+            scalar_1w = rep.requests_per_sec;
+        if (rep.requests_per_sec > best) {
+            best = rep.requests_per_sec;
+            best_name = label + "/" +
+                        std::to_string(pt.kernel_threads) + "kt/" +
+                        std::to_string(pt.workers) + "w";
+        }
+    }
+    t.print();
+    if (scalar_1w > 0) {
+        std::printf("\nbest config %s: %.2fx the scalar 1-worker "
+                    "baseline\n",
+                    best_name.c_str(), best / scalar_1w);
+    }
+
+    // Simulated accelerator serving the same mix at the paper's
+    // parameters: the FCFS single-chip bound, side by side.
+    header("host vs simulated ARK accelerator (same workload mix)");
+    const CkksParams ark_p = CkksParams::ark();
+    std::vector<SimProgram> progs;
+    progs.push_back(bootstrapProgram(ark_p, KeySchedule::MinKS));
+    progs.push_back(helrProgram(ark_p, KeySchedule::MinKS));
+    progs.push_back(resnetProgram(ark_p, KeySchedule::MinKS));
+    progs.push_back(sortingProgram(ark_p, KeySchedule::MinKS));
+    std::vector<const SimProgram *> q;
+    for (size_t i = 0; i < batch; ++i)
+        q.push_back(&progs[i % progs.size()]);
+    ArkSimulator sim(MachineConfig::arkBase(),
+                     SimAlgo{KeySchedule::MinKS, true});
+    BatchSimResult sb = sim.runBatch(q);
+
+    TablePrinter s({"platform", "params", "batch", "req/s", "p50 ms",
+                    "p99 ms"});
+    s.addRow({"host (" + best_name + ")", base.name,
+              std::to_string(batch), TablePrinter::fmt(best, 1), "-",
+              "-"});
+    s.addRow({"simulated ARK", ark_p.name, std::to_string(batch),
+              TablePrinter::fmt(sb.requests_per_sec, 1),
+              fmtMs(sb.p50_latency, 1), fmtMs(sb.p99_latency, 1)});
+    s.print();
+
+    if (!all_ok) {
+        std::fprintf(stderr, "bench_serving: some requests failed\n");
+        return 1;
+    }
+    return 0;
+}

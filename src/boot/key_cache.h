@@ -12,12 +12,23 @@
 #pragma once
 
 #include <map>
+#include <mutex>
 
 #include "ckks/keygen.h"
 
 namespace ark {
 
-/** Generates and caches evks keyed by Galois element. */
+/**
+ * Generates and caches evks keyed by Galois element.
+ *
+ * Thread-safe: a mutex serializes generation and cache lookup, so
+ * concurrent serving workers may share one cache. Returned references
+ * stay valid for the cache's lifetime (std::map nodes are stable).
+ * Generation draws from the keygen's Rng, so the *values* of lazily
+ * generated keys depend on request interleaving — callers that need
+ * deterministic key material (the serving parity tests) should warm
+ * the cache single-threaded first.
+ */
 class KeyCache
 {
   public:
@@ -39,6 +50,7 @@ class KeyCache
 
     const EvalKey &multiplication()
     {
+        std::lock_guard<std::mutex> lk(m_);
         if (!mult_) {
             mult_ = std::make_unique<EvalKey>(keygen_.evkMult(sk_));
         }
@@ -46,11 +58,16 @@ class KeyCache
     }
 
     /** Number of distinct rotation/conjugation evks materialized. */
-    size_t distinctGaloisKeys() const { return keys_.size(); }
+    size_t distinctGaloisKeys() const
+    {
+        std::lock_guard<std::mutex> lk(m_);
+        return keys_.size();
+    }
 
     /** Total bytes of cached evk material (the Min-KS working set). */
     size_t byteSize() const
     {
+        std::lock_guard<std::mutex> lk(m_);
         size_t total = mult_ ? mult_->byteSize() : 0;
         for (const auto &[elt, key] : keys_)
             total += key.byteSize();
@@ -60,6 +77,9 @@ class KeyCache
   private:
     const EvalKey &byElt(u64 galois_elt)
     {
+        // The lock is held across generation: the keygen's Rng is
+        // shared state, and a miss is a rare, setup-phase event.
+        std::lock_guard<std::mutex> lk(m_);
         auto it = keys_.find(galois_elt);
         if (it == keys_.end()) {
             it = keys_.emplace(galois_elt,
@@ -72,6 +92,7 @@ class KeyCache
     KeyGenerator &keygen_;
     const SecretKey &sk_;
     size_t degree_;
+    mutable std::mutex m_;
     std::map<u64, EvalKey> keys_;
     std::unique_ptr<EvalKey> mult_;
 };

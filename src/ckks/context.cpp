@@ -159,6 +159,7 @@ CkksContext::numDigits(int level) const
 const Automorphism &
 CkksContext::automorphism(u64 galois_elt) const
 {
+    std::lock_guard<std::mutex> lk(cache_m_);
     auto it = auto_cache_.find(galois_elt);
     if (it == auto_cache_.end()) {
         it = auto_cache_
@@ -173,6 +174,7 @@ const std::vector<const NttTables *> &
 CkksContext::qTablePtrs(size_t count) const
 {
     ARK_ASSERT(count <= q_tables_.size(), "not enough q tables");
+    std::lock_guard<std::mutex> lk(cache_m_);
     auto it = q_table_ptrs_cache_.find(count);
     if (it == q_table_ptrs_cache_.end()) {
         std::vector<const NttTables *> ptrs(count);
@@ -186,6 +188,7 @@ CkksContext::qTablePtrs(size_t count) const
 const std::vector<const NttTables *> &
 CkksContext::keyTablePtrs(int level) const
 {
+    std::lock_guard<std::mutex> lk(cache_m_);
     auto it = key_table_ptrs_cache_.find(level);
     if (it == key_table_ptrs_cache_.end()) {
         const size_t nq = static_cast<size_t>(level) + 1;
@@ -201,6 +204,7 @@ const BaseConverter &
 CkksContext::digitConverter(int level, int digit) const
 {
     const auto key = std::make_pair(level, digit);
+    std::lock_guard<std::mutex> lk(cache_m_);
     auto it = digit_bconv_cache_.find(key);
     if (it != digit_bconv_cache_.end())
         return *it->second;
@@ -230,6 +234,7 @@ CkksContext::digitConverter(int level, int digit) const
 const BaseConverter &
 CkksContext::modDownConverter(int level) const
 {
+    std::lock_guard<std::mutex> lk(cache_m_);
     auto it = moddown_bconv_cache_.find(level);
     if (it == moddown_bconv_cache_.end()) {
         it = moddown_bconv_cache_

@@ -14,6 +14,7 @@
 #include <cstddef>
 #include <map>
 #include <memory>
+#include <mutex>
 #include <vector>
 
 #include "ckks/params.h"
@@ -133,6 +134,13 @@ class CkksContext
     std::vector<u64> p_inv_mod_q_;
     std::vector<std::vector<u64>> q_last_inv_;
     std::vector<u64> q_mod_q_;
+    /**
+     * Guards every lazily filled cache below so concurrent evaluator
+     * callers (the serving runtime) can share one context. Returned
+     * references stay valid across later insertions (std::map nodes
+     * are stable), so the lock only covers lookup/insert.
+     */
+    mutable std::mutex cache_m_;
     mutable std::map<u64, std::unique_ptr<Automorphism>> auto_cache_;
     /** (level, digit) -> decompose converter; level -> ModDown one. */
     mutable std::map<std::pair<int, int>,

@@ -82,13 +82,23 @@ ThreadPool::tryRunOne(size_t self)
         return false;
 
     pending_.fetch_sub(1, std::memory_order_acquire);
-    (*t.batch->fn)(t.index);
+    std::exception_ptr err;
+    try {
+        (*t.batch->fn)(t.index);
+    } catch (...) {
+        // Jobs may throw (a serving request validates mid-kernel);
+        // capture the first error for the batch owner instead of
+        // terminating the worker.
+        err = std::current_exception();
+    }
     // Record completion and notify entirely under the batch mutex:
     // once the owner (who also checks under the mutex) has observed
     // completed == count, no thread can still be inside this region,
     // so destroying the Batch right after is safe.
     {
         std::lock_guard<std::mutex> lk(t.batch->m);
+        if (err && !t.batch->error)
+            t.batch->error = err;
         t.batch->completed += 1;
         if (t.batch->completed == t.batch->count)
             t.batch->done_cv.notify_all();
@@ -134,9 +144,15 @@ ThreadPool::parallelFor(size_t count, const std::function<void(size_t)> &fn)
     // completion is observed, see Batch::completed).
     while (tryRunOne(slots_.size())) {
     }
-    std::unique_lock<std::mutex> lk(batch.m);
-    batch.done_cv.wait(
-        lk, [&batch, count] { return batch.completed >= count; });
+    std::exception_ptr err;
+    {
+        std::unique_lock<std::mutex> lk(batch.m);
+        batch.done_cv.wait(
+            lk, [&batch, count] { return batch.completed >= count; });
+        err = batch.error;
+    }
+    if (err)
+        std::rethrow_exception(err);
 }
 
 } // namespace ark

@@ -18,6 +18,7 @@
 #include <condition_variable>
 #include <cstddef>
 #include <deque>
+#include <exception>
 #include <functional>
 #include <memory>
 #include <mutex>
@@ -26,7 +27,12 @@
 
 namespace ark {
 
-/** Fixed-size work-stealing pool; not reentrant from its own jobs. */
+/**
+ * Fixed-size work-stealing pool. parallelFor may be called from many
+ * threads concurrently, and from inside a job of the same pool (the
+ * nested waiter helps drain queues instead of blocking, so progress
+ * is guaranteed); the serving runtime relies on both.
+ */
 class ThreadPool
 {
   public:
@@ -43,7 +49,9 @@ class ThreadPool
     /**
      * Run fn(i) for every i in [0, count) across the pool and the
      * calling thread; returns once all indices completed. Jobs must be
-     * independent and must not call back into the same pool.
+     * independent. If any job throws, every index still runs to
+     * completion and the first exception captured is rethrown in the
+     * caller (the pool itself stays usable).
      */
     void parallelFor(size_t count, const std::function<void(size_t)> &fn);
 
@@ -59,6 +67,9 @@ class ThreadPool
          *  under the mutex so a finishing worker can never touch the
          *  stack-allocated Batch after the owner saw it complete. */
         size_t completed = 0;
+        /** First exception a job of this batch threw (guarded by m);
+         *  rethrown to the parallelFor caller after the batch drains. */
+        std::exception_ptr error;
         std::mutex m;
         std::condition_variable done_cv;
     };

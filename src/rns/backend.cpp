@@ -1,12 +1,40 @@
 #include "rns/backend.h"
 
+#include <array>
+#include <cerrno>
+#include <cstdio>
 #include <cstdlib>
 #include <cstring>
+#include <thread>
 
 #include "common/logging.h"
 #include "common/thread_pool.h"
 
 namespace ark {
+
+/**
+ * One thread's private tally block. Only the owning thread writes it
+ * (via relaxed fetch_add, so a concurrent stats() merge is race-free);
+ * every other thread only reads. Shards live as long as the backend.
+ */
+struct KernelBackend::StatsShard
+{
+    struct Counter
+    {
+        std::atomic<u64> calls{0};
+        std::atomic<u64> limbs{0};
+        std::atomic<u64> words{0};
+        std::atomic<u64> mults{0};
+    };
+
+    /** Registering thread; lets a thread whose cache entry was
+     *  evicted re-adopt its shard instead of leaking a duplicate. */
+    std::thread::id owner;
+
+    std::array<Counter, kNumKernelOps> counters{};
+    std::atomic<u64> evk_words{0};
+    std::atomic<u64> plaintext_words{0};
+};
 
 namespace {
 
@@ -72,7 +100,7 @@ KernelBackend::add(const RnsPoly &a, const RnsPoly &b,
 {
     checkBinary(a, b, moduli, r);
     const size_t n = a.degree();
-    stats_.record(KernelOp::Add, a.numLimbs(), 3 * a.numLimbs() * n, 0);
+    recordStats(KernelOp::Add, a.numLimbs(), 3 * a.numLimbs() * n, 0);
     run(a.numLimbs(), [&](size_t l) {
         const u64 q = moduli[l].value();
         const u64 *pa = a.limb(l), *pb = b.limb(l);
@@ -89,7 +117,7 @@ KernelBackend::sub(const RnsPoly &a, const RnsPoly &b,
 {
     checkBinary(a, b, moduli, r);
     const size_t n = a.degree();
-    stats_.record(KernelOp::Sub, a.numLimbs(), 3 * a.numLimbs() * n, 0);
+    recordStats(KernelOp::Sub, a.numLimbs(), 3 * a.numLimbs() * n, 0);
     run(a.numLimbs(), [&](size_t l) {
         const u64 q = moduli[l].value();
         const u64 *pa = a.limb(l), *pb = b.limb(l);
@@ -106,7 +134,7 @@ KernelBackend::neg(const RnsPoly &a, const std::vector<Modulus> &moduli,
 {
     ARK_ASSERT(a.sameShape(r), "operand shape mismatch");
     const size_t n = a.degree();
-    stats_.record(KernelOp::Neg, a.numLimbs(), 2 * a.numLimbs() * n, 0);
+    recordStats(KernelOp::Neg, a.numLimbs(), 2 * a.numLimbs() * n, 0);
     run(a.numLimbs(), [&](size_t l) {
         const u64 q = moduli[l].value();
         const u64 *pa = a.limb(l);
@@ -125,7 +153,7 @@ KernelBackend::mulEval(const RnsPoly &a, const RnsPoly &b,
     ARK_ASSERT(a.rep() == Rep::Eval,
                "pointwise multiply requires evaluation representation");
     const size_t n = a.degree();
-    stats_.record(KernelOp::MulEval, a.numLimbs(),
+    recordStats(KernelOp::MulEval, a.numLimbs(),
                   3 * a.numLimbs() * n, a.numLimbs() * n);
     run(a.numLimbs(), [&](size_t l) {
         const Modulus &q = moduli[l];
@@ -145,7 +173,7 @@ KernelBackend::mulAccEval(const RnsPoly &a, const RnsPoly &b,
     ARK_ASSERT(a.rep() == Rep::Eval && r.rep() == Rep::Eval,
                "MAC requires evaluation representation");
     const size_t n = a.degree();
-    stats_.record(KernelOp::MulAccEval, a.numLimbs(),
+    recordStats(KernelOp::MulAccEval, a.numLimbs(),
                   4 * a.numLimbs() * n, a.numLimbs() * n);
     run(a.numLimbs(), [&](size_t l) {
         const Modulus &q = moduli[l];
@@ -164,7 +192,7 @@ KernelBackend::mulScalar(const RnsPoly &a,
     ARK_ASSERT(a.sameShape(r), "operand shape mismatch");
     ARK_ASSERT(scalar_per_limb.size() >= a.numLimbs(), "missing scalars");
     const size_t n = a.degree();
-    stats_.record(KernelOp::MulScalar, a.numLimbs(),
+    recordStats(KernelOp::MulScalar, a.numLimbs(),
                   2 * a.numLimbs() * n, a.numLimbs() * n);
     run(a.numLimbs(), [&](size_t l) {
         const Modulus &q = moduli[l];
@@ -185,7 +213,7 @@ KernelBackend::addScalar(const RnsPoly &a,
 {
     ARK_ASSERT(a.sameShape(r), "operand shape mismatch");
     const size_t n = a.degree();
-    stats_.record(KernelOp::AddScalar, a.numLimbs(),
+    recordStats(KernelOp::AddScalar, a.numLimbs(),
                   2 * a.numLimbs() * n, 0);
     run(a.numLimbs(), [&](size_t l) {
         const u64 q = moduli[l].value();
@@ -212,7 +240,7 @@ KernelBackend::subMulScalar(const RnsPoly &a, const RnsPoly &b,
     ARK_ASSERT(scalar_per_limb.size() >= limbs && moduli.size() >= limbs,
                "missing scalars or moduli");
     const size_t n = r.degree();
-    stats_.record(KernelOp::SubMulScalar, limbs, 3 * limbs * n,
+    recordStats(KernelOp::SubMulScalar, limbs, 3 * limbs * n,
                   limbs * n);
     run(limbs, [&](size_t l) {
         const Modulus &q = moduli[l];
@@ -235,7 +263,7 @@ KernelBackend::monomialMul(const RnsPoly &a, size_t shift,
                "monomial multiply needs the coefficient representation");
     const size_t n = a.degree();
     ARK_ASSERT(shift < n, "shift must be < N");
-    stats_.record(KernelOp::MonomialMul, a.numLimbs(),
+    recordStats(KernelOp::MonomialMul, a.numLimbs(),
                   2 * a.numLimbs() * n, 0);
     run(a.numLimbs(), [&](size_t l) {
         const u64 q = moduli[l].value();
@@ -261,7 +289,7 @@ KernelBackend::limbEmbed(const std::vector<u64> &src, const Modulus &src_q,
     ARK_ASSERT(out.rep() == Rep::Coeff, "limbEmbed produces Coeff rep");
     const u64 q0 = src_q.value();
     const u64 half = q0 / 2;
-    stats_.record(KernelOp::LimbEmbed, out.numLimbs(),
+    recordStats(KernelOp::LimbEmbed, out.numLimbs(),
                   2 * out.numLimbs() * n, 0);
     run(out.numLimbs(), [&](size_t l) {
         const u64 q = out_moduli[l].value();
@@ -295,9 +323,9 @@ KernelBackend::evkMulAcc(const RnsPoly &digit, const RnsPoly &evk_b,
     ARK_ASSERT(evk_b.numLimbs() == full_nq + (limbs - nq) &&
                    evk_b.sameShape(evk_a),
                "evk polys must span the full key basis");
-    stats_.record(KernelOp::EvkMulAcc, limbs, 7 * limbs * n,
+    recordStats(KernelOp::EvkMulAcc, limbs, 7 * limbs * n,
                   2 * limbs * n);
-    stats_.evk_words += 2 * limbs * n; // evk operand stream
+    noteEvkWords(2 * limbs * n); // evk operand stream
     run(limbs, [&](size_t l) {
         // evk polys span the full basis; select the matching limb.
         const size_t evk_limb = l < nq ? l : full_nq + (l - nq);
@@ -325,7 +353,7 @@ KernelBackend::nttForward(RnsPoly &p,
     ARK_ASSERT(p.rep() == Rep::Coeff, "forward NTT needs Coeff rep");
     ARK_ASSERT(tables.size() >= p.numLimbs(), "not enough NTT tables");
     const size_t n = p.degree();
-    stats_.record(KernelOp::NttForward, p.numLimbs(),
+    recordStats(KernelOp::NttForward, p.numLimbs(),
                   2 * p.numLimbs() * n, p.numLimbs() * nttMults(n));
     run(p.numLimbs(), [&](size_t l) { tables[l]->forward(p.limb(l)); });
     p.setRep(Rep::Eval);
@@ -338,7 +366,7 @@ KernelBackend::nttInverse(RnsPoly &p,
     ARK_ASSERT(p.rep() == Rep::Eval, "inverse NTT needs Eval rep");
     ARK_ASSERT(tables.size() >= p.numLimbs(), "not enough NTT tables");
     const size_t n = p.degree();
-    stats_.record(KernelOp::NttInverse, p.numLimbs(),
+    recordStats(KernelOp::NttInverse, p.numLimbs(),
                   2 * p.numLimbs() * n,
                   p.numLimbs() * (nttMults(n) + n));
     run(p.numLimbs(), [&](size_t l) { tables[l]->inverse(p.limb(l)); });
@@ -367,7 +395,7 @@ void
 KernelBackend::nttForwardLimb(u64 *limb, const NttTables &table)
 {
     const size_t n = table.degree();
-    stats_.record(KernelOp::NttForward, 1, 2 * n, nttMults(n));
+    recordStats(KernelOp::NttForward, 1, 2 * n, nttMults(n));
     table.forward(limb);
 }
 
@@ -375,7 +403,7 @@ void
 KernelBackend::nttInverseLimb(u64 *limb, const NttTables &table)
 {
     const size_t n = table.degree();
-    stats_.record(KernelOp::NttInverse, 1, 2 * n, nttMults(n) + n);
+    recordStats(KernelOp::NttInverse, 1, 2 * n, nttMults(n) + n);
     table.inverse(limb);
 }
 
@@ -393,7 +421,7 @@ KernelBackend::bconv(const BaseConverter &bc, const RnsPoly &in)
     const size_t nc = bc.outBase().size();
     const size_t n = in.degree();
     ARK_ASSERT(nb <= 256, "too many input limbs for lazy accumulation");
-    stats_.record(KernelOp::BConv, nb + nc, (nb + nc) * n,
+    recordStats(KernelOp::BConv, nb + nc, (nb + nc) * n,
                   nb * n + nb * nc * n);
 
     // Scale stage: limb j times phat_j^-1 mod p_j.
@@ -415,7 +443,7 @@ KernelBackend::automorphism(const Automorphism &am, const RnsPoly &p,
                             const std::vector<Modulus> &moduli)
 {
     const size_t n = p.degree();
-    stats_.record(KernelOp::Automorphism, p.numLimbs(),
+    recordStats(KernelOp::Automorphism, p.numLimbs(),
                   2 * p.numLimbs() * n, 0);
     RnsPoly out(n, p.numLimbs(), p.rep());
     run(p.numLimbs(), [&](size_t l) {
@@ -444,12 +472,12 @@ KernelBackend::nttBconvNtt(const RnsPoly &digit,
     ARK_ASSERT(nb <= 256, "too many input limbs for lazy accumulation");
     // Tally the fused call itself, then credit the component counters
     // so FU-level consumers (simulator) see the right per-FU split.
-    stats_.record(KernelOp::NttBconvNtt, nb + nc, 0, 0);
-    stats_.record(KernelOp::NttInverse, nb, 2 * nb * n,
+    recordStats(KernelOp::NttBconvNtt, nb + nc, 0, 0);
+    recordStats(KernelOp::NttInverse, nb, 2 * nb * n,
                   nb * (nttMults(n) + n));
-    stats_.record(KernelOp::BConv, nb + nc, (nb + nc) * n,
+    recordStats(KernelOp::BConv, nb + nc, (nb + nc) * n,
                   nb * n + nb * nc * n);
-    stats_.record(KernelOp::NttForward, nc, 2 * nc * n,
+    recordStats(KernelOp::NttForward, nc, 2 * nc * n,
                   nc * nttMults(n));
 
     // Stage 1: INTT each digit limb and fold the BConv scale stage
@@ -473,6 +501,122 @@ KernelBackend::nttBconvNtt(const RnsPoly &digit,
     });
     out.setRep(Rep::Eval);
     return out;
+}
+
+// ---------------------------------------------------------------------------
+// Per-thread measured-tally shards
+// ---------------------------------------------------------------------------
+
+namespace {
+std::atomic<u64> next_backend_id{1};
+} // namespace
+
+KernelBackend::KernelBackend() : instance_id_(next_backend_id.fetch_add(1))
+{
+}
+
+KernelBackend::~KernelBackend() = default;
+
+KernelBackend::StatsShard &
+KernelBackend::shard() const
+{
+    struct CacheEntry
+    {
+        u64 id;
+        StatsShard *shard;
+    };
+    // Per-thread cache of (backend instance id -> shard). Entries for
+    // destroyed backends go stale but are never matched again (ids are
+    // unique), and the occasional flush only costs a re-lookup.
+    thread_local std::vector<CacheEntry> cache;
+    for (const auto &e : cache) {
+        if (e.id == instance_id_)
+            return *e.shard;
+    }
+    std::lock_guard<std::mutex> lk(shards_m_);
+    // Re-adopt this thread's shard if the cache entry was evicted —
+    // registering a fresh one would grow shards_ unboundedly in a
+    // long-lived backend. (An OS-recycled thread id can only match a
+    // dead owner's shard, which is then safe to adopt.)
+    StatsShard *s = nullptr;
+    const std::thread::id self = std::this_thread::get_id();
+    for (const auto &existing : shards_) {
+        if (existing->owner == self) {
+            s = existing.get();
+            break;
+        }
+    }
+    if (s == nullptr) {
+        shards_.push_back(std::make_unique<StatsShard>());
+        s = shards_.back().get();
+        s->owner = self;
+    }
+    if (cache.size() >= 256)
+        cache.clear();
+    cache.push_back({instance_id_, s});
+    return *s;
+}
+
+void
+KernelBackend::recordStats(KernelOp op, u64 limbs, u64 words, u64 mults)
+{
+    auto &c = shard().counters[static_cast<size_t>(op)];
+    c.calls.fetch_add(1, std::memory_order_relaxed);
+    c.limbs.fetch_add(limbs, std::memory_order_relaxed);
+    c.words.fetch_add(words, std::memory_order_relaxed);
+    c.mults.fetch_add(mults, std::memory_order_relaxed);
+}
+
+void
+KernelBackend::noteEvkWords(u64 words)
+{
+    shard().evk_words.fetch_add(words, std::memory_order_relaxed);
+}
+
+void
+KernelBackend::notePlaintextWords(u64 words)
+{
+    shard().plaintext_words.fetch_add(words, std::memory_order_relaxed);
+}
+
+KernelStats
+KernelBackend::stats() const
+{
+    std::lock_guard<std::mutex> lk(shards_m_);
+    KernelStats out;
+    for (const auto &s : shards_) {
+        for (size_t i = 0; i < kNumKernelOps; ++i) {
+            const auto &c = s->counters[i];
+            out.counters[i].calls +=
+                c.calls.load(std::memory_order_relaxed);
+            out.counters[i].limbs +=
+                c.limbs.load(std::memory_order_relaxed);
+            out.counters[i].words +=
+                c.words.load(std::memory_order_relaxed);
+            out.counters[i].mults +=
+                c.mults.load(std::memory_order_relaxed);
+        }
+        out.evk_words += s->evk_words.load(std::memory_order_relaxed);
+        out.plaintext_words +=
+            s->plaintext_words.load(std::memory_order_relaxed);
+    }
+    return out;
+}
+
+void
+KernelBackend::resetStats()
+{
+    std::lock_guard<std::mutex> lk(shards_m_);
+    for (const auto &s : shards_) {
+        for (auto &c : s->counters) {
+            c.calls.store(0, std::memory_order_relaxed);
+            c.limbs.store(0, std::memory_order_relaxed);
+            c.words.store(0, std::memory_order_relaxed);
+            c.mults.store(0, std::memory_order_relaxed);
+        }
+        s->evk_words.store(0, std::memory_order_relaxed);
+        s->plaintext_words.store(0, std::memory_order_relaxed);
+    }
 }
 
 // ---------------------------------------------------------------------------
@@ -532,6 +676,26 @@ parseBackendKind(const char *name, BackendKind &out)
     return false;
 }
 
+bool
+parseBackendThreads(const char *s, size_t &out)
+{
+    if (s == nullptr || *s == '\0')
+        return false;
+    // Digits only: strtoul would silently accept "-1" (wrapping to a
+    // huge count), leading signs, and whitespace — all junk here.
+    for (const char *p = s; *p != '\0'; ++p) {
+        if (*p < '0' || *p > '9')
+            return false;
+    }
+    errno = 0;
+    char *end = nullptr;
+    const unsigned long v = std::strtoul(s, &end, 10);
+    if (errno == ERANGE || v > kMaxBackendThreads)
+        return false;
+    out = static_cast<size_t>(v);
+    return true;
+}
+
 BackendKind
 backendKindFromEnv(BackendKind fallback)
 {
@@ -539,8 +703,14 @@ backendKindFromEnv(BackendKind fallback)
     if (env == nullptr || *env == '\0')
         return fallback;
     BackendKind kind;
-    if (!parseBackendKind(env, kind))
-        ARK_FATAL("ARK_BACKEND must be 'scalar' or 'parallel'");
+    if (!parseBackendKind(env, kind)) {
+        char msg[160];
+        std::snprintf(msg, sizeof msg,
+                      "invalid ARK_BACKEND '%s' (expected 'scalar' or "
+                      "'parallel')",
+                      env);
+        ARK_FATAL(msg);
+    }
     return kind;
 }
 
@@ -550,11 +720,16 @@ backendThreadsFromEnv(size_t fallback)
     const char *env = std::getenv("ARK_THREADS");
     if (env == nullptr || *env == '\0')
         return fallback;
-    char *end = nullptr;
-    const unsigned long v = std::strtoul(env, &end, 10);
-    if (end == env || *end != '\0')
-        ARK_FATAL("ARK_THREADS must be a non-negative integer");
-    return static_cast<size_t>(v);
+    size_t threads = 0;
+    if (!parseBackendThreads(env, threads)) {
+        char msg[160];
+        std::snprintf(msg, sizeof msg,
+                      "invalid ARK_THREADS '%s' (expected an integer in "
+                      "[0, %zu]; 0 = hardware concurrency)",
+                      env, kMaxBackendThreads);
+        ARK_FATAL(msg);
+    }
+    return threads;
 }
 
 KernelBackend &

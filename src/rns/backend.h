@@ -21,8 +21,10 @@
 
 #pragma once
 
+#include <atomic>
 #include <functional>
 #include <memory>
+#include <mutex>
 #include <vector>
 
 #include "rns/automorphism.h"
@@ -38,7 +40,8 @@ namespace ark {
 class KernelBackend
 {
   public:
-    virtual ~KernelBackend() = default;
+    KernelBackend();
+    virtual ~KernelBackend();
 
     virtual const char *name() const = 0;
     virtual BackendKind kind() const = 0;
@@ -130,13 +133,17 @@ class KernelBackend
 
     /// @name Measured execution tallies
     /// @{
-    const KernelStats &stats() const { return stats_; }
-    void resetStats() { stats_.clear(); }
+    /**
+     * Merged snapshot of every caller thread's tally shard. Kernels
+     * record into a per-thread shard (no shared-counter contention and
+     * no data race under concurrent callers); stats() sums the shards
+     * on demand. The snapshot is exact when no kernel is in flight —
+     * drain callers first, as the serving runtime does.
+     */
+    KernelStats stats() const;
+    void resetStats();
     /** Operand-stream traffic noted by scheme layers (PlaintextStore). */
-    void notePlaintextWords(u64 words)
-    {
-        stats_.plaintext_words += words;
-    }
+    void notePlaintextWords(u64 words);
     /// @}
 
   protected:
@@ -147,7 +154,23 @@ class KernelBackend
     virtual void run(size_t jobs,
                      const std::function<void(size_t)> &fn) const = 0;
 
-    KernelStats stats_;
+    /** Tally one kernel call into the calling thread's shard. */
+    void recordStats(KernelOp op, u64 limbs, u64 words, u64 mults);
+    /** Tally evk operand-stream words (EvkMulAcc). */
+    void noteEvkWords(u64 words);
+
+  private:
+    struct StatsShard;
+    /** The calling thread's shard for this backend instance
+     *  (registered on first use, found via a thread-local cache). */
+    StatsShard &shard() const;
+
+    /** Process-unique instance id keying the thread-local shard cache
+     *  (never reused, so a stale cache entry for a destroyed backend
+     *  can never alias a live one). */
+    const u64 instance_id_;
+    mutable std::mutex shards_m_;
+    mutable std::vector<std::unique_ptr<StatsShard>> shards_;
 };
 
 /** The reference engine: serial execution of every job. */

@@ -26,10 +26,23 @@ backendKindName(BackendKind kind)
 /** Parse "scalar" / "parallel"; returns false on anything else. */
 bool parseBackendKind(const char *name, BackendKind &out);
 
-/** ARK_BACKEND env override, else @p fallback. */
+/** Upper bound accepted for a thread-count knob (sanity guard against
+ *  overflowed or wrapped values like ARK_THREADS=-1). */
+constexpr size_t kMaxBackendThreads = 4096;
+
+/**
+ * Parse a thread count: digits only, <= kMaxBackendThreads (0 means
+ * hardware concurrency). Returns false on junk — signs, whitespace,
+ * trailing characters, or out-of-range values.
+ */
+bool parseBackendThreads(const char *s, size_t &out);
+
+/** ARK_BACKEND env override, else @p fallback; exits with a clear
+ *  error naming the offending value on junk input. */
 BackendKind backendKindFromEnv(BackendKind fallback);
 
-/** ARK_THREADS env override, else @p fallback (0 = hardware). */
+/** ARK_THREADS env override, else @p fallback (0 = hardware); exits
+ *  with a clear error naming the offending value on junk input. */
 size_t backendThreadsFromEnv(size_t fallback);
 
 } // namespace ark

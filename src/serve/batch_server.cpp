@@ -1,0 +1,260 @@
+#include "serve/batch_server.h"
+
+#include <stdexcept>
+
+#include "common/logging.h"
+
+namespace ark {
+
+BatchServer::BatchServer(const CkksContext &ctx, KeyCache &keys,
+                         const PlaintextStore &plaintexts,
+                         std::vector<ServeWorkload> workloads,
+                         std::vector<Ciphertext> inputs,
+                         BatchServerConfig cfg)
+    : ctx_(ctx),
+      eval_(ctx),
+      keys_(keys),
+      plaintexts_(plaintexts),
+      workloads_(std::move(workloads)),
+      inputs_(std::move(inputs)),
+      cfg_(cfg),
+      queue_(cfg.queue_capacity)
+{
+    ARK_ASSERT(!workloads_.empty(), "server needs at least one workload");
+    ARK_ASSERT(!inputs_.empty(), "server needs at least one input");
+    ARK_ASSERT(cfg_.workers > 0, "server needs at least one worker");
+
+    // Prewarm every evk the workload set references while still
+    // single-threaded: key generation draws from the keygen Rng, so
+    // doing it here (in deterministic order) is what makes concurrent
+    // execution bit-identical to sequential.
+    (void)keys_.multiplication();
+    for (const auto &w : workloads_) {
+        for (i64 amt : w.rotationAmounts())
+            (void)keys_.rotation(amt);
+    }
+
+    workers_.reserve(cfg_.workers);
+    for (size_t i = 0; i < cfg_.workers; ++i)
+        workers_.emplace_back([this] { workerLoop(); });
+}
+
+BatchServer::~BatchServer()
+{
+    shutdown();
+}
+
+std::future<ServeResult>
+BatchServer::enqueue(size_t workload_index, bool blocking,
+                     bool &accepted)
+{
+    ARK_ASSERT(workload_index < workloads_.size(),
+               "workload index out of range");
+    if (shut_down_.load())
+        throw std::runtime_error("BatchServer is shut down");
+
+    ServeJob job;
+    job.request.id = next_id_.fetch_add(1);
+    job.request.workload_index = workload_index;
+    std::future<ServeResult> fut = job.promise.get_future();
+
+    // Count the attempt *before* opening the window: a concurrent
+    // drain() waits for outstanding_ == 0, so it can never close a
+    // window between our open and the admission becoming visible.
+    outstanding_.fetch_add(1);
+    {
+        // Open the metrics window at first admission so throughput
+        // covers queueing, not just service.
+        std::lock_guard<std::mutex> lk(metrics_m_);
+        if (!window_open_) {
+            window_open_ = true;
+            window_start_ = std::chrono::steady_clock::now();
+            stats_baseline_ = ctx_.backend().stats();
+        }
+    }
+
+    accepted = blocking ? queue_.push(std::move(job))
+                        : queue_.tryPush(std::move(job));
+    if (!accepted) {
+        {
+            std::lock_guard<std::mutex> lk(idle_m_);
+            outstanding_.fetch_sub(1);
+        }
+        idle_cv_.notify_all();
+        // A refused probe must not skew the next report's wall clock:
+        // close the window again while it is still empty.
+        {
+            std::lock_guard<std::mutex> lk(metrics_m_);
+            if (window_open_ && done_ == 0 &&
+                outstanding_.load() == 0)
+                window_open_ = false;
+        }
+        // A blocking push only fails when the queue was closed; a
+        // non-blocking one must distinguish "momentarily full" (false,
+        // caller sheds load) from a shutdown() that raced past the
+        // entry check (throw, caller must stop retrying).
+        if (blocking || shut_down_.load() || queue_.closed())
+            throw std::runtime_error("BatchServer is shut down");
+    }
+    return fut;
+}
+
+std::future<ServeResult>
+BatchServer::submit(size_t workload_index)
+{
+    bool accepted = false;
+    return enqueue(workload_index, /*blocking=*/true, accepted);
+}
+
+bool
+BatchServer::trySubmit(size_t workload_index,
+                       std::future<ServeResult> &out)
+{
+    bool accepted = false;
+    auto fut = enqueue(workload_index, /*blocking=*/false, accepted);
+    if (accepted)
+        out = std::move(fut);
+    return accepted;
+}
+
+ServeResult
+BatchServer::execute(const ServeRequest &req) const
+{
+    const ServeWorkload &w = workloads_[req.workload_index];
+    ServeResult r;
+    r.id = req.id;
+
+    const auto t0 = std::chrono::steady_clock::now();
+    try {
+        Ciphertext ct = inputs_[w.input_index % inputs_.size()];
+        for (const ServeOp &op : w.ops) {
+            switch (op.kind) {
+              case ServeOpKind::Square:
+                if (ct.level() < 1)
+                    throw std::runtime_error(
+                        "level budget exhausted before Square");
+                ct = eval_.square(ct, keys_.multiplication());
+                break;
+              case ServeOpKind::Rescale:
+                if (ct.level() < 1)
+                    throw std::runtime_error(
+                        "level budget exhausted before Rescale");
+                ct = eval_.rescale(ct);
+                break;
+              case ServeOpKind::Rotate:
+                ct = eval_.rotate(ct, op.rotation,
+                                  keys_.rotation(op.rotation));
+                break;
+              case ServeOpKind::MulPlain: {
+                if (ct.level() < 1)
+                    throw std::runtime_error(
+                        "level budget exhausted before MulPlain");
+                Plaintext pt = plaintexts_.get(
+                    op.pt_index % plaintexts_.size(), ct.level());
+                ct = eval_.mulPlain(ct, pt);
+                break;
+              }
+              case ServeOpKind::AddScalar:
+                ct = eval_.addScalar(ct, op.scalar);
+                break;
+            }
+            ++r.he_ops;
+        }
+        r.ok = true;
+        r.final_level = ct.level();
+        r.checksum = ciphertextChecksum(ct);
+    } catch (const std::exception &e) {
+        r.ok = false;
+        r.error = e.what();
+    }
+    const auto t1 = std::chrono::steady_clock::now();
+    r.latency_ms =
+        std::chrono::duration<double, std::milli>(t1 - t0).count();
+    return r;
+}
+
+void
+BatchServer::workerLoop()
+{
+    ServeJob job;
+    while (queue_.pop(job)) {
+        ServeResult r = execute(job.request);
+        {
+            std::lock_guard<std::mutex> lk(metrics_m_);
+            latencies_ms_.push_back(r.latency_ms);
+            done_ += 1;
+            failed_ += r.ok ? 0 : 1;
+            ops_done_ += r.he_ops;
+        }
+        job.promise.set_value(std::move(r));
+        // Decrement-then-notify under the idle mutex so drain() can
+        // never observe the old count after its predicate check.
+        {
+            std::lock_guard<std::mutex> lk(idle_m_);
+            outstanding_.fetch_sub(1);
+        }
+        idle_cv_.notify_all();
+    }
+}
+
+ServeReport
+BatchServer::drain()
+{
+    {
+        std::unique_lock<std::mutex> lk(idle_m_);
+        idle_cv_.wait(lk, [this] { return outstanding_.load() == 0; });
+    }
+
+    std::lock_guard<std::mutex> lk(metrics_m_);
+    const auto now = std::chrono::steady_clock::now();
+    const KernelStats now_stats = ctx_.backend().stats();
+
+    ServeReport rep;
+    rep.requests = done_;
+    rep.failed = failed_;
+    rep.he_ops = ops_done_;
+    rep.latency = summarizeLatencies(std::move(latencies_ms_));
+    if (window_open_) {
+        rep.wall_seconds =
+            std::chrono::duration<double>(now - window_start_).count();
+        // Backend tallies are quiescent here (no request in flight),
+        // so the delta is exactly this window's kernel work.
+        rep.kernel_words =
+            now_stats.totalWords() - stats_baseline_.totalWords();
+        rep.mod_mults =
+            now_stats.totalMults() - stats_baseline_.totalMults();
+    }
+    if (rep.wall_seconds > 0) {
+        const double s = rep.wall_seconds;
+        rep.requests_per_sec = static_cast<double>(rep.requests) / s;
+        rep.he_ops_per_sec = static_cast<double>(rep.he_ops) / s;
+        rep.words_per_sec = static_cast<double>(rep.kernel_words) / s;
+        rep.mults_per_sec = static_cast<double>(rep.mod_mults) / s;
+    }
+
+    latencies_ms_ = {};
+    done_ = failed_ = ops_done_ = 0;
+    // A submit may have slipped in after our idle wait: hand the new
+    // window a sane start instead of orphaning that request's metrics
+    // (its own window-open sees window_open_ already true and no-ops).
+    window_open_ = outstanding_.load() > 0;
+    if (window_open_) {
+        window_start_ = now;
+        stats_baseline_ = now_stats;
+    }
+    return rep;
+}
+
+void
+BatchServer::shutdown()
+{
+    if (shut_down_.exchange(true))
+        return;
+    queue_.close();
+    for (auto &t : workers_) {
+        if (t.joinable())
+            t.join();
+    }
+}
+
+} // namespace ark

@@ -1,0 +1,140 @@
+/**
+ * @file
+ * Concurrent batch-serving runtime over the kernel-backend layer.
+ *
+ * The BatchServer admits many concurrent workload requests (lowered
+ * from the paper's workload traces, serve/workload.h), queues them
+ * through a bounded RequestQueue (backpressure + admission control),
+ * and executes them on a fixed set of worker threads. All workers
+ * share one immutable CkksContext (whose KernelBackend may itself be
+ * the limb-parallel engine), one KeyCache of evk material, and one
+ * PlaintextStore — the re-entrancy of that shared hot path is what
+ * PR 2 hardened (per-thread KernelStats shards, mutex-guarded lazy
+ * caches, exception-safe thread pool).
+ *
+ * Determinism: request execution itself is deterministic (evaluator
+ * ops are pure given key material), so N concurrent requests produce
+ * bit-identical results to sequential execution as long as the evk
+ * material is fixed up front — the constructor prewarms every key the
+ * workload set references. tests/test_serving.cpp enforces this.
+ *
+ * Metrics: each drain window reports per-request latency percentiles
+ * and aggregate requests/sec, HE-ops/sec, plus backend-measured
+ * words/sec and modular mults/sec (KernelStats delta over the
+ * window).
+ */
+
+#pragma once
+
+#include <atomic>
+#include <chrono>
+#include <future>
+#include <thread>
+#include <vector>
+
+#include "boot/key_cache.h"
+#include "boot/plaintext_store.h"
+#include "ckks/evaluator.h"
+#include "serve/metrics.h"
+#include "serve/request_queue.h"
+
+namespace ark {
+
+/** Serving runtime knobs. */
+struct BatchServerConfig
+{
+    /** Request worker threads (each may additionally fan limb work
+     *  onto the context's parallel backend). */
+    size_t workers = 4;
+    /** Bound on admitted-but-unstarted requests (see RequestQueue). */
+    size_t queue_capacity = 64;
+};
+
+/** Multi-threaded request executor over shared CKKS state. */
+class BatchServer
+{
+  public:
+    /**
+     * @param inputs pre-encrypted input templates requests start from
+     *        (workload.input_index selects one, mod inputs.size()).
+     * The constructor prewarms every evk the workloads reference
+     * (deterministic key material), then starts the workers.
+     */
+    BatchServer(const CkksContext &ctx, KeyCache &keys,
+                const PlaintextStore &plaintexts,
+                std::vector<ServeWorkload> workloads,
+                std::vector<Ciphertext> inputs,
+                BatchServerConfig cfg = {});
+    ~BatchServer();
+
+    BatchServer(const BatchServer &) = delete;
+    BatchServer &operator=(const BatchServer &) = delete;
+
+    const std::vector<ServeWorkload> &workloads() const
+    {
+        return workloads_;
+    }
+    size_t workers() const { return workers_.size(); }
+
+    /**
+     * Admit one request of @p workload_index, blocking while the queue
+     * is full (backpressure). Throws std::runtime_error after
+     * shutdown().
+     */
+    std::future<ServeResult> submit(size_t workload_index);
+
+    /**
+     * Admission-controlled submit: refuses instead of blocking when
+     * the queue is full. Returns false and leaves @p out untouched on
+     * refusal.
+     */
+    bool trySubmit(size_t workload_index, std::future<ServeResult> &out);
+
+    /**
+     * Block until every admitted request has completed, then return
+     * the metrics window since the previous drain (and start a fresh
+     * window). Safe to call repeatedly.
+     */
+    ServeReport drain();
+
+    /** Refuse new requests, finish queued ones, join the workers.
+     *  Idempotent; the destructor calls it. */
+    void shutdown();
+
+  private:
+    void workerLoop();
+    ServeResult execute(const ServeRequest &req) const;
+    std::future<ServeResult> enqueue(size_t workload_index,
+                                     bool blocking, bool &accepted);
+
+    const CkksContext &ctx_;
+    CkksEvaluator eval_;
+    KeyCache &keys_;
+    const PlaintextStore &plaintexts_;
+    const std::vector<ServeWorkload> workloads_;
+    const std::vector<Ciphertext> inputs_;
+    const BatchServerConfig cfg_;
+
+    RequestQueue queue_;
+    std::vector<std::thread> workers_;
+    std::atomic<u64> next_id_{1};
+    std::atomic<bool> shut_down_{false};
+
+    /** submitted - completed; drain() waits for 0 (counted at submit
+     *  time so a popped-but-running request still holds the drain). */
+    std::atomic<size_t> outstanding_{0};
+    std::mutex idle_m_;
+    std::condition_variable idle_cv_;
+
+    /** Metrics window state (guarded by metrics_m_). */
+    mutable std::mutex metrics_m_;
+    std::vector<double> latencies_ms_;
+    size_t done_ = 0;
+    size_t failed_ = 0;
+    size_t ops_done_ = 0;
+    bool window_open_ = false;
+    std::chrono::steady_clock::time_point window_start_{};
+    KernelStats stats_baseline_;
+};
+
+} // namespace ark

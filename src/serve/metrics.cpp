@@ -1,0 +1,47 @@
+#include "serve/metrics.h"
+
+#include <algorithm>
+#include <cstdio>
+
+#include "common/stats_util.h"
+
+namespace ark {
+
+LatencySummary
+summarizeLatencies(std::vector<double> samples_ms)
+{
+    LatencySummary s;
+    s.count = samples_ms.size();
+    if (samples_ms.empty())
+        return s;
+    std::sort(samples_ms.begin(), samples_ms.end());
+    double sum = 0;
+    for (double v : samples_ms)
+        sum += v;
+    s.mean_ms = sum / static_cast<double>(samples_ms.size());
+    s.p50_ms = nearestRankPercentile(samples_ms, 0.50);
+    s.p90_ms = nearestRankPercentile(samples_ms, 0.90);
+    s.p99_ms = nearestRankPercentile(samples_ms, 0.99);
+    s.max_ms = samples_ms.back();
+    return s;
+}
+
+std::string
+ServeReport::toString() const
+{
+    char buf[512];
+    std::snprintf(
+        buf, sizeof buf,
+        "requests %zu (%zu failed) in %.3f s  |  %.1f req/s  "
+        "%.1f HE-ops/s\n"
+        "latency ms: mean %.3f  p50 %.3f  p90 %.3f  p99 %.3f  "
+        "max %.3f\n"
+        "kernels: %.2f Mwords/s  %.2f Mmults/s",
+        requests, failed, wall_seconds, requests_per_sec,
+        he_ops_per_sec, latency.mean_ms, latency.p50_ms,
+        latency.p90_ms, latency.p99_ms, latency.max_ms,
+        words_per_sec / 1e6, mults_per_sec / 1e6);
+    return buf;
+}
+
+} // namespace ark

@@ -1,0 +1,55 @@
+/**
+ * @file
+ * Serving metrics: per-request latency percentiles plus aggregate
+ * throughput (requests/sec, HE-ops/sec, and — via the backend's
+ * measured KernelStats — words/sec and modular mults/sec, the numbers
+ * the paper's traffic analysis reasons in).
+ */
+
+#pragma once
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+#include "common/types.h"
+
+namespace ark {
+
+/** Order statistics of a latency sample set. */
+struct LatencySummary
+{
+    size_t count = 0;
+    double mean_ms = 0;
+    double p50_ms = 0;
+    double p90_ms = 0;
+    double p99_ms = 0;
+    double max_ms = 0;
+};
+
+/** Nearest-rank percentiles of @p samples_ms (consumed: sorted). */
+LatencySummary summarizeLatencies(std::vector<double> samples_ms);
+
+/** One drain window's aggregate serving statistics. */
+struct ServeReport
+{
+    size_t requests = 0;
+    size_t failed = 0;
+    size_t he_ops = 0; ///< primitive HE ops executed across requests
+    double wall_seconds = 0;
+    double requests_per_sec = 0;
+    double he_ops_per_sec = 0;
+    LatencySummary latency;
+    /** Backend-measured polynomial operand words moved in the window
+     *  (KernelStats delta) and the implied streaming rate. */
+    u64 kernel_words = 0;
+    double words_per_sec = 0;
+    /** Backend-measured modular multiplications and rate. */
+    u64 mod_mults = 0;
+    double mults_per_sec = 0;
+
+    /** Human-readable multi-line summary block. */
+    std::string toString() const;
+};
+
+} // namespace ark

@@ -1,0 +1,78 @@
+#include "serve/request_queue.h"
+
+#include "common/logging.h"
+
+namespace ark {
+
+RequestQueue::RequestQueue(size_t capacity) : capacity_(capacity)
+{
+    ARK_ASSERT(capacity > 0, "queue capacity must be positive");
+}
+
+bool
+RequestQueue::push(ServeJob &&job)
+{
+    std::unique_lock<std::mutex> lk(m_);
+    not_full_.wait(lk,
+                   [this] { return closed_ || q_.size() < capacity_; });
+    if (closed_)
+        return false;
+    q_.push_back(std::move(job));
+    lk.unlock();
+    not_empty_.notify_one();
+    return true;
+}
+
+bool
+RequestQueue::tryPush(ServeJob &&job)
+{
+    {
+        std::lock_guard<std::mutex> lk(m_);
+        if (closed_ || q_.size() >= capacity_)
+            return false;
+        q_.push_back(std::move(job));
+    }
+    not_empty_.notify_one();
+    return true;
+}
+
+bool
+RequestQueue::pop(ServeJob &out)
+{
+    std::unique_lock<std::mutex> lk(m_);
+    not_empty_.wait(lk, [this] { return closed_ || !q_.empty(); });
+    if (q_.empty())
+        return false; // closed and drained
+    out = std::move(q_.front());
+    q_.pop_front();
+    lk.unlock();
+    not_full_.notify_one();
+    return true;
+}
+
+void
+RequestQueue::close()
+{
+    {
+        std::lock_guard<std::mutex> lk(m_);
+        closed_ = true;
+    }
+    not_full_.notify_all();
+    not_empty_.notify_all();
+}
+
+size_t
+RequestQueue::size() const
+{
+    std::lock_guard<std::mutex> lk(m_);
+    return q_.size();
+}
+
+bool
+RequestQueue::closed() const
+{
+    std::lock_guard<std::mutex> lk(m_);
+    return closed_;
+}
+
+} // namespace ark

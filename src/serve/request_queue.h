@@ -1,0 +1,76 @@
+/**
+ * @file
+ * Bounded MPMC queue feeding the BatchServer's workers — the admission
+ * control and backpressure point of the serving runtime.
+ *
+ * Capacity is a hard bound on queued (admitted, not yet started)
+ * requests: push() blocks the producer when the queue is full
+ * (backpressure), tryPush() refuses instead (admission control for
+ * callers that would rather shed load than wait). close() drains:
+ * producers are refused immediately, consumers keep popping until the
+ * queue is empty, then pop() returns false and workers exit.
+ */
+
+#pragma once
+
+#include <condition_variable>
+#include <cstddef>
+#include <deque>
+#include <future>
+#include <mutex>
+
+#include "serve/workload.h"
+
+namespace ark {
+
+/** One queued unit of work: the request plus its result promise. */
+struct ServeJob
+{
+    ServeRequest request;
+    std::promise<ServeResult> promise;
+};
+
+/** Bounded MPMC job queue with blocking and non-blocking admission. */
+class RequestQueue
+{
+  public:
+    explicit RequestQueue(size_t capacity);
+
+    RequestQueue(const RequestQueue &) = delete;
+    RequestQueue &operator=(const RequestQueue &) = delete;
+
+    /**
+     * Enqueue, blocking while the queue is full (backpressure).
+     * Returns false — leaving @p job intact — if the queue is closed.
+     */
+    bool push(ServeJob &&job);
+
+    /**
+     * Enqueue only if space is available right now. Returns false —
+     * leaving @p job intact — when full or closed.
+     */
+    bool tryPush(ServeJob &&job);
+
+    /**
+     * Dequeue, blocking while the queue is empty. Returns false once
+     * the queue is closed and drained.
+     */
+    bool pop(ServeJob &out);
+
+    /** Refuse new jobs; wake all blocked producers and consumers. */
+    void close();
+
+    size_t size() const;
+    size_t capacity() const { return capacity_; }
+    bool closed() const;
+
+  private:
+    const size_t capacity_;
+    mutable std::mutex m_;
+    std::condition_variable not_full_;
+    std::condition_variable not_empty_;
+    std::deque<ServeJob> q_;
+    bool closed_ = false;
+};
+
+} // namespace ark

@@ -1,0 +1,119 @@
+/**
+ * @file
+ * Executable serving workloads: the request payloads the BatchServer
+ * schedules across its workers.
+ *
+ * A ServeWorkload is a short, deterministic sequence of primitive HE
+ * ops executed by a CkksEvaluator against a pre-encrypted input
+ * ciphertext. Workloads are *lowered* from the same SimProgram traces
+ * the ARK simulator consumes (workloads/programs.h: bootstrapping,
+ * HELR, ResNet, sorting), so the op mix, rotation structure, and
+ * mult/rotation ratio a request exercises match the published
+ * workloads — while staying executable at the small functional-test
+ * parameter sets a host can serve at interactive rates.
+ *
+ * Lowering manages the level budget explicitly (a trace emitted for
+ * L = 30-ish accelerator parameters must still execute at L = 3 test
+ * parameters): every multiplicative op is paired with a rescale, the
+ * walk stops when levels run out, and rotation amounts are folded onto
+ * a small deterministic set so the evk working set stays bounded (the
+ * Min-KS discipline applied to serving).
+ */
+
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "ckks/context.h"
+#include "sim/program.h"
+
+namespace ark {
+
+/** Primitive ops a serving request executes. */
+enum class ServeOpKind {
+    Square,    ///< HMult with itself through evk_mult
+    Rescale,   ///< drop one level (always follows a multiplicative op)
+    Rotate,    ///< HRot by `rotation` slots through a cached evk
+    MulPlain,  ///< PMult with a PlaintextStore entry (OF-Limb eligible)
+    AddScalar, ///< CAdd (cheap elementwise filler between key switches)
+};
+
+const char *serveOpName(ServeOpKind kind);
+
+/** One executable op instance. */
+struct ServeOp
+{
+    ServeOpKind kind = ServeOpKind::AddScalar;
+    i64 rotation = 0;    ///< Rotate only
+    size_t pt_index = 0; ///< MulPlain only (mod store size at use)
+    double scalar = 0;   ///< AddScalar only
+};
+
+/** A named executable op sequence (the request payload). */
+struct ServeWorkload
+{
+    std::string name;
+    std::vector<ServeOp> ops;
+    /** Which pre-encrypted input template to start from (mod the
+     *  server's input count). */
+    size_t input_index = 0;
+
+    /** Levels a request consumes end to end (one per Rescale). */
+    size_t levelsNeeded() const;
+    /** Distinct rotation amounts referenced (the evk working set). */
+    std::vector<i64> rotationAmounts() const;
+};
+
+/** One admitted request: a workload instance with an identity. */
+struct ServeRequest
+{
+    u64 id = 0;
+    size_t workload_index = 0;
+};
+
+/** Outcome of one request. */
+struct ServeResult
+{
+    u64 id = 0;
+    bool ok = false;
+    std::string error;
+    /** FNV-1a digest over the output ciphertext's limbs and level —
+     *  cheap bit-exact identity for parity tests. */
+    u64 checksum = 0;
+    int final_level = -1;
+    size_t he_ops = 0; ///< primitive ops executed
+    double latency_ms = 0;
+};
+
+/** FNV-1a digest of a ciphertext (both polys, word-at-a-time). */
+u64 ciphertextChecksum(const Ciphertext &ct);
+
+/** Lowering knobs. */
+struct LowerOptions
+{
+    /** Op cap per request: keeps a request's service time in the
+     *  interactive range at test parameters. */
+    size_t max_ops = 48;
+    /** Distinct rotation amounts the lowered workload may reference;
+     *  trace evk ids fold onto [1, max_rotation_keys]. */
+    size_t max_rotation_keys = 8;
+};
+
+/**
+ * Lower a simulator program trace to an executable workload for a
+ * context with @p start_level usable levels and @p slots slots.
+ * Deterministic: the same trace and options produce the same ops.
+ */
+ServeWorkload lowerProgram(const SimProgram &prog, int start_level,
+                           size_t slots, const LowerOptions &opt = {});
+
+/**
+ * The standard serving mix: the four paper workloads (bootstrap, HELR,
+ * ResNet-20, sorting) lowered for @p params, with input templates
+ * spread round-robin.
+ */
+std::vector<ServeWorkload> standardServingMix(const CkksParams &params,
+                                              const LowerOptions &opt = {});
+
+} // namespace ark

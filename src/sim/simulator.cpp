@@ -4,6 +4,7 @@
 #include <map>
 
 #include "common/logging.h"
+#include "common/stats_util.h"
 #include "core/hdft_plan.h"
 
 namespace ark {
@@ -196,6 +197,47 @@ ArkSimulator::run(const SimProgram &prog) const
     r.util.sram = 0.5 * compute_util + 0.5 * r.util.hbm;
     r.avg_power_w = averagePower(machine_, r.util);
     return r;
+}
+
+BatchSimResult
+ArkSimulator::runBatch(const std::vector<const SimProgram *> &progs) const
+{
+    BatchSimResult b;
+    b.requests = progs.size();
+    if (progs.empty())
+        return b;
+
+    // FCFS completion times: request i finishes at the prefix sum of
+    // service times (its latency, since the batch arrives at t = 0).
+    // Batches repeat a few distinct programs many times, so memoize
+    // the (deterministic) per-program simulation.
+    std::map<const SimProgram *, SimResult> memo;
+    std::vector<double> completion;
+    completion.reserve(progs.size());
+    double clock = 0, energy_j = 0;
+    for (const SimProgram *prog : progs) {
+        ARK_ASSERT(prog != nullptr, "null program in batch");
+        auto it = memo.find(prog);
+        if (it == memo.end())
+            it = memo.emplace(prog, run(*prog)).first;
+        const SimResult &r = it->second;
+        clock += r.seconds;
+        completion.push_back(clock);
+        b.hbm_bytes += r.hbm_bytes;
+        energy_j += r.avg_power_w * r.seconds;
+    }
+    b.seconds = clock;
+    b.requests_per_sec =
+        b.seconds > 0
+            ? static_cast<double>(progs.size()) / b.seconds
+            : 0;
+    b.avg_power_w = b.seconds > 0 ? energy_j / b.seconds : 0;
+
+    // completion is already ascending (prefix sums of service times).
+    b.p50_latency = nearestRankPercentile(completion, 0.50);
+    b.p99_latency = nearestRankPercentile(completion, 0.99);
+    b.max_latency = completion.back();
+    return b;
 }
 
 SimResult

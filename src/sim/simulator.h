@@ -15,6 +15,7 @@
 #pragma once
 
 #include <algorithm>
+#include <vector>
 
 #include "boot/linear_transform.h" // KeySchedule
 #include "core/op_cost.h"
@@ -51,6 +52,25 @@ struct SimResult
     }
 };
 
+/**
+ * Batched-serving outcome: one accelerator draining a queue of
+ * programs FCFS (all requests arrive at t = 0, no preemption — the
+ * chip is a statically scheduled monolith, so requests pipeline
+ * through HBM prefetch but do not time-share FUs).
+ */
+struct BatchSimResult
+{
+    size_t requests = 0;
+    double seconds = 0; ///< makespan of the whole batch
+    double requests_per_sec = 0;
+    double hbm_bytes = 0;
+    double avg_power_w = 0;
+    /** Queueing-inclusive completion-time percentiles. */
+    double p50_latency = 0;
+    double p99_latency = 0;
+    double max_latency = 0;
+};
+
 /** The machine model. */
 class ArkSimulator
 {
@@ -62,6 +82,14 @@ class ArkSimulator
 
     /** Run a program to completion and report aggregate statistics. */
     SimResult run(const SimProgram &prog) const;
+
+    /**
+     * Serve a batch of programs FCFS on one accelerator and report
+     * aggregate throughput plus queueing-inclusive latency
+     * percentiles — the simulated counterpart of the host
+     * BatchServer's drain report, so the two print side by side.
+     */
+    BatchSimResult runBatch(const std::vector<const SimProgram *> &progs) const;
 
     /**
      * Project *measured* kernel tallies onto the machine model: maps

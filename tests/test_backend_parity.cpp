@@ -261,11 +261,14 @@ TEST_P(BackendParityTest, StatsRecordWhatExecuted)
     for (KernelBackend *kb : {scalar_.get(), parallel_.get()}) {
         kb->resetStats();
         kb->mulEval(a, b, moduli_, r);
-        const KernelCounter &c = kb->stats().at(KernelOp::MulEval);
+        // stats() returns a merged snapshot by value; keep it alive
+        // while inspecting per-kernel counters.
+        const KernelStats st = kb->stats();
+        const KernelCounter &c = st.at(KernelOp::MulEval);
         EXPECT_EQ(c.calls, 1u);
         EXPECT_EQ(c.limbs, limbs_);
         EXPECT_EQ(c.mults, limbs_ * degree_);
-        EXPECT_EQ(kb->stats().totalCalls(), 1u);
+        EXPECT_EQ(st.totalCalls(), 1u);
         kb->resetStats();
         EXPECT_EQ(kb->stats().totalCalls(), 0u);
     }

@@ -133,7 +133,7 @@ TEST(Traffic, MeasuredKernelStatsFromRealKeySwitch)
 
     ctx.backend().resetStats();
     (void)eval.keySwitch(d, evk, level);
-    const KernelStats &st = ctx.backend().stats();
+    const KernelStats st = ctx.backend().stats();
 
     // The key-switch pipeline must have gone through the fused digit
     // path, the evk MAC, and the ModDown tail — with evk traffic.

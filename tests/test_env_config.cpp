@@ -1,0 +1,104 @@
+/**
+ * @file
+ * ARK_BACKEND / ARK_THREADS environment-knob validation: junk values
+ * must be rejected with a clear error (process exit naming the
+ * offending value), never silently fall back or wrap.
+ */
+
+#include <cstdlib>
+
+#include <gtest/gtest.h>
+
+#include "rns/backend_kind.h"
+
+namespace ark {
+namespace {
+
+TEST(EnvConfig, ParseBackendKindAcceptsKnownNames)
+{
+    BackendKind kind = BackendKind::Parallel;
+    EXPECT_TRUE(parseBackendKind("scalar", kind));
+    EXPECT_EQ(kind, BackendKind::Scalar);
+    EXPECT_TRUE(parseBackendKind("parallel", kind));
+    EXPECT_EQ(kind, BackendKind::Parallel);
+}
+
+TEST(EnvConfig, ParseBackendKindRejectsJunk)
+{
+    BackendKind kind;
+    EXPECT_FALSE(parseBackendKind("", kind));
+    EXPECT_FALSE(parseBackendKind("Scalar", kind));
+    EXPECT_FALSE(parseBackendKind("scalar ", kind));
+    EXPECT_FALSE(parseBackendKind("vectorized", kind));
+    EXPECT_FALSE(parseBackendKind("parallel,4", kind));
+}
+
+TEST(EnvConfig, ParseBackendThreadsAcceptsIntegers)
+{
+    size_t t = 99;
+    EXPECT_TRUE(parseBackendThreads("0", t));
+    EXPECT_EQ(t, 0u); // 0 = hardware concurrency
+    EXPECT_TRUE(parseBackendThreads("8", t));
+    EXPECT_EQ(t, 8u);
+    EXPECT_TRUE(parseBackendThreads("4096", t));
+    EXPECT_EQ(t, kMaxBackendThreads);
+    EXPECT_TRUE(parseBackendThreads("007", t));
+    EXPECT_EQ(t, 7u);
+}
+
+TEST(EnvConfig, ParseBackendThreadsRejectsJunk)
+{
+    size_t t = 0;
+    EXPECT_FALSE(parseBackendThreads(nullptr, t));
+    EXPECT_FALSE(parseBackendThreads("", t));
+    EXPECT_FALSE(parseBackendThreads("-1", t)); // strtoul would wrap!
+    EXPECT_FALSE(parseBackendThreads("+4", t));
+    EXPECT_FALSE(parseBackendThreads(" 4", t));
+    EXPECT_FALSE(parseBackendThreads("4 ", t));
+    EXPECT_FALSE(parseBackendThreads("4threads", t));
+    EXPECT_FALSE(parseBackendThreads("1e3", t));
+    EXPECT_FALSE(parseBackendThreads("0x10", t));
+    EXPECT_FALSE(parseBackendThreads("4097", t)); // above the cap
+    // Would overflow unsigned long: must be rejected, not truncated.
+    EXPECT_FALSE(parseBackendThreads("99999999999999999999999", t));
+}
+
+TEST(EnvConfig, EnvReadersUseValidValues)
+{
+    setenv("ARK_BACKEND", "parallel", 1);
+    EXPECT_EQ(backendKindFromEnv(BackendKind::Scalar),
+              BackendKind::Parallel);
+    unsetenv("ARK_BACKEND");
+    EXPECT_EQ(backendKindFromEnv(BackendKind::Scalar),
+              BackendKind::Scalar);
+
+    setenv("ARK_THREADS", "3", 1);
+    EXPECT_EQ(backendThreadsFromEnv(0), 3u);
+    unsetenv("ARK_THREADS");
+    EXPECT_EQ(backendThreadsFromEnv(5), 5u);
+    // Empty counts as unset, not as junk.
+    setenv("ARK_THREADS", "", 1);
+    EXPECT_EQ(backendThreadsFromEnv(2), 2u);
+    unsetenv("ARK_THREADS");
+}
+
+TEST(EnvConfigDeathTest, JunkBackendExitsWithClearError)
+{
+    setenv("ARK_BACKEND", "vectorized", 1);
+    EXPECT_EXIT((void)backendKindFromEnv(BackendKind::Scalar),
+                ::testing::ExitedWithCode(1),
+                "invalid ARK_BACKEND 'vectorized'");
+    unsetenv("ARK_BACKEND");
+}
+
+TEST(EnvConfigDeathTest, JunkThreadsExitsWithClearError)
+{
+    setenv("ARK_THREADS", "-1", 1);
+    EXPECT_EXIT((void)backendThreadsFromEnv(0),
+                ::testing::ExitedWithCode(1),
+                "invalid ARK_THREADS '-1'");
+    unsetenv("ARK_THREADS");
+}
+
+} // namespace
+} // namespace ark
