@@ -91,6 +91,23 @@ main()
     ServeReport rep = server.drain();
     std::printf("\n%s\n", rep.toString().c_str());
 
+    // Schedule-aware pass over the same batch: each request's ops are
+    // reordered under the bit-exact commutation graph and admission
+    // is clustered by shared rotation evks — same bits, different
+    // order (the checksums above would match request for request).
+    BatchServerConfig sched_cfg = cfg;
+    sched_cfg.schedule = SchedulePolicy::EvkCluster;
+    BatchServer scheduled(ctx, keys, store, workloads, inputs,
+                          sched_cfg);
+    std::vector<size_t> indices;
+    for (size_t i = 0; i < batch; ++i)
+        indices.push_back(i % workloads.size());
+    auto sched_futs = scheduled.submitBatch(indices);
+    for (auto &f : sched_futs)
+        f.get();
+    ServeReport sched_rep = scheduled.drain();
+    std::printf("\n%s\n", sched_rep.toString().c_str());
+
     // The simulated accelerator serving the same mix at the paper's
     // parameters (single chip, FCFS).
     const CkksParams ark_p = CkksParams::ark();

@@ -11,8 +11,10 @@
 
 #pragma once
 
+#include <algorithm>
 #include <map>
 #include <mutex>
+#include <vector>
 
 #include "ckks/keygen.h"
 
@@ -26,8 +28,11 @@ namespace ark {
  * stay valid for the cache's lifetime (std::map nodes are stable).
  * Generation draws from the keygen's Rng, so the *values* of lazily
  * generated keys depend on request interleaving — callers that need
- * deterministic key material (the serving parity tests) should warm
- * the cache single-threaded first.
+ * deterministic key material (the serving parity tests, the
+ * BatchServer) call warm() up front: it generates the mult key and
+ * the requested rotation keys in a canonical order, so any two caches
+ * warmed with the same amount *set* — regardless of the order or
+ * duplication the caller collected it in — hold bit-identical keys.
  */
 class KeyCache
 {
@@ -41,6 +46,25 @@ class KeyCache
     const EvalKey &rotation(i64 r)
     {
         return byElt(galoisElt(r, degree_));
+    }
+
+    /**
+     * Deterministically pre-generate the mult key plus the rotation
+     * keys for @p amounts. Amounts are sorted and deduplicated first,
+     * so generation order — and hence every key's value — depends
+     * only on the set, not on how the caller gathered it. Call while
+     * single-threaded (setup phase) for reproducible material; safe,
+     * but order-sensitive again, if keys were already generated
+     * elsewhere.
+     */
+    void warm(std::vector<i64> amounts)
+    {
+        std::sort(amounts.begin(), amounts.end());
+        amounts.erase(std::unique(amounts.begin(), amounts.end()),
+                      amounts.end());
+        (void)multiplication();
+        for (i64 r : amounts)
+            (void)rotation(r);
     }
 
     const EvalKey &conjugation()

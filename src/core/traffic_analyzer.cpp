@@ -40,6 +40,37 @@ TrafficAnalyzer::analyze(const HdftPlan &plan, const AlgoConfig &cfg) const
 }
 
 TrafficPoint
+TrafficAnalyzer::analyzeScheduled(const ScheduledProgram &sp,
+                                  const AlgoConfig &cfg) const
+{
+    TrafficPoint pt;
+    pt.evk_bytes = sp.residency.evk_bytes;
+    for (const auto &op : sp.scheduled.ops) {
+        switch (op.kind) {
+          case SimOpKind::KeySwitch:
+            pt.mod_mults += cost_.keySwitch(op.level).total();
+            break;
+          case SimOpKind::PMult: {
+            const bool of = cfg.of_limb && op.of_limb_eligible;
+            pt.plaintext_bytes += static_cast<double>(
+                HdftPlan::plaintextBytes(params_, op.level, of));
+            pt.mod_mults += cost_.pmult(op.level, of).total();
+            break;
+          }
+          case SimOpKind::Rescale:
+            pt.mod_mults += cost_.rescale(op.level).total();
+            break;
+          case SimOpKind::Elementwise:
+          case SimOpKind::ModRaise:
+            // No off-chip operand stream; elementwise mults are noise
+            // next to the key-switch terms on the Fig. 2 axes.
+            break;
+        }
+    }
+    return pt;
+}
+
+TrafficPoint
 TrafficAnalyzer::analyzeMeasured(const KernelStats &stats) const
 {
     TrafficPoint pt;

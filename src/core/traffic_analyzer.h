@@ -16,6 +16,7 @@
 
 #include "core/hdft_plan.h"
 #include "core/op_cost.h"
+#include "graph/schedule.h"
 #include "rns/kernel_stats.h"
 
 namespace ark {
@@ -61,6 +62,18 @@ class TrafficAnalyzer
      * interest.
      */
     TrafficPoint analyzeMeasured(const KernelStats &stats) const;
+
+    /**
+     * Traffic + compute of a *scheduled* trace (graph/schedule.h):
+     * evk bytes come from the schedule's residency prediction (what
+     * actually streams under its issue order and eviction policy,
+     * rather than the one-stream-per-distinct-key assumption of
+     * analyze()), plaintext bytes and modular mults from the per-op
+     * cost model over the trace. This puts scheduler policies on the
+     * same Fig. 2 axes as the algorithm configurations.
+     */
+    TrafficPoint analyzeScheduled(const ScheduledProgram &sp,
+                                  const AlgoConfig &cfg) const;
 
   private:
     CkksParams params_;

@@ -1,0 +1,62 @@
+#include "graph/serve_schedule.h"
+
+#include <algorithm>
+#include <map>
+
+#include "common/logging.h"
+#include "graph/builder.h"
+
+namespace ark {
+
+ServeWorkload
+scheduleWorkload(const ServeWorkload &w, SchedulePolicy policy)
+{
+    if (policy != SchedulePolicy::EvkCluster)
+        return w;
+    const HeGraph g = liftWorkload(w);
+    return reorderWorkload(w, scheduleOrder(g, policy));
+}
+
+std::vector<size_t>
+clusterAdmissionOrder(const std::vector<ServeWorkload> &workloads,
+                      const std::vector<size_t> &request_workloads)
+{
+    // Signature: the sorted distinct rotation amounts a workload's
+    // requests will pull through the KeyCache. Requests whose
+    // signatures match share their entire evk working set.
+    std::map<size_t, std::vector<i64>> signature; // workload -> amts
+    for (size_t wi : request_workloads) {
+        ARK_ASSERT(wi < workloads.size(),
+                   "request references unknown workload");
+        if (!signature.count(wi)) {
+            std::vector<i64> amts = workloads[wi].rotationAmounts();
+            std::sort(amts.begin(), amts.end());
+            signature.emplace(wi, std::move(amts));
+        }
+    }
+
+    // Group ids in first-appearance order of each distinct signature.
+    std::vector<std::vector<i64>> groups;
+    auto groupOf = [&](const std::vector<i64> &sig) {
+        for (size_t gi = 0; gi < groups.size(); ++gi) {
+            if (groups[gi] == sig)
+                return gi;
+        }
+        groups.push_back(sig);
+        return groups.size() - 1;
+    };
+
+    std::vector<size_t> order(request_workloads.size());
+    for (size_t i = 0; i < order.size(); ++i)
+        order[i] = i;
+    std::vector<size_t> group_of(order.size());
+    for (size_t i = 0; i < order.size(); ++i)
+        group_of[i] = groupOf(signature[request_workloads[i]]);
+    std::stable_sort(order.begin(), order.end(),
+                     [&](size_t a, size_t b) {
+                         return group_of[a] < group_of[b];
+                     });
+    return order;
+}
+
+} // namespace ark

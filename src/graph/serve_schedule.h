@@ -1,0 +1,52 @@
+/**
+ * @file
+ * Schedule-aware serving: the graph scheduler applied to the serving
+ * plane, where bit-parity with FCFS execution is a hard contract.
+ *
+ * Two levers, both dependence-safe:
+ *
+ *  - Intra-request: `scheduleWorkload` reorders a request's op list
+ *    under the bit-exact commutation graph (graph/builder.h,
+ *    liftWorkload) — e.g. hoisting CAdd filler out of rotation runs
+ *    so same-evk rotations execute back to back. Any schedule of that
+ *    graph produces bit-identical ciphertexts, so the scheduled
+ *    server's results equal FCFS results exactly
+ *    (tests/test_serving.cpp pins this on both kernel backends).
+ *
+ *  - Inter-request: `clusterAdmissionOrder` sorts a batch's admission
+ *    sequence so requests sharing rotation-evk working sets run
+ *    consecutively — adjacent same-key requests reuse the hot evk
+ *    material instead of alternating working sets. Per-request
+ *    results are order-independent (each request is a pure function
+ *    of fixed key material), so parity is unaffected.
+ */
+
+#pragma once
+
+#include <vector>
+
+#include "graph/schedule.h"
+#include "serve/workload.h"
+
+namespace ark {
+
+/**
+ * Reorder @p w's ops under @p policy, preserving bit-exact results.
+ * SourceOrder and BeladyResidency return the workload unchanged
+ * (host-side eviction is the OS's business, not the server's).
+ */
+ServeWorkload scheduleWorkload(const ServeWorkload &w,
+                               SchedulePolicy policy);
+
+/**
+ * Admission order for a batch: a permutation of [0, n) over
+ * @p request_workloads (the workload index of each request) grouping
+ * requests with identical rotation-evk signatures. Groups keep
+ * first-appearance order and requests keep FCFS order within a group,
+ * so the sort is stable and deterministic.
+ */
+std::vector<size_t>
+clusterAdmissionOrder(const std::vector<ServeWorkload> &workloads,
+                      const std::vector<size_t> &request_workloads);
+
+} // namespace ark

@@ -6,6 +6,21 @@
 
 namespace ark {
 
+namespace {
+
+/** Apply the config's intra-request schedule to every workload.
+ *  Dependence-safe: reordering follows the bit-exact commutation
+ *  graph, so results are unchanged (see graph/serve_schedule.h). */
+std::vector<ServeWorkload>
+applySchedule(std::vector<ServeWorkload> workloads, SchedulePolicy p)
+{
+    for (auto &w : workloads)
+        w = scheduleWorkload(w, p);
+    return workloads;
+}
+
+} // namespace
+
 BatchServer::BatchServer(const CkksContext &ctx, KeyCache &keys,
                          const PlaintextStore &plaintexts,
                          std::vector<ServeWorkload> workloads,
@@ -15,7 +30,7 @@ BatchServer::BatchServer(const CkksContext &ctx, KeyCache &keys,
       eval_(ctx),
       keys_(keys),
       plaintexts_(plaintexts),
-      workloads_(std::move(workloads)),
+      workloads_(applySchedule(std::move(workloads), cfg.schedule)),
       inputs_(std::move(inputs)),
       cfg_(cfg),
       queue_(cfg.queue_capacity)
@@ -26,13 +41,16 @@ BatchServer::BatchServer(const CkksContext &ctx, KeyCache &keys,
 
     // Prewarm every evk the workload set references while still
     // single-threaded: key generation draws from the keygen Rng, so
-    // doing it here (in deterministic order) is what makes concurrent
-    // execution bit-identical to sequential.
-    (void)keys_.multiplication();
+    // warming here in KeyCache::warm's canonical (sorted) order is
+    // what makes concurrent execution bit-identical to sequential —
+    // and scheduled servers bit-identical to FCFS ones, since the
+    // amount *set* is invariant under dependence-safe reordering.
+    std::vector<i64> amounts;
     for (const auto &w : workloads_) {
-        for (i64 amt : w.rotationAmounts())
-            (void)keys_.rotation(amt);
+        const std::vector<i64> amts = w.rotationAmounts();
+        amounts.insert(amounts.end(), amts.begin(), amts.end());
     }
+    keys_.warm(std::move(amounts));
 
     workers_.reserve(cfg_.workers);
     for (size_t i = 0; i < cfg_.workers; ++i)
@@ -115,6 +133,26 @@ BatchServer::trySubmit(size_t workload_index,
     if (accepted)
         out = std::move(fut);
     return accepted;
+}
+
+std::vector<std::future<ServeResult>>
+BatchServer::submitBatch(const std::vector<size_t> &workload_indices)
+{
+    std::vector<size_t> admission(workload_indices.size());
+    for (size_t i = 0; i < admission.size(); ++i)
+        admission[i] = i;
+    // Only EvkCluster changes server behaviour (matching the
+    // per-request reorder contract); BeladyResidency is a
+    // simulator-plane policy and stays FCFS here.
+    if (cfg_.schedule == SchedulePolicy::EvkCluster)
+        admission =
+            clusterAdmissionOrder(workloads_, workload_indices);
+
+    std::vector<std::future<ServeResult>> futs(
+        workload_indices.size());
+    for (size_t pos : admission)
+        futs[pos] = submit(workload_indices[pos]);
+    return futs;
 }
 
 ServeResult
@@ -210,6 +248,7 @@ BatchServer::drain()
     const KernelStats now_stats = ctx_.backend().stats();
 
     ServeReport rep;
+    rep.schedule = schedulePolicyName(cfg_.schedule);
     rep.requests = done_;
     rep.failed = failed_;
     rep.he_ops = ops_done_;

@@ -35,6 +35,7 @@
 #include "boot/key_cache.h"
 #include "boot/plaintext_store.h"
 #include "ckks/evaluator.h"
+#include "graph/serve_schedule.h"
 #include "serve/metrics.h"
 #include "serve/request_queue.h"
 
@@ -48,6 +49,16 @@ struct BatchServerConfig
     size_t workers = 4;
     /** Bound on admitted-but-unstarted requests (see RequestQueue). */
     size_t queue_capacity = 64;
+    /**
+     * Schedule-aware mode (graph/serve_schedule.h). With EvkCluster,
+     * the constructor reorders each workload's ops under the
+     * bit-exact commutation dependence graph (same results,
+     * guaranteed), and submitBatch() sorts queue admission so
+     * requests sharing rotation-evk working sets run back to back.
+     * SourceOrder is plain FCFS, byte for byte the pre-scheduler
+     * behaviour.
+     */
+    SchedulePolicy schedule = SchedulePolicy::SourceOrder;
 };
 
 /** Multi-threaded request executor over shared CKKS state. */
@@ -89,6 +100,16 @@ class BatchServer
      * refusal.
      */
     bool trySubmit(size_t workload_index, std::future<ServeResult> &out);
+
+    /**
+     * Admit a whole batch. In schedule-aware mode the admission order
+     * is clustered so requests sharing rotation evks co-locate
+     * (graph/serve_schedule.h); futures are returned in the CALLER's
+     * order regardless, so result i always answers workload_indices[i].
+     * Blocking, like submit().
+     */
+    std::vector<std::future<ServeResult>>
+    submitBatch(const std::vector<size_t> &workload_indices);
 
     /**
      * Block until every admitted request has completed, then return

@@ -33,6 +33,9 @@ LatencySummary summarizeLatencies(std::vector<double> samples_ms);
 /** One drain window's aggregate serving statistics. */
 struct ServeReport
 {
+    /** Scheduling policy the server ran the window under
+     *  (graph/schedule.h policy name; "source-order" = plain FCFS). */
+    std::string schedule = "source-order";
     size_t requests = 0;
     size_t failed = 0;
     size_t he_ops = 0; ///< primitive HE ops executed across requests

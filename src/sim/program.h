@@ -16,6 +16,7 @@
 
 #include <cstddef>
 #include <string>
+#include <string_view>
 #include <vector>
 
 #include "ckks/params.h"
@@ -44,7 +45,17 @@ struct SimOp
     int evk_id = -1;
     /** PMult only: whether this plaintext participates in OF-Limb. */
     bool of_limb_eligible = true;
-    const char *tag = "";
+    /**
+     * Human-readable phase label ("h-idft", "conv-rot", ...).
+     *
+     * Lifetime contract: the view is non-owning. The workload
+     * generators and serve-op names point it at string literals
+     * (static storage, always safe); any other producer must keep the
+     * referenced storage alive for as long as the op — or any
+     * HeGraph/ScheduledProgram node copied from it — is in use.
+     * Copying a SimOp copies the view, not the characters.
+     */
+    std::string_view tag = "";
 };
 
 /** A whole workload. */

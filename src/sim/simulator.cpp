@@ -1,6 +1,7 @@
 #include "sim/simulator.h"
 
-#include <list>
+#include <algorithm>
+#include <limits>
 #include <map>
 
 #include "common/logging.h"
@@ -105,48 +106,79 @@ ArkSimulator::opCycles(const SimOp &op, const CkksParams &p,
 SimResult
 ArkSimulator::run(const SimProgram &prog) const
 {
+    return runOrder(prog, nullptr, EvictionPolicy::LRU);
+}
+
+size_t
+ArkSimulator::evkSlotCapacity(const CkksParams &p) const
+{
+    const double spad_bytes = machine_.scratchpad_mib * 1024.0 * 1024.0;
+    const double free_bytes =
+        std::max(0.0, spad_bytes - workingSetBytes(p, p.max_level));
+    const double full_evk_bytes =
+        static_cast<double>(HdftPlan::evkBytes(p, p.max_level));
+    return static_cast<size_t>(free_bytes / full_evk_bytes);
+}
+
+SimResult
+ArkSimulator::runOrder(const SimProgram &prog,
+                       const std::vector<size_t> *order,
+                       EvictionPolicy eviction) const
+{
     const CkksParams &p = prog.params;
     CostModel cost(p);
+    const size_t n_ops = prog.ops.size();
+    ARK_ASSERT(order == nullptr || order->size() == n_ops,
+               "schedule order must cover the whole program");
+    auto opAt = [&](size_t s) -> const SimOp & {
+        return prog.ops[order ? (*order)[s] : s];
+    };
+
     const double spad_bytes = machine_.scratchpad_mib * 1024.0 * 1024.0;
     const double hbm_bytes_per_cycle =
         machine_.hbm_gb_per_s / machine_.freq_ghz;
-    const double full_evk_bytes =
-        static_cast<double>(HdftPlan::evkBytes(p, p.max_level));
 
-    // LRU evk cache: capacity is what the working set leaves free.
-    double evk_capacity =
-        std::max(0.0, spad_bytes - workingSetBytes(p, p.max_level));
-    std::list<int> lru; // front = most recent
-    std::map<int, std::list<int>::iterator> where;
-    double cached_bytes = 0;
+    // Evk cache: keys are uniform full-size slots against the capacity
+    // the working set leaves free. The replay itself is the SAME
+    // EvkSlotCache the residency planner uses (graph/residency.h), so
+    // predicted and simulated hits agree by construction.
+    const size_t slots = evkSlotCapacity(p);
+    EvkSlotCache cache(slots, eviction);
+
+    // Belady needs each step's next use of the same evk, precomputed
+    // over the issue order.
+    std::vector<size_t> next_use;
+    if (eviction == EvictionPolicy::Belady) {
+        std::vector<int> evk_seq;
+        evk_seq.reserve(n_ops);
+        for (size_t s = 0; s < n_ops; ++s) {
+            const SimOp &op = opAt(s);
+            evk_seq.push_back(op.kind == SimOpKind::KeySwitch
+                                  ? op.evk_id
+                                  : -1);
+        }
+        next_use = nextUseSteps(evk_seq);
+    }
 
     SimResult r;
     double compute_free = 0, hbm_free = 0;
 
-    for (const auto &op : prog.ops) {
+    for (size_t s = 0; s < n_ops; ++s) {
+        const SimOp &op = opAt(s);
         OpCycles oc = opCycles(op, p, cost);
         double load_bytes = oc.hbm_bytes;
 
         if (op.kind == SimOpKind::KeySwitch && op.evk_id >= 0) {
-            auto it = where.find(op.evk_id);
-            if (it != where.end()) {
-                lru.splice(lru.begin(), lru, it->second); // refresh
+            if (cache.access(op.evk_id, s,
+                             next_use.empty() ? EvkSlotCache::kNever
+                                              : next_use[s])) {
                 r.evk_hits += 1;
             } else {
                 r.evk_misses += 1;
-                load_bytes +=
-                    static_cast<double>(HdftPlan::evkBytes(p, op.level));
-                while (cached_bytes + full_evk_bytes > evk_capacity &&
-                       !lru.empty()) {
-                    where.erase(lru.back());
-                    lru.pop_back();
-                    cached_bytes -= full_evk_bytes;
-                }
-                if (full_evk_bytes <= evk_capacity) {
-                    lru.push_front(op.evk_id);
-                    where[op.evk_id] = lru.begin();
-                    cached_bytes += full_evk_bytes;
-                }
+                const double key_bytes = static_cast<double>(
+                    HdftPlan::evkBytes(p, op.level));
+                load_bytes += key_bytes;
+                r.evk_bytes += key_bytes;
             }
             // Scratchpad spill: when the working set plus the active
             // key exceed capacity, the overflow streams to HBM.
@@ -163,13 +195,11 @@ ArkSimulator::run(const SimProgram &prog) const
         r.busy_hbm += load_bytes / hbm_bytes_per_cycle;
         r.hbm_bytes += load_bytes;
 
-        double start = std::max(compute_free, load_done - oc.duration);
-        start = std::max(start, load_done - oc.duration);
-        // Compute cannot start before its operands finish streaming
-        // minus the part of the op that overlaps the tail of the load;
-        // conservatively: start when both the pipe is free and the
-        // load completes.
-        start = std::max(compute_free, load_done);
+        // Conservative: compute starts when both the pipe is free and
+        // the op's operand stream has fully landed (no load/compute
+        // overlap within one op; prefetch overlaps across ops via
+        // hbm_free running ahead).
+        double start = std::max(compute_free, load_done);
         if (load_bytes == 0)
             start = compute_free;
         compute_free = start + oc.duration;
@@ -197,6 +227,28 @@ ArkSimulator::run(const SimProgram &prog) const
     r.util.sram = 0.5 * compute_util + 0.5 * r.util.hbm;
     r.avg_power_w = averagePower(machine_, r.util);
     return r;
+}
+
+ScheduledSimResult
+ArkSimulator::runScheduled(const ScheduledProgram &sp,
+                           const SimResult *source_baseline) const
+{
+    ScheduledSimResult out;
+    // Baseline: the trace as emitted, online LRU residency — exactly
+    // what run() reports. Callers comparing several policies over one
+    // trace pass the baseline in to avoid re-simulating it per call.
+    out.source = source_baseline
+                     ? *source_baseline
+                     : runOrder(sp.source, nullptr, EvictionPolicy::LRU);
+    out.scheduled = runOrder(sp.source, &sp.order, sp.eviction);
+    out.hbm_saved_bytes =
+        out.source.hbm_bytes - out.scheduled.hbm_bytes;
+    out.evk_saved_bytes =
+        out.source.evk_bytes - out.scheduled.evk_bytes;
+    out.speedup = out.scheduled.seconds > 0
+                      ? out.source.seconds / out.scheduled.seconds
+                      : 1.0;
+    return out;
 }
 
 BatchSimResult

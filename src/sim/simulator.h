@@ -19,6 +19,7 @@
 
 #include "boot/linear_transform.h" // KeySchedule
 #include "core/op_cost.h"
+#include "graph/schedule.h"
 #include "rns/kernel_stats.h"
 #include "sim/machine_config.h"
 #include "sim/power_model.h"
@@ -39,6 +40,10 @@ struct SimResult
     double cycles = 0;
     double seconds = 0;
     double hbm_bytes = 0;
+    /** Portion of hbm_bytes that streamed evaluation keys — the
+     *  traffic the scheduler's evk clustering / residency planning
+     *  attacks. */
+    double evk_bytes = 0;
     double noc_bytes = 0;
     double busy_ntt = 0, busy_bconv = 0, busy_auto = 0, busy_mad = 0;
     double busy_hbm = 0, busy_noc = 0;
@@ -71,6 +76,24 @@ struct BatchSimResult
     double max_latency = 0;
 };
 
+/**
+ * Outcome of replaying a `ScheduledProgram`: the same trace simulated
+ * in source order (LRU residency — the pre-scheduler baseline) and in
+ * schedule order under the schedule's eviction policy, plus the
+ * HBM-traffic and latency deltas the schedule is worth.
+ */
+struct ScheduledSimResult
+{
+    SimResult source;
+    SimResult scheduled;
+    /** HBM bytes removed by the schedule (positive = improvement). */
+    double hbm_saved_bytes = 0;
+    /** Evk-stream bytes removed (the Min-KS-at-schedule-time win). */
+    double evk_saved_bytes = 0;
+    /** source.seconds / scheduled.seconds. */
+    double speedup = 1.0;
+};
+
 /** The machine model. */
 class ArkSimulator
 {
@@ -82,6 +105,27 @@ class ArkSimulator
 
     /** Run a program to completion and report aggregate statistics. */
     SimResult run(const SimProgram &prog) const;
+
+    /**
+     * Replay a scheduled program (graph/schedule.h) and report the
+     * simulated deltas vs. the source-order baseline: same op multiset
+     * and machine, only issue order and evk eviction differ.
+     * @param source_baseline optional precomputed run() result of the
+     *        source trace on this machine — pass it when comparing
+     *        several policies over one trace to avoid re-simulating
+     *        the baseline per call.
+     */
+    ScheduledSimResult
+    runScheduled(const ScheduledProgram &sp,
+                 const SimResult *source_baseline = nullptr) const;
+
+    /**
+     * Whole evaluation keys the scratchpad can hold beside the
+     * key-switch working set — the capacity the LRU/Belady residency
+     * models (both here and in graph/residency.h) operate at. Can be
+     * 0 at small scratchpads: every key-switch then streams its key.
+     */
+    size_t evkSlotCapacity(const CkksParams &p) const;
 
     /**
      * Serve a batch of programs FCFS on one accelerator and report
@@ -117,6 +161,15 @@ class ArkSimulator
 
     OpCycles opCycles(const SimOp &op, const CkksParams &p,
                       const CostModel &cost) const;
+
+    /**
+     * Shared core of run()/runScheduled(): simulate @p prog issuing
+     * ops in @p order (nullptr = source order) with @p eviction
+     * driving the evk scratchpad model.
+     */
+    SimResult runOrder(const SimProgram &prog,
+                       const std::vector<size_t> *order,
+                       EvictionPolicy eviction) const;
 
     MachineConfig machine_;
     SimAlgo algo_;

@@ -25,12 +25,31 @@ appendHdft(SimProgram &prog, EvkIds &ids, KeySchedule sched,
                 {SimOpKind::KeySwitch, level, pre_id, true, tag});
             ++emitted;
         }
-        for (; emitted < it.hrots; ++emitted) {
+        // Emit the *unhoisted* BSGS program order: each giant-step
+        // rotation directly follows the baby-step segment it consumes,
+        // so baby- and giant-key uses alternate through the phase.
+        // (Hoisting — issuing every baby rotation up front so each key
+        // is fetched once — is a schedule-time transformation; the
+        // graph scheduler's EvkCluster policy recovers it from the
+        // dependence graph, which is the point of emitting the natural
+        // order here.) The per-key use counts and the distinct-key set
+        // are unchanged from the clustered emission: the baby key
+        // still covers trace positions [emitted, hrots/2), the giant
+        // key the rest — only the issue order interleaves.
+        size_t babies =
+            it.hrots / 2 > emitted ? it.hrots / 2 - emitted : 0;
+        size_t giants = it.hrots - emitted - babies;
+        for (size_t k = 0; emitted < it.hrots; ++emitted, ++k) {
             int id;
-            if (sched == KeySchedule::Baseline)
+            if (sched == KeySchedule::Baseline) {
                 id = ids.fresh(); // every rotation its own evk
-            else
-                id = (emitted < it.hrots / 2) ? baby_id : giant_id;
+            } else if (k % 2 == 0 ? babies > 0 : giants == 0) {
+                id = baby_id;
+                --babies;
+            } else {
+                id = giant_id;
+                --giants;
+            }
             prog.ops.push_back(
                 {SimOpKind::KeySwitch, level, id, true, tag});
         }
@@ -184,7 +203,11 @@ resnetProgram(const CkksParams &p, KeySchedule sched)
 
     for (int layer = 0; layer < 20; ++layer) {
         // Convolution at mid levels: 3x3 kernel over multiplexed
-        // channels -> ~36 rotations in arithmetic progression.
+        // channels -> ~36 rotations in arithmetic progression, emitted
+        // in the natural tap-walk order: two in-row steps (baby key,
+        // stride +-1) then a row crossing (giant key, stride +-W), so
+        // baby- and giant-key uses interleave 2:1 through the layer.
+        // EvkCluster re-groups them at schedule time (see appendHdft).
         int conv_baby = ids.fresh();
         int conv_giant = ids.fresh();
         for (int r = 0; r < 36; ++r) {
@@ -192,7 +215,7 @@ resnetProgram(const CkksParams &p, KeySchedule sched)
             if (sched == KeySchedule::Baseline)
                 id = ids.fresh();
             else
-                id = r < 18 ? conv_baby : conv_giant;
+                id = r % 3 < 2 ? conv_baby : conv_giant;
             prog.ops.push_back(
                 {SimOpKind::KeySwitch, 6, id, true, "conv-rot"});
         }
