@@ -44,14 +44,42 @@ constexpr SchedulePolicy kPolicies[] = {
     SchedulePolicy::BeladyResidency,
 };
 
+const char *kUsage =
+    "bench_scheduler — scheduler policy comparison (src/graph/)\n"
+    "\n"
+    "Usage: bench_scheduler [--smoke] [--help]\n"
+    "  --smoke   CI subset: bootstrap + ResNet traces at the 384 MiB\n"
+    "            pressure point only. The gate below runs in every\n"
+    "            mode.\n"
+    "  --help    this text.\n"
+    "\n"
+    "Gate (nonzero exit on failure): EvkCluster must strictly reduce\n"
+    "evk HBM traffic vs SourceOrder on the bootstrap and ResNet\n"
+    "traces at 384 MiB.\n"
+    "\n"
+    "Columns:\n"
+    "  policy      source-order | evk-cluster | belady-residency\n"
+    "  evk GB      evk HBM stream the policy leaves (lower = better)\n"
+    "  hit %       evk scratchpad hit rate of the residency replay\n"
+    "  interleave  max distinct other evks between two uses of one\n"
+    "              evk (0 = perfectly clustered; bounds the slot\n"
+    "              capacity needed to make every reuse hit)\n"
+    "  HBM GB      total off-chip traffic\n"
+    "  sim ms      simulated latency of the scheduled order\n"
+    "  speedup     source-order seconds / scheduled seconds\n"
+    "The final table maps the bootstrap trace onto the Fig. 2 axes\n"
+    "(traffic vs arithmetic intensity) per policy.\n";
+
 } // namespace
 
 int
 main(int argc, char **argv)
 {
     bool smoke = false;
-    for (int i = 1; i < argc; ++i)
-        smoke |= std::strcmp(argv[i], "--smoke") == 0;
+    int exit_code = 0;
+    if (!parseBenchArgs(argc, argv, "bench_scheduler", kUsage, smoke,
+                        exit_code))
+        return exit_code;
 
     const CkksParams p = CkksParams::ark();
     std::vector<TraceEntry> traces;

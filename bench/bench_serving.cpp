@@ -16,7 +16,6 @@
  */
 
 #include <cstdlib>
-#include <cstring>
 #include <future>
 #include <vector>
 
@@ -97,14 +96,39 @@ runConfig(const CkksParams &base, const SweepPoint &pt, size_t batch,
     return rep;
 }
 
+const char *kUsage =
+    "bench_serving — batch-serving throughput sweep (src/serve/)\n"
+    "\n"
+    "Usage: bench_serving [--smoke] [--help]\n"
+    "  --smoke   CI subset: 4 sweep points, 8 requests each, smaller\n"
+    "            per-request op caps. Any failed request still exits\n"
+    "            nonzero.\n"
+    "  --help    this text.\n"
+    "\n"
+    "Columns (host sweep):\n"
+    "  backend    kernel engine (scalar | parallel, rns/backend.h)\n"
+    "  kthreads   parallel backend pool size ('-' for scalar)\n"
+    "  workers    BatchServer request worker threads\n"
+    "  wall ms    drain-window wall time for the whole batch\n"
+    "  req/s      completed requests per second (the headline)\n"
+    "  HE-ops/s   primitive HE ops per second across requests\n"
+    "  Mwords/s   backend-measured operand words streamed per second\n"
+    "  p50/p99 ms queueing-inclusive request latency percentiles\n"
+    "The second table puts the best host config next to the simulated\n"
+    "single-chip ARK accelerator draining the same mix FCFS\n"
+    "(ArkSimulator::runBatch) — different parameter sets, so compare\n"
+    "shapes, not absolute req/s.\n";
+
 } // namespace
 
 int
 main(int argc, char **argv)
 {
     bool smoke = false;
-    for (int i = 1; i < argc; ++i)
-        smoke |= std::strcmp(argv[i], "--smoke") == 0;
+    int exit_code = 0;
+    if (!parseBenchArgs(argc, argv, "bench_serving", kUsage, smoke,
+                        exit_code))
+        return exit_code;
 
     // This binary sweeps backends explicitly; drop any env override so
     // every row measures what its label says.

@@ -1,0 +1,311 @@
+/**
+ * @file
+ * Multi-accelerator sharding tables (src/shard/): what a fleet of N
+ * ARK chips buys over one chip, on both planes.
+ *
+ * Table 1 (DAG sharding, simulated): each workload trace is scheduled
+ * with EvkCluster, partitioned by planProgramShards, and replayed by
+ * ArkSimulator::runSharded at the scratchpad pressure point. The
+ * headline column is "max evk GB/shard": the per-chip evk HBM stream,
+ * which must sit strictly below the single-chip EvkCluster baseline
+ * for partitioning the key working set to pay.
+ *
+ * Table 2 (fleet serving, simulated): N chips drain a mixed request
+ * batch, whole requests routed by program identity with greedy
+ * load balancing — aggregate req/s vs N.
+ *
+ * Table 3 (host serving, measured): the BatchServer in sharded mode
+ * (per-worker-group queues, evk-affinity routing) vs the single-queue
+ * baseline on this machine. On a box with few cores the req/s column
+ * is flat — the table is about the routing split, which the last
+ * column shows per shard.
+ *
+ * `--smoke` shrinks every axis for CI and (always) gates the headline:
+ * at 2 shards on bootstrap and ResNet, every shard's evk traffic must
+ * be strictly below the single-chip EvkCluster baseline.
+ */
+
+#include <cstdlib>
+#include <future>
+#include <vector>
+
+#include "bench_util.h"
+#include "ckks/encoder.h"
+#include "ckks/encryptor.h"
+#include "ckks/keygen.h"
+#include "graph/builder.h"
+#include "serve/batch_server.h"
+#include "shard/shard_plan.h"
+
+using namespace ark;
+
+namespace {
+
+const char *kUsage =
+    "bench_sharding — multi-accelerator sharding tables (src/shard/)\n"
+    "\n"
+    "Usage: bench_sharding [--smoke] [--help]\n"
+    "  --smoke   CI subset: bootstrap + ResNet traces, N in {1,2},\n"
+    "            a small host batch. The acceptance gate below runs\n"
+    "            in every mode.\n"
+    "  --help    this text.\n"
+    "\n"
+    "Gate (nonzero exit on failure): at 2 shards on the bootstrap and\n"
+    "ResNet traces, every shard's evk HBM traffic must be strictly\n"
+    "below the single-chip EvkCluster baseline.\n"
+    "\n"
+    "Columns, table 1 (DAG sharding @ scratchpad pressure):\n"
+    "  N                shards (simulated chips)\n"
+    "  max evk GB/shard largest per-chip evk HBM stream (headline)\n"
+    "  sum evk GB       fleet-total evk stream (<= single-chip)\n"
+    "  cut              dependence edges crossing chips\n"
+    "  link GB          ciphertext bytes over inter-chip links\n"
+    "  makespan ms      slowest chip + serialized link time\n"
+    "  speedup          single-chip EvkCluster seconds / makespan\n"
+    "Columns, table 2 (fleet serving): aggregate req/s of N chips\n"
+    "draining the 4-workload mix, requests routed by program.\n"
+    "Columns, table 3 (host serving): measured BatchServer req/s and\n"
+    "the per-shard request split under evk-affinity routing.\n";
+
+/** Greedy balance of whole requests onto chips by service time. */
+std::vector<size_t>
+assignRequests(const std::vector<double> &service_s, size_t chips)
+{
+    std::vector<size_t> chip_of(service_s.size(), 0);
+    std::vector<double> load(chips, 0);
+    for (size_t i = 0; i < service_s.size(); ++i) {
+        size_t best = 0;
+        for (size_t c = 1; c < chips; ++c) {
+            if (load[c] < load[best])
+                best = c;
+        }
+        chip_of[i] = best;
+        load[best] += service_s[i];
+    }
+    return chip_of;
+}
+
+bool
+dagShardingTable(bool smoke)
+{
+    const CkksParams p = CkksParams::ark();
+    struct Entry
+    {
+        const char *label;
+        SimProgram prog;
+        bool gated;
+    };
+    std::vector<Entry> traces;
+    traces.push_back(
+        {"bootstrap", bootstrapProgram(p, KeySchedule::MinKS), true});
+    if (!smoke)
+        traces.push_back(
+            {"HELR", helrProgram(p, KeySchedule::MinKS), false});
+    traces.push_back(
+        {"ResNet-20", resnetProgram(p, KeySchedule::MinKS), true});
+    if (!smoke)
+        traces.push_back(
+            {"sorting", sortingProgram(p, KeySchedule::MinKS), false});
+
+    // The pressure point bench_scheduler gates at: one evk slot of
+    // scratchpad headroom, where the evk working set decides traffic.
+    const MachineConfig m =
+        MachineConfig::arkBase().withScratchpad(384);
+    ArkSimulator sim(m, SimAlgo{KeySchedule::MinKS, true});
+    const size_t slots = sim.evkSlotCapacity(p);
+    const std::vector<size_t> fleet =
+        smoke ? std::vector<size_t>{1, 2}
+              : std::vector<size_t>{1, 2, 4, 8};
+
+    char title[96];
+    std::snprintf(title, sizeof title,
+                  "DAG sharding @ %.0f MiB scratchpad (%zu evk "
+                  "slots), EvkCluster schedule",
+                  m.scratchpad_mib, slots);
+    header(title);
+
+    bool gate_ok = true;
+    TablePrinter t({"trace", "N", "max evk GB/shard", "sum evk GB",
+                    "cut", "link GB", "makespan ms", "speedup"});
+    for (auto &tr : traces) {
+        const HeGraph g = liftProgram(tr.prog);
+        const ScheduledProgram sp =
+            scheduleGraph(g, SchedulePolicy::EvkCluster, slots);
+        const SimResult single = sim.runScheduled(sp).scheduled;
+        for (size_t n : fleet) {
+            const ShardPlan plan = planProgramShards(g, n);
+            const ShardedSimResult r =
+                sim.runSharded(sp, plan, &single);
+            t.addRow({tr.label, std::to_string(n),
+                      TablePrinter::fmt(r.max_shard_evk_bytes / 1e9,
+                                        2),
+                      TablePrinter::fmt(r.total_evk_bytes / 1e9, 2),
+                      std::to_string(plan.cut_edges.size()),
+                      TablePrinter::fmt(r.link_bytes / 1e9, 2),
+                      fmtMs(r.seconds, 1),
+                      TablePrinter::fmt(r.speedup, 2)});
+            if (tr.gated && n == 2 &&
+                !(r.max_shard_evk_bytes < single.evk_bytes)) {
+                std::fprintf(stderr,
+                             "bench_sharding: shard evk traffic did "
+                             "not drop below single chip on %s "
+                             "(%.3g GB vs %.3g GB)\n",
+                             tr.label, r.max_shard_evk_bytes / 1e9,
+                             single.evk_bytes / 1e9);
+                gate_ok = false;
+            }
+        }
+    }
+    t.print();
+    return gate_ok;
+}
+
+void
+fleetServingTable(bool smoke)
+{
+    header("simulated fleet serving the 4-workload mix");
+    const CkksParams p = CkksParams::ark();
+    std::vector<SimProgram> progs;
+    progs.push_back(bootstrapProgram(p, KeySchedule::MinKS));
+    progs.push_back(helrProgram(p, KeySchedule::MinKS));
+    progs.push_back(resnetProgram(p, KeySchedule::MinKS));
+    progs.push_back(sortingProgram(p, KeySchedule::MinKS));
+
+    const size_t batch = smoke ? 16 : 64;
+    ArkSimulator sim(MachineConfig::arkBase(),
+                     SimAlgo{KeySchedule::MinKS, true});
+
+    // Per-request service estimate for the balancer: one simulated
+    // run per distinct program (memoized by index).
+    std::vector<double> prog_s;
+    for (const SimProgram &pr : progs)
+        prog_s.push_back(sim.run(pr).seconds);
+    std::vector<double> service;
+    for (size_t i = 0; i < batch; ++i)
+        service.push_back(prog_s[i % progs.size()]);
+
+    TablePrinter t({"chips", "req/s", "p99 ms (worst chip)",
+                    "speedup"});
+    double one_chip = 0;
+    for (size_t chips : smoke ? std::vector<size_t>{1, 2}
+                              : std::vector<size_t>{1, 2, 4, 8}) {
+        const std::vector<size_t> chip_of =
+            assignRequests(service, chips);
+        double makespan = 0, worst_p99 = 0;
+        for (size_t c = 0; c < chips; ++c) {
+            std::vector<const SimProgram *> q;
+            for (size_t i = 0; i < batch; ++i) {
+                if (chip_of[i] == c)
+                    q.push_back(&progs[i % progs.size()]);
+            }
+            const BatchSimResult b = sim.runBatch(q);
+            makespan = std::max(makespan, b.seconds);
+            worst_p99 = std::max(worst_p99, b.p99_latency);
+        }
+        const double rps =
+            makespan > 0 ? static_cast<double>(batch) / makespan : 0;
+        if (chips == 1)
+            one_chip = rps;
+        t.addRow({std::to_string(chips), TablePrinter::fmt(rps, 1),
+                  fmtMs(worst_p99, 1),
+                  TablePrinter::fmt(one_chip > 0 ? rps / one_chip : 1,
+                                    2)});
+    }
+    t.print();
+}
+
+bool
+hostServingTable(bool smoke)
+{
+    header("host BatchServer: sharded mode vs single queue");
+    unsetenv("ARK_BACKEND");
+    unsetenv("ARK_THREADS");
+    const CkksParams p = CkksParams::testTiny();
+    CkksContext ctx(p);
+    Rng rng(20220618);
+    KeyGenerator keygen(ctx, rng);
+    SecretKey sk = keygen.secretKey();
+    KeyCache keys(keygen, sk, ctx.degree());
+    CkksEncoder encoder(ctx);
+    CkksEncryptor encryptor(ctx, rng);
+
+    PlaintextStore store(ctx, PlaintextMode::OFLimb);
+    const size_t slots = p.num_slots;
+    std::vector<Complex> msg(slots);
+    for (size_t i = 0; i < slots; ++i)
+        msg[i] = Complex(0.5 + 0.001 * static_cast<double>(i % 17),
+                         0.01);
+    store.insert(encoder.encode(msg, ctx.maxLevel()));
+
+    LowerOptions opt;
+    opt.max_ops = smoke ? 16 : 32;
+    auto workloads = standardServingMix(p, opt);
+    std::vector<Ciphertext> inputs;
+    Ciphertext ct = encryptor.encryptSymmetric(
+        encoder.encode(msg, ctx.maxLevel()), sk);
+    ct.slots = slots;
+    inputs.push_back(std::move(ct));
+
+    const size_t batch = smoke ? 8 : 32;
+    const size_t workers = smoke ? 2 : 4;
+    bool all_ok = true;
+
+    TablePrinter t({"shards", "workers", "req/s", "p99 ms",
+                    "per-shard requests"});
+    for (size_t shards : smoke ? std::vector<size_t>{1, 2}
+                               : std::vector<size_t>{1, 2, 4}) {
+        BatchServerConfig cfg;
+        cfg.workers = std::max(workers, shards);
+        cfg.shards = shards;
+        cfg.queue_capacity = batch;
+        BatchServer server(ctx, keys, store, workloads, inputs, cfg);
+        std::vector<size_t> indices;
+        for (size_t i = 0; i < batch; ++i)
+            indices.push_back(i % server.workloads().size());
+        auto futs = server.submitBatch(indices);
+        for (auto &f : futs) {
+            if (!f.get().ok)
+                all_ok = false;
+        }
+        const ServeReport rep = server.drain();
+        std::string split;
+        for (size_t s = 0; s < rep.shard_requests.size(); ++s) {
+            if (s)
+                split += "/";
+            split += std::to_string(rep.shard_requests[s]);
+        }
+        t.addRow({std::to_string(shards),
+                  std::to_string(cfg.workers),
+                  TablePrinter::fmt(rep.requests_per_sec, 1),
+                  TablePrinter::fmt(rep.latency.p99_ms, 2), split});
+    }
+    t.print();
+    return all_ok;
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    bool smoke = false;
+    int exit_code = 0;
+    if (!parseBenchArgs(argc, argv, "bench_sharding", kUsage, smoke,
+                        exit_code))
+        return exit_code;
+
+    const bool gate_ok = dagShardingTable(smoke);
+    fleetServingTable(smoke);
+    const bool serve_ok = hostServingTable(smoke);
+
+    if (!gate_ok) {
+        std::fprintf(stderr, "bench_sharding: sharding gate failed\n");
+        return 1;
+    }
+    if (!serve_ok) {
+        std::fprintf(stderr,
+                     "bench_sharding: some host requests failed\n");
+        return 1;
+    }
+    return 0;
+}

@@ -11,6 +11,7 @@
 #pragma once
 
 #include <cstdio>
+#include <cstring>
 #include <string>
 
 #include "common/table_printer.h"
@@ -18,6 +19,36 @@
 #include "workloads/programs.h"
 
 namespace ark {
+
+/**
+ * Parse the standard bench flags shared by the gated benches:
+ * --smoke sets @p smoke, --help/-h prints @p usage and requests exit
+ * 0, anything else prints the usage to stderr and requests exit 2.
+ * Returns true to continue into the bench; false means main should
+ * return @p exit_code immediately.
+ */
+inline bool
+parseBenchArgs(int argc, char **argv, const char *name,
+               const char *usage, bool &smoke, int &exit_code)
+{
+    smoke = false;
+    exit_code = 0;
+    for (int i = 1; i < argc; ++i) {
+        if (std::strcmp(argv[i], "--smoke") == 0) {
+            smoke = true;
+        } else if (std::strcmp(argv[i], "--help") == 0 ||
+                   std::strcmp(argv[i], "-h") == 0) {
+            std::fputs(usage, stdout);
+            return false;
+        } else {
+            std::fprintf(stderr, "%s: unknown flag '%s'\n\n%s", name,
+                         argv[i], usage);
+            exit_code = 2;
+            return false;
+        }
+    }
+    return true;
+}
 
 /** Run one workload program on one machine/algorithm config. */
 inline SimResult

@@ -1,0 +1,66 @@
+#!/usr/bin/env python3
+"""Check intra-repo markdown links.
+
+Scans every tracked-looking .md file for inline links/images
+(``[text](target)``) and verifies that each relative target exists on
+disk. External schemes (http/https/mailto) and pure in-page anchors
+are skipped; a ``path#anchor`` target is checked for the path only.
+
+Stdlib only (runs in CI with no pip installs). Exit 1 on any broken
+link, listing every offender as file:line.
+"""
+
+import re
+import sys
+from pathlib import Path
+
+SKIP_DIRS = {"build", ".git", ".ccache"}
+# Inline link or image: [text](target) — target ends at the first
+# unescaped ')' (good enough for this repo's plain relative links).
+LINK_RE = re.compile(r"!?\[[^\]]*\]\(([^)\s]+)(?:\s+\"[^\"]*\")?\)")
+EXTERNAL = ("http://", "https://", "mailto:")
+
+
+def md_files(root: Path):
+    for path in sorted(root.rglob("*.md")):
+        if not any(part in SKIP_DIRS for part in path.parts):
+            yield path
+
+
+def main() -> int:
+    root = Path(__file__).resolve().parent.parent
+    broken = []
+    checked = 0
+    for md in md_files(root):
+        for lineno, line in enumerate(
+            md.read_text(encoding="utf-8").splitlines(), start=1
+        ):
+            for target in LINK_RE.findall(line):
+                if target.startswith(EXTERNAL) or target.startswith("#"):
+                    continue
+                path_part = target.split("#", 1)[0]
+                if not path_part:
+                    continue
+                if path_part.startswith("/"):
+                    # GitHub resolves /-prefixed links against the
+                    # repo root, not the host filesystem.
+                    resolved = (root / path_part.lstrip("/")).resolve()
+                else:
+                    resolved = (md.parent / path_part).resolve()
+                checked += 1
+                if not resolved.exists():
+                    broken.append(
+                        f"{md.relative_to(root)}:{lineno}: "
+                        f"broken link -> {target}"
+                    )
+    for line in broken:
+        print(line, file=sys.stderr)
+    print(
+        f"check_markdown_links: {checked} intra-repo links checked, "
+        f"{len(broken)} broken"
+    )
+    return 1 if broken else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

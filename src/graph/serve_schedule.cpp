@@ -21,37 +21,34 @@ std::vector<size_t>
 clusterAdmissionOrder(const std::vector<ServeWorkload> &workloads,
                       const std::vector<size_t> &request_workloads)
 {
-    // Signature: the sorted distinct rotation amounts a workload's
-    // requests will pull through the KeyCache. Requests whose
-    // signatures match share their entire evk working set.
-    std::map<size_t, std::vector<i64>> signature; // workload -> amts
-    for (size_t wi : request_workloads) {
-        ARK_ASSERT(wi < workloads.size(),
-                   "request references unknown workload");
-        if (!signature.count(wi)) {
-            std::vector<i64> amts = workloads[wi].rotationAmounts();
-            std::sort(amts.begin(), amts.end());
-            signature.emplace(wi, std::move(amts));
+    // Workloads sharing an evk signature (serve/workload.h,
+    // groupByEvkSignature — the same grouping the shard router
+    // partitions in space) share their entire evk working set.
+    std::vector<size_t> sig_group(workloads.size());
+    {
+        const auto groups = groupByEvkSignature(workloads);
+        for (size_t gi = 0; gi < groups.size(); ++gi) {
+            for (size_t wi : groups[gi])
+                sig_group[wi] = gi;
         }
     }
 
-    // Group ids in first-appearance order of each distinct signature.
-    std::vector<std::vector<i64>> groups;
-    auto groupOf = [&](const std::vector<i64> &sig) {
-        for (size_t gi = 0; gi < groups.size(); ++gi) {
-            if (groups[gi] == sig)
-                return gi;
-        }
-        groups.push_back(sig);
-        return groups.size() - 1;
-    };
-
+    // Renumber groups by first appearance in the request batch, so
+    // the admission order depends only on the batch, not on where a
+    // workload sits in the server's workload list.
     std::vector<size_t> order(request_workloads.size());
     for (size_t i = 0; i < order.size(); ++i)
         order[i] = i;
+    std::map<size_t, size_t> renumber;
     std::vector<size_t> group_of(order.size());
-    for (size_t i = 0; i < order.size(); ++i)
-        group_of[i] = groupOf(signature[request_workloads[i]]);
+    for (size_t i = 0; i < order.size(); ++i) {
+        const size_t wi = request_workloads[i];
+        ARK_ASSERT(wi < workloads.size(),
+                   "request references unknown workload");
+        const auto it =
+            renumber.emplace(sig_group[wi], renumber.size()).first;
+        group_of[i] = it->second;
+    }
     std::stable_sort(order.begin(), order.end(),
                      [&](size_t a, size_t b) {
                          return group_of[a] < group_of[b];

@@ -1,5 +1,6 @@
 #include "serve/batch_server.h"
 
+#include <algorithm>
 #include <stdexcept>
 
 #include "common/logging.h"
@@ -19,6 +20,62 @@ applySchedule(std::vector<ServeWorkload> workloads, SchedulePolicy p)
     return workloads;
 }
 
+/**
+ * Divide @p total items (queue slots, worker threads) across shards
+ * in proportion to @p weights: largest-remainder apportionment (ties
+ * toward the lower shard index), then a floor of 1 per shard with the
+ * overshoot taken back from the largest shares. The result sums to
+ * exactly @p total whenever total >= #shards (asserted by the server
+ * for workers; a queue budget smaller than the shard count cannot be
+ * honored by live queues and keeps the 1-per-shard floor instead).
+ */
+std::vector<size_t>
+apportion(size_t total, const std::vector<size_t> &weights)
+{
+    const size_t n = weights.size();
+    size_t total_weight = 0;
+    for (size_t w : weights)
+        total_weight += w;
+
+    std::vector<size_t> shares(n, 0);
+    std::vector<std::pair<size_t, size_t>> rem; // (remainder, shard)
+    size_t assigned = 0;
+    for (size_t s = 0; s < n; ++s) {
+        const size_t w = total_weight > 0 ? weights[s] : 1;
+        const size_t denom = total_weight > 0 ? total_weight : n;
+        shares[s] = total * w / denom;
+        assigned += shares[s];
+        rem.emplace_back(total * w % denom, s);
+    }
+    std::sort(rem.begin(), rem.end(), [](const auto &a, const auto &b) {
+        if (a.first != b.first)
+            return a.first > b.first;
+        return a.second < b.second;
+    });
+    for (size_t i = 0; assigned < total && i < n; ++i, ++assigned)
+        shares[rem[i].second] += 1;
+    for (size_t &s : shares) {
+        if (s == 0) {
+            s = 1;
+            ++assigned;
+        }
+    }
+    // Pay for the floor out of the largest shares (zero-weight shards
+    // exist when there are fewer evk signatures than shards).
+    while (assigned > total) {
+        size_t rich = 0;
+        for (size_t s = 1; s < n; ++s) {
+            if (shares[s] > shares[rich])
+                rich = s;
+        }
+        if (shares[rich] <= 1)
+            break; // total < n: the floor wins
+        shares[rich] -= 1;
+        --assigned;
+    }
+    return shares;
+}
+
 } // namespace
 
 BatchServer::BatchServer(const CkksContext &ctx, KeyCache &keys,
@@ -33,11 +90,31 @@ BatchServer::BatchServer(const CkksContext &ctx, KeyCache &keys,
       workloads_(applySchedule(std::move(workloads), cfg.schedule)),
       inputs_(std::move(inputs)),
       cfg_(cfg),
-      queue_(cfg.queue_capacity)
+      shard_plan_(planServeShards(workloads_, cfg.shards))
 {
     ARK_ASSERT(!workloads_.empty(), "server needs at least one workload");
     ARK_ASSERT(!inputs_.empty(), "server needs at least one input");
     ARK_ASSERT(cfg_.workers > 0, "server needs at least one worker");
+    ARK_ASSERT(cfg_.shards >= 1, "server needs at least one shard");
+    ARK_ASSERT(cfg_.workers >= cfg_.shards,
+               "every shard's queue needs at least one worker");
+    // Keep RequestQueue's capacity-must-be-positive contract loud:
+    // apportion()'s 1-per-shard floor must never paper over a budget
+    // too small to split.
+    ARK_ASSERT(cfg_.queue_capacity >= cfg_.shards,
+               "queue capacity must cover at least one slot per shard");
+
+    // One bounded queue per worker group; the configured capacity is
+    // the whole server's admission budget, apportioned in proportion
+    // to the op weight the plan routed to each shard — affinity
+    // routing deliberately skews traffic, so an even split would shed
+    // load from a hot shard while cold shards sat on idle slots.
+    const std::vector<size_t> caps = apportion(
+        cfg_.queue_capacity, shard_plan_.weight_of_shard);
+    queues_.reserve(cfg_.shards);
+    for (size_t s = 0; s < cfg_.shards; ++s)
+        queues_.push_back(std::make_unique<RequestQueue>(caps[s]));
+    shard_done_.assign(cfg_.shards, 0);
 
     // Prewarm every evk the workload set references while still
     // single-threaded: key generation draws from the keygen Rng, so
@@ -52,9 +129,17 @@ BatchServer::BatchServer(const CkksContext &ctx, KeyCache &keys,
     }
     keys_.warm(std::move(amounts));
 
+    // Workers follow the traffic: the same weight-proportional
+    // apportionment as the queue budget (min 1 per group, so every
+    // queue has a consumer) — each group drains its own queue only.
+    const std::vector<size_t> crew =
+        apportion(cfg_.workers, shard_plan_.weight_of_shard);
     workers_.reserve(cfg_.workers);
-    for (size_t i = 0; i < cfg_.workers; ++i)
-        workers_.emplace_back([this] { workerLoop(); });
+    for (size_t group = 0; group < cfg_.shards; ++group) {
+        for (size_t i = 0; i < crew[group]; ++i)
+            workers_.emplace_back(
+                [this, group] { workerLoop(group); });
+    }
 }
 
 BatchServer::~BatchServer()
@@ -76,6 +161,11 @@ BatchServer::enqueue(size_t workload_index, bool blocking,
     job.request.workload_index = workload_index;
     std::future<ServeResult> fut = job.promise.get_future();
 
+    // Evk-affinity routing: the request joins the queue of the worker
+    // group that owns its workload's rotation-evk signature.
+    RequestQueue &queue =
+        *queues_[shard_plan_.shard_of_workload[workload_index]];
+
     // Count the attempt *before* opening the window: a concurrent
     // drain() waits for outstanding_ == 0, so it can never close a
     // window between our open and the admission becoming visible.
@@ -91,8 +181,8 @@ BatchServer::enqueue(size_t workload_index, bool blocking,
         }
     }
 
-    accepted = blocking ? queue_.push(std::move(job))
-                        : queue_.tryPush(std::move(job));
+    accepted = blocking ? queue.push(std::move(job))
+                        : queue.tryPush(std::move(job));
     if (!accepted) {
         {
             std::lock_guard<std::mutex> lk(idle_m_);
@@ -111,7 +201,7 @@ BatchServer::enqueue(size_t workload_index, bool blocking,
         // non-blocking one must distinguish "momentarily full" (false,
         // caller sheds load) from a shutdown() that raced past the
         // entry check (throw, caller must stop retrying).
-        if (blocking || shut_down_.load() || queue_.closed())
+        if (blocking || shut_down_.load() || queue.closed())
             throw std::runtime_error("BatchServer is shut down");
     }
     return fut;
@@ -212,10 +302,10 @@ BatchServer::execute(const ServeRequest &req) const
 }
 
 void
-BatchServer::workerLoop()
+BatchServer::workerLoop(size_t group)
 {
     ServeJob job;
-    while (queue_.pop(job)) {
+    while (queues_[group]->pop(job)) {
         ServeResult r = execute(job.request);
         {
             std::lock_guard<std::mutex> lk(metrics_m_);
@@ -223,6 +313,7 @@ BatchServer::workerLoop()
             done_ += 1;
             failed_ += r.ok ? 0 : 1;
             ops_done_ += r.he_ops;
+            shard_done_[group] += 1;
         }
         job.promise.set_value(std::move(r));
         // Decrement-then-notify under the idle mutex so drain() can
@@ -249,6 +340,7 @@ BatchServer::drain()
 
     ServeReport rep;
     rep.schedule = schedulePolicyName(cfg_.schedule);
+    rep.shard_requests = shard_done_;
     rep.requests = done_;
     rep.failed = failed_;
     rep.he_ops = ops_done_;
@@ -272,6 +364,7 @@ BatchServer::drain()
     }
 
     latencies_ms_ = {};
+    shard_done_.assign(shard_done_.size(), 0);
     done_ = failed_ = ops_done_ = 0;
     // A submit may have slipped in after our idle wait: hand the new
     // window a sane start instead of orphaning that request's metrics
@@ -289,7 +382,8 @@ BatchServer::shutdown()
 {
     if (shut_down_.exchange(true))
         return;
-    queue_.close();
+    for (auto &q : queues_)
+        q->close();
     for (auto &t : workers_) {
         if (t.joinable())
             t.join();

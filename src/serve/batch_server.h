@@ -4,8 +4,11 @@
  *
  * The BatchServer admits many concurrent workload requests (lowered
  * from the paper's workload traces, serve/workload.h), queues them
- * through a bounded RequestQueue (backpressure + admission control),
- * and executes them on a fixed set of worker threads. All workers
+ * through bounded RequestQueues (backpressure + admission control),
+ * and executes them on a fixed set of worker threads. In sharded mode
+ * (BatchServerConfig::shards > 1) the workers split into groups, each
+ * with its own queue, and requests route to the group owning their
+ * workload's rotation-evk signature (shard/serve_shard.h). All workers
  * share one immutable CkksContext (whose KernelBackend may itself be
  * the limb-parallel engine), one KeyCache of evk material, and one
  * PlaintextStore — the re-entrancy of that shared hot path is what
@@ -29,6 +32,7 @@
 #include <atomic>
 #include <chrono>
 #include <future>
+#include <memory>
 #include <thread>
 #include <vector>
 
@@ -38,6 +42,7 @@
 #include "graph/serve_schedule.h"
 #include "serve/metrics.h"
 #include "serve/request_queue.h"
+#include "shard/serve_shard.h"
 
 namespace ark {
 
@@ -59,6 +64,19 @@ struct BatchServerConfig
      * behaviour.
      */
     SchedulePolicy schedule = SchedulePolicy::SourceOrder;
+    /**
+     * Sharded mode (shard/serve_shard.h). With shards > 1 the workers
+     * split into that many groups, each draining its own bounded
+     * queue (queue_capacity divides across groups in proportion to
+     * the op weight the plan routes to each, at least 1 per group),
+     * and every request routes to the group owning its workload's
+     * rotation-evk signature — evk-affinity routing, so each group's
+     * hot key set stays small and disjoint-ish. Requires
+     * workers >= shards. Results are bit-identical to the single
+     * queue (shards = 1, the default): routing only picks *where* a
+     * pure function runs.
+     */
+    size_t shards = 1;
 };
 
 /** Multi-threaded request executor over shared CKKS state. */
@@ -86,6 +104,10 @@ class BatchServer
         return workloads_;
     }
     size_t workers() const { return workers_.size(); }
+    /** Worker groups (1 = the classic single-queue server). */
+    size_t shards() const { return queues_.size(); }
+    /** The affinity routing table (trivial when shards() == 1). */
+    const ServeShardPlan &shardPlan() const { return shard_plan_; }
 
     /**
      * Admit one request of @p workload_index, blocking while the queue
@@ -123,7 +145,7 @@ class BatchServer
     void shutdown();
 
   private:
-    void workerLoop();
+    void workerLoop(size_t group);
     ServeResult execute(const ServeRequest &req) const;
     std::future<ServeResult> enqueue(size_t workload_index,
                                      bool blocking, bool &accepted);
@@ -135,8 +157,11 @@ class BatchServer
     const std::vector<ServeWorkload> workloads_;
     const std::vector<Ciphertext> inputs_;
     const BatchServerConfig cfg_;
+    const ServeShardPlan shard_plan_;
 
-    RequestQueue queue_;
+    /** One queue per worker group; index = shard. unique_ptr because
+     *  RequestQueue pins a mutex (neither copyable nor movable). */
+    std::vector<std::unique_ptr<RequestQueue>> queues_;
     std::vector<std::thread> workers_;
     std::atomic<u64> next_id_{1};
     std::atomic<bool> shut_down_{false};
@@ -150,6 +175,7 @@ class BatchServer
     /** Metrics window state (guarded by metrics_m_). */
     mutable std::mutex metrics_m_;
     std::vector<double> latencies_ms_;
+    std::vector<size_t> shard_done_; ///< completions per worker group
     size_t done_ = 0;
     size_t failed_ = 0;
     size_t ops_done_ = 0;

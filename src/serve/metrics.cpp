@@ -41,7 +41,17 @@ ServeReport::toString() const
         he_ops_per_sec, schedule.c_str(), latency.mean_ms,
         latency.p50_ms, latency.p90_ms, latency.p99_ms,
         latency.max_ms, words_per_sec / 1e6, mults_per_sec / 1e6);
-    return buf;
+    std::string out = buf;
+    if (shard_requests.size() > 1) {
+        out += "\nshards:";
+        for (size_t s = 0; s < shard_requests.size(); ++s) {
+            std::snprintf(buf, sizeof buf, " [%zu] %zu", s,
+                          shard_requests[s]);
+            out += buf;
+        }
+        out += " requests";
+    }
+    return out;
 }
 
 } // namespace ark

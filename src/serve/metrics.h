@@ -36,6 +36,10 @@ struct ServeReport
     /** Scheduling policy the server ran the window under
      *  (graph/schedule.h policy name; "source-order" = plain FCFS). */
     std::string schedule = "source-order";
+    /** Completions per worker group in the window (size = the
+     *  server's shard count; a single-queue server reports one
+     *  entry). Sums to `requests`. */
+    std::vector<size_t> shard_requests;
     size_t requests = 0;
     size_t failed = 0;
     size_t he_ops = 0; ///< primitive HE ops executed across requests

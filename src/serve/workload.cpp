@@ -1,6 +1,7 @@
 #include "serve/workload.h"
 
 #include <algorithm>
+#include <map>
 
 #include "workloads/programs.h"
 
@@ -40,6 +41,31 @@ ServeWorkload::rotationAmounts() const
             amts.push_back(op.rotation);
     }
     return amts;
+}
+
+std::vector<i64>
+ServeWorkload::evkSignature() const
+{
+    std::vector<i64> sig = rotationAmounts();
+    std::sort(sig.begin(), sig.end());
+    return sig;
+}
+
+std::vector<std::vector<size_t>>
+groupByEvkSignature(const std::vector<ServeWorkload> &workloads)
+{
+    std::vector<std::vector<size_t>> groups;
+    std::map<std::vector<i64>, size_t> index; // signature -> group
+    for (size_t wi = 0; wi < workloads.size(); ++wi) {
+        std::vector<i64> sig = workloads[wi].evkSignature();
+        auto it = index.find(sig);
+        if (it == index.end()) {
+            it = index.emplace(std::move(sig), groups.size()).first;
+            groups.emplace_back();
+        }
+        groups[it->second].push_back(wi);
+    }
+    return groups;
 }
 
 u64

@@ -28,6 +28,11 @@ struct MachineConfig
     double scratchpad_mib = 512;    ///< total on-chip scratchpad
     double hbm_gb_per_s = 1000;     ///< off-chip bandwidth (2x HBM2)
     double noc_gb_per_s = 8000;     ///< all-to-all NoC bandwidth
+    /** Inter-chip link bandwidth per direction (NVLink-class), used
+     *  only by the sharded fleet model (ArkSimulator::runSharded):
+     *  every dependence edge cut by a ShardPlan streams the producer's
+     *  ciphertext across this link. */
+    double link_gb_per_s = 100;
     double freq_ghz = 1.0;
     DataDist dist = DataDist::Alternating;
 

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <limits>
 #include <map>
+#include <set>
 
 #include "common/logging.h"
 #include "common/stats_util.h"
@@ -214,6 +215,8 @@ ArkSimulator::runOrder(const SimProgram &prog,
 
     r.cycles = std::max(compute_free, hbm_free);
     r.seconds = r.cycles / (machine_.freq_ghz * 1e9);
+    if (r.cycles == 0)
+        return r; // empty program (e.g. an unpopulated shard)
 
     r.util.ntt = std::min(1.0, r.busy_ntt / r.cycles);
     r.util.bconv = std::min(1.0, r.busy_bconv / r.cycles);
@@ -248,6 +251,67 @@ ArkSimulator::runScheduled(const ScheduledProgram &sp,
     out.speedup = out.scheduled.seconds > 0
                       ? out.source.seconds / out.scheduled.seconds
                       : 1.0;
+    return out;
+}
+
+ShardedSimResult
+ArkSimulator::runSharded(const ScheduledProgram &sp,
+                         const ShardPlan &plan,
+                         const SimResult *single_baseline) const
+{
+    const size_t n_ops = sp.source.ops.size();
+    ARK_ASSERT(plan.shard_of_node.size() == n_ops,
+               "shard plan must cover the whole program");
+    ARK_ASSERT(sp.order.size() == n_ops,
+               "schedule order must cover the whole program");
+
+    ShardedSimResult out;
+    out.shards = plan.shards;
+    out.single = single_baseline
+                     ? *single_baseline
+                     : runOrder(sp.source, &sp.order, sp.eviction);
+
+    // Each shard executes the subsequence of the schedule assigned to
+    // it — the induced (filtered) issue order, so same-key runs the
+    // scheduler built survive the partition intact.
+    double slowest = 0;
+    for (size_t s = 0; s < plan.shards; ++s) {
+        SimProgram sub;
+        sub.name = sp.source.name + "/shard" + std::to_string(s);
+        sub.params = sp.source.params;
+        for (size_t idx : sp.order) {
+            if (plan.shard_of_node[idx] == s)
+                sub.ops.push_back(sp.source.ops[idx]);
+        }
+        SimResult r = runOrder(sub, nullptr, sp.eviction);
+        slowest = std::max(slowest, r.seconds);
+        out.max_shard_evk_bytes =
+            std::max(out.max_shard_evk_bytes, r.evk_bytes);
+        out.total_evk_bytes += r.evk_bytes;
+        out.per_shard.push_back(std::move(r));
+    }
+
+    // Every cut dependence edge ships the producer's ciphertext (two
+    // polynomials at the producer's level) across the inter-chip
+    // link — once per destination chip, however many remote consumers
+    // it has (multicast). The aggregate is charged serially to the
+    // makespan, a conservative stand-in for cross-chip
+    // synchronization.
+    const CkksParams &p = sp.source.params;
+    std::set<std::pair<size_t, size_t>> shipped; // (producer, chip)
+    for (const auto &[prod, cons] : plan.cut_edges) {
+        if (!shipped.emplace(prod, plan.shard_of_node[cons]).second)
+            continue;
+        const double limbs =
+            static_cast<double>(sp.source.ops[prod].level) + 1;
+        out.link_bytes += 2.0 * limbs *
+                          static_cast<double>(p.degree) *
+                          static_cast<double>(p.word_bytes);
+    }
+    out.link_seconds = out.link_bytes / (machine_.link_gb_per_s * 1e9);
+    out.seconds = slowest + out.link_seconds;
+    out.speedup =
+        out.seconds > 0 ? out.single.seconds / out.seconds : 1.0;
     return out;
 }
 

@@ -21,6 +21,7 @@
 #include "core/op_cost.h"
 #include "graph/schedule.h"
 #include "rns/kernel_stats.h"
+#include "shard/shard_plan.h"
 #include "sim/machine_config.h"
 #include "sim/power_model.h"
 #include "sim/program.h"
@@ -94,6 +95,36 @@ struct ScheduledSimResult
     double speedup = 1.0;
 };
 
+/**
+ * Outcome of replaying a `ScheduledProgram` across a `ShardPlan`'s N
+ * accelerators: each shard executes its induced subsequence of the
+ * schedule on its own chip (own scratchpad, own evk residency), and
+ * every cut dependence edge streams the producer's ciphertext across
+ * the inter-chip link. See docs/sharding.md for the model.
+ */
+struct ShardedSimResult
+{
+    size_t shards = 0;
+    /** Per-chip replay of that shard's subsequence. */
+    std::vector<SimResult> per_shard;
+    /** Ciphertext bytes crossing inter-chip links (all cut edges). */
+    double link_bytes = 0;
+    /** Serialized link-transfer time charged to the makespan. */
+    double link_seconds = 0;
+    /** Fleet makespan: slowest shard + link transfers. */
+    double seconds = 0;
+    /** Largest per-shard evk HBM stream — the number that must sit
+     *  strictly below the single-chip baseline for sharding to pay. */
+    double max_shard_evk_bytes = 0;
+    /** Sum of per-shard evk streams (never exceeds the single-chip
+     *  stream: shards see filtered access streams of disjoint keys). */
+    double total_evk_bytes = 0;
+    /** Single-chip scheduled run of the same program (the baseline). */
+    SimResult single;
+    /** single.seconds / seconds. */
+    double speedup = 1.0;
+};
+
 /** The machine model. */
 class ArkSimulator
 {
@@ -118,6 +149,19 @@ class ArkSimulator
     ScheduledSimResult
     runScheduled(const ScheduledProgram &sp,
                  const SimResult *source_baseline = nullptr) const;
+
+    /**
+     * Replay a scheduled program partitioned by @p plan across
+     * plan.shards identical chips of this machine: per-chip scratchpad
+     * residency (same slot-cache model as run()), plus inter-chip link
+     * cost for every cut dependence edge (MachineConfig::link_gb_per_s).
+     * @param single_baseline optional precomputed single-chip run of
+     *        sp (runScheduled(...).scheduled) to avoid re-simulating
+     *        the baseline when sweeping shard counts.
+     */
+    ShardedSimResult
+    runSharded(const ScheduledProgram &sp, const ShardPlan &plan,
+               const SimResult *single_baseline = nullptr) const;
 
     /**
      * Whole evaluation keys the scratchpad can hold beside the

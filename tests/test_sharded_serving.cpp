@@ -1,0 +1,199 @@
+/**
+ * @file
+ * Sharded BatchServer tests: evk-affinity routing across per-worker-
+ * group queues must leave every result bit-identical to the classic
+ * single-queue FCFS server — on both kernel backends — while the
+ * drain report accounts requests per shard consistently.
+ */
+
+#include <cstdlib>
+#include <future>
+#include <memory>
+#include <stdexcept>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "ckks/encoder.h"
+#include "ckks/encryptor.h"
+#include "ckks/keygen.h"
+#include "serve/batch_server.h"
+
+namespace ark {
+namespace {
+
+/** Same fixed-seed serving stack as test_serving.cpp, so separately
+ *  constructed stacks hold bit-identical key and input material. */
+struct Stack
+{
+    std::unique_ptr<CkksContext> ctx;
+    Rng rng{777};
+    std::unique_ptr<KeyGenerator> keygen;
+    SecretKey sk;
+    std::unique_ptr<KeyCache> keys;
+    std::unique_ptr<CkksEncoder> encoder;
+    std::unique_ptr<PlaintextStore> store;
+    std::vector<ServeWorkload> workloads;
+    std::vector<Ciphertext> inputs;
+
+    explicit Stack(BackendKind kind, size_t kernel_threads = 2)
+    {
+        unsetenv("ARK_BACKEND");
+        unsetenv("ARK_THREADS");
+        CkksParams p = CkksParams::testTiny();
+        p.backend = kind;
+        p.backend_threads = kernel_threads;
+        ctx = std::make_unique<CkksContext>(p);
+        keygen = std::make_unique<KeyGenerator>(*ctx, rng);
+        sk = keygen->secretKey();
+        keys = std::make_unique<KeyCache>(*keygen, sk, ctx->degree());
+        encoder = std::make_unique<CkksEncoder>(*ctx);
+        CkksEncryptor encryptor(*ctx, rng);
+
+        store = std::make_unique<PlaintextStore>(*ctx,
+                                                 PlaintextMode::OFLimb);
+        const size_t slots = p.num_slots;
+        std::vector<Complex> m(slots);
+        for (size_t i = 0; i < slots; ++i)
+            m[i] = Complex(0.6 + 0.001 * static_cast<double>(i % 11),
+                           0.02);
+        store->insert(encoder->encode(m, ctx->maxLevel()));
+
+        LowerOptions opt;
+        opt.max_ops = 20;
+        workloads = standardServingMix(p, opt);
+
+        std::vector<i64> amounts;
+        for (const auto &w : workloads) {
+            const std::vector<i64> amts = w.rotationAmounts();
+            amounts.insert(amounts.end(), amts.begin(), amts.end());
+        }
+        keys->warm(std::move(amounts));
+
+        for (int k = 0; k < 2; ++k) {
+            Ciphertext ct = encryptor.encryptSymmetric(
+                encoder->encode(m, ctx->maxLevel()), sk);
+            ct.slots = slots;
+            inputs.push_back(std::move(ct));
+        }
+    }
+
+    /** Serve @p n round-robin requests and return checksums in
+     *  submission order, plus the drain report via @p rep_out. */
+    std::vector<u64>
+    serveBatch(size_t workers, size_t shards, size_t n,
+               ServeReport *rep_out = nullptr)
+    {
+        BatchServerConfig cfg;
+        cfg.workers = workers;
+        cfg.shards = shards;
+        cfg.queue_capacity = n;
+        BatchServer server(*ctx, *keys, *store, workloads, inputs, cfg);
+        EXPECT_EQ(server.shards(), shards);
+        std::vector<size_t> indices;
+        for (size_t i = 0; i < n; ++i)
+            indices.push_back(i % workloads.size());
+        auto futs = server.submitBatch(indices);
+        std::vector<u64> sums;
+        for (auto &f : futs) {
+            ServeResult r = f.get();
+            EXPECT_TRUE(r.ok) << r.error;
+            sums.push_back(r.checksum);
+        }
+        ServeReport rep = server.drain();
+        if (rep_out)
+            *rep_out = rep;
+        return sums;
+    }
+};
+
+TEST(ShardedServing, ShardedMatchesSingleQueueFcfs)
+{
+    Stack s(BackendKind::Scalar);
+    const auto fcfs = s.serveBatch(1, 1, 16);
+    const auto sharded = s.serveBatch(4, 2, 16);
+    EXPECT_EQ(fcfs, sharded);
+}
+
+TEST(ShardedServing, ShardedMatchesSingleQueueFcfsParallelBackend)
+{
+    Stack s(BackendKind::Parallel, 2);
+    const auto fcfs = s.serveBatch(1, 1, 16);
+    const auto sharded = s.serveBatch(4, 2, 16);
+    EXPECT_EQ(fcfs, sharded);
+}
+
+TEST(ShardedServing, ShardedServersAgreeAcrossBackends)
+{
+    Stack scalar(BackendKind::Scalar);
+    Stack parallel(BackendKind::Parallel, 3);
+    EXPECT_EQ(scalar.serveBatch(2, 2, 12),
+              parallel.serveBatch(4, 2, 12));
+}
+
+TEST(ShardedServing, DrainReportCountsPerShardConsistently)
+{
+    Stack s(BackendKind::Scalar);
+    ServeReport rep;
+    const size_t n = 12;
+    s.serveBatch(4, 2, n, &rep);
+    ASSERT_EQ(rep.shard_requests.size(), 2u);
+    EXPECT_EQ(rep.shard_requests[0] + rep.shard_requests[1], n);
+    EXPECT_EQ(rep.requests, n);
+    // The affinity routing is deterministic: re-serving the same mix
+    // lands the same per-shard split.
+    ServeReport again;
+    s.serveBatch(4, 2, n, &again);
+    EXPECT_EQ(rep.shard_requests, again.shard_requests);
+    EXPECT_FALSE(rep.toString().empty());
+}
+
+TEST(ShardedServing, RoutingFollowsThePlan)
+{
+    Stack s(BackendKind::Scalar);
+    BatchServerConfig cfg;
+    cfg.workers = 2;
+    cfg.shards = 2;
+    cfg.queue_capacity = 8;
+    BatchServer server(*s.ctx, *s.keys, *s.store, s.workloads,
+                       s.inputs, cfg);
+    const ServeShardPlan &plan = server.shardPlan();
+    ASSERT_EQ(plan.shard_of_workload.size(), s.workloads.size());
+
+    // Submit only workloads routed to shard 1; shard 0 must stay idle
+    // in the drain report.
+    size_t target = plan.shard_of_workload.size(); // not-found sentinel
+    for (size_t wi = 0; wi < plan.shard_of_workload.size(); ++wi) {
+        if (plan.shard_of_workload[wi] == 1) {
+            target = wi;
+            break;
+        }
+    }
+    ASSERT_LT(target, plan.shard_of_workload.size())
+        << "no workload routed to shard 1";
+    std::vector<std::future<ServeResult>> futs;
+    for (int i = 0; i < 4; ++i)
+        futs.push_back(server.submit(target));
+    for (auto &f : futs)
+        EXPECT_TRUE(f.get().ok);
+    ServeReport rep = server.drain();
+    ASSERT_EQ(rep.shard_requests.size(), 2u);
+    EXPECT_EQ(rep.shard_requests[0], 0u);
+    EXPECT_EQ(rep.shard_requests[1], 4u);
+}
+
+TEST(ShardedServing, ShutdownClosesEveryShardQueue)
+{
+    Stack s(BackendKind::Scalar);
+    BatchServerConfig cfg;
+    cfg.workers = 2;
+    cfg.shards = 2;
+    BatchServer server(*s.ctx, *s.keys, *s.store, s.workloads,
+                       s.inputs, cfg);
+    server.shutdown();
+    for (size_t wi = 0; wi < s.workloads.size(); ++wi)
+        EXPECT_THROW(server.submit(wi), std::runtime_error);
+}
+
+} // namespace
+} // namespace ark
