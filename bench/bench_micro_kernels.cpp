@@ -1,16 +1,27 @@
 /**
  * @file
- * google-benchmark microbenchmarks of the functional library's primary
- * kernels: NTT, 4-step NTT, BConv, automorphism, and full key
- * switching — the same functions ARK's FUs accelerate — plus a
- * scalar-vs-parallel kernel-backend comparison table (run first, before
- * the google-benchmark suite).
+ * Micro-kernel benchmarks of the functional library's primary kernels.
+ *
+ * The default mode is SELF-TIMED and dependency-free: it verifies and
+ * times the lazy-reduction kernel pass against the strict pre-PR
+ * reference kernels (Harvey lazy NTT vs strict NTT, fused cache-blocked
+ * BConv vs the two-stage pipeline, pooled vs fresh allocation) and
+ * prints the scalar-vs-parallel backend table. `--json PATH` emits the
+ * same numbers machine-readably (consumed by
+ * scripts/check_bench_regression.py and archived as a CI artifact);
+ * `--smoke` shrinks sizes/reps for CI. Bit-parity between the lazy and
+ * strict kernels is always checked and is the only hard gate — timing
+ * thresholds stay warn-only because shared CI runners are noisy.
+ *
+ * When google-benchmark is available the classic BM_* suite is still
+ * compiled in and runs with `--gbench [benchmark args...]`.
  */
-
-#include <benchmark/benchmark.h>
 
 #include <chrono>
 #include <cstdio>
+#include <cstring>
+#include <string>
+#include <vector>
 
 #include "ckks/encoder.h"
 #include "ckks/encryptor.h"
@@ -21,11 +32,415 @@
 #include "common/thread_pool.h"
 #include "rns/backend.h"
 #include "rns/bconv.h"
-#include "rns/primes.h"
 #include "rns/four_step_ntt.h"
+#include "rns/poly_pool.h"
+#include "rns/primes.h"
+
+#ifdef ARK_HAVE_GBENCH
+#include <benchmark/benchmark.h>
+#endif
 
 namespace ark {
 namespace {
+
+/** Best-of-reps wall time of fn(), in milliseconds. */
+template <typename Fn>
+double
+timeMs(int reps, Fn &&fn)
+{
+    using clock = std::chrono::steady_clock;
+    double best = 1e300;
+    for (int r = 0; r < reps; ++r) {
+        auto t0 = clock::now();
+        fn();
+        auto t1 = clock::now();
+        best = std::min(
+            best, std::chrono::duration<double, std::milli>(t1 - t0)
+                      .count());
+    }
+    return best;
+}
+
+/** One before/after comparison row, also emitted to --json. */
+struct Result
+{
+    std::string name; ///< kernel identifier (stable across runs)
+    size_t n = 0;
+    size_t limbs = 0;
+    double baseline_ms = 0; ///< strict / unfused / fresh-alloc path
+    double optimized_ms = 0;
+    double speedup() const
+    {
+        return optimized_ms > 0 ? baseline_ms / optimized_ms : 0;
+    }
+};
+
+std::vector<Result> g_results;
+bool g_parity_ok = true;
+
+void
+checkParity(bool ok, const char *what)
+{
+    if (!ok) {
+        std::fprintf(stderr, "PARITY FAILURE: %s\n", what);
+        g_parity_ok = false;
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Lazy vs strict NTT (the tentpole's headline numbers)
+// ---------------------------------------------------------------------------
+
+void
+runNttComparison(bool smoke)
+{
+    std::printf("Lazy (Harvey) vs strict NTT, one 60-bit limb\n");
+    TablePrinter t({"kernel", "N", "strict (ms)", "lazy (ms)",
+                    "speedup"});
+    const int reps = smoke ? 5 : 9;
+    std::vector<size_t> log_ns =
+        smoke ? std::vector<size_t>{12, 16}
+              : std::vector<size_t>{12, 14, 16};
+    for (size_t log_n : log_ns) {
+        const size_t n = size_t(1) << log_n;
+        u64 prime = generatePrimes(60, 1, n).front();
+        NttTables tables(n, Modulus(prime));
+        Rng rng(1);
+        auto v = rng.uniformVector(n, prime);
+
+        // Bit-parity first: lazy forward/inverse must round-trip and
+        // match the strict kernels word for word.
+        {
+            auto a = v, b = v;
+            tables.forward(a.data());
+            tables.forwardStrict(b.data());
+            checkParity(a == b, "lazy forward NTT != strict");
+            tables.inverse(a.data());
+            tables.inverseStrict(b.data());
+            checkParity(a == b, "lazy inverse NTT != strict");
+            checkParity(a == v, "lazy NTT round-trip != identity");
+        }
+
+        // Repeated in-place transforms: any canonical vector is a
+        // valid input, so timing loops reuse the buffer.
+        const int iters = smoke ? 10 : 40;
+        auto fwd = v;
+        Result rf{"ntt_forward", n, 1, 0, 0};
+        rf.baseline_ms = timeMs(reps, [&] {
+                             for (int i = 0; i < iters; ++i)
+                                 tables.forwardStrict(fwd.data());
+                         }) /
+                         iters;
+        rf.optimized_ms = timeMs(reps, [&] {
+                              for (int i = 0; i < iters; ++i)
+                                  tables.forward(fwd.data());
+                          }) /
+                          iters;
+        g_results.push_back(rf);
+        t.addRow({"ntt_forward", std::to_string(n),
+                  TablePrinter::fmt(rf.baseline_ms, 3),
+                  TablePrinter::fmt(rf.optimized_ms, 3),
+                  TablePrinter::fmt(rf.speedup(), 2)});
+
+        auto inv = v;
+        Result ri{"ntt_inverse", n, 1, 0, 0};
+        ri.baseline_ms = timeMs(reps, [&] {
+                             for (int i = 0; i < iters; ++i)
+                                 tables.inverseStrict(inv.data());
+                         }) /
+                         iters;
+        ri.optimized_ms = timeMs(reps, [&] {
+                              for (int i = 0; i < iters; ++i)
+                                  tables.inverse(inv.data());
+                          }) /
+                          iters;
+        g_results.push_back(ri);
+        t.addRow({"ntt_inverse", std::to_string(n),
+                  TablePrinter::fmt(ri.baseline_ms, 3),
+                  TablePrinter::fmt(ri.optimized_ms, 3),
+                  TablePrinter::fmt(ri.speedup(), 2)});
+    }
+    t.print();
+    std::printf("\n");
+}
+
+// ---------------------------------------------------------------------------
+// Fused cache-blocked BConv vs the two-stage pipeline
+// ---------------------------------------------------------------------------
+
+void
+runBconvComparison(bool smoke)
+{
+    // Baseline = the pre-PR hot path: materialized scale stage, then
+    // the limb-strided MAC, with freshly allocated (zero-filled)
+    // result polys — the process pool stays empty in that loop, so
+    // every acquire degenerates to exactly the pre-PR allocation.
+    // Optimized = the production call path: the scalar backend's
+    // fused cache-blocked tile kernel with its pool in steady state
+    // (results released back each op, as the evaluator does).
+    std::printf("Fused+pooled BConv (backend path) vs two-stage "
+                "fresh-alloc reference\n");
+    TablePrinter t({"kernel", "N", "|B|->|C|", "two-stage (ms)",
+                    "fused (ms)", "speedup"});
+    auto kb = makeKernelBackend(BackendKind::Scalar);
+    const int reps = smoke ? 5 : 7;
+    struct Cfg
+    {
+        size_t log_n, nb, nc;
+    };
+    std::vector<Cfg> cfgs = smoke
+                                ? std::vector<Cfg>{{13, 12, 8},
+                                                   {16, 12, 8}}
+                                : std::vector<Cfg>{{13, 12, 8},
+                                                   {14, 12, 8},
+                                                   {16, 6, 7},
+                                                   {16, 12, 8}};
+    for (const Cfg &cfg : cfgs) {
+        const size_t n = size_t(1) << cfg.log_n;
+        auto pb = generatePrimes(45, cfg.nb, n);
+        auto pc = generatePrimes(50, cfg.nc, n, pb);
+        std::vector<Modulus> mb, mc;
+        for (u64 p : pb)
+            mb.emplace_back(p);
+        for (u64 p : pc)
+            mc.emplace_back(p);
+        BaseConverter bc(mb, mc);
+
+        Rng rng(3);
+        RnsPoly in(n, cfg.nb, Rep::Coeff);
+        for (size_t l = 0; l < cfg.nb; ++l) {
+            auto v = rng.uniformVector(n, pb[l]);
+            std::copy(v.begin(), v.end(), in.limb(l));
+        }
+
+        // Parity: fused tile path (standalone and backend) == the
+        // materialized two-stage pipeline.
+        {
+            RnsPoly fused = bc.convert(in);
+            RnsPoly fused_kb = kb->bconv(bc, in);
+            RnsPoly two = bc.matmulStage(bc.scaleStage(in));
+            bool same = fused.numLimbs() == two.numLimbs();
+            for (size_t l = 0; same && l < fused.numLimbs(); ++l)
+                same = std::memcmp(fused.limb(l), two.limb(l),
+                                   n * sizeof(u64)) == 0;
+            checkParity(same, "fused BConv != two-stage BConv");
+            same = fused_kb.numLimbs() == two.numLimbs();
+            for (size_t l = 0; same && l < two.numLimbs(); ++l)
+                same = std::memcmp(fused_kb.limb(l), two.limb(l),
+                                   n * sizeof(u64)) == 0;
+            checkParity(same, "backend BConv != two-stage BConv");
+        }
+
+        Result r{"bconv", n, cfg.nb, 0, 0};
+        // Pin the baseline to pre-PR allocation semantics: with the
+        // process pool empty and nothing released inside the loop,
+        // every acquire is a fresh zero-filled allocation, exactly
+        // what the pre-PR two-stage pipeline paid.
+        PolyPool::process().trim();
+        r.baseline_ms = timeMs(reps, [&] {
+            RnsPoly out = bc.matmulStage(bc.scaleStage(in));
+            (void)out;
+        });
+        r.optimized_ms = timeMs(reps, [&] {
+            RnsPoly out = kb->bconv(bc, in);
+            kb->pool().release(std::move(out));
+        });
+        g_results.push_back(r);
+        t.addRow({"bconv", std::to_string(n),
+                  std::to_string(cfg.nb) + "->" + std::to_string(cfg.nc),
+                  TablePrinter::fmt(r.baseline_ms, 3),
+                  TablePrinter::fmt(r.optimized_ms, 3),
+                  TablePrinter::fmt(r.speedup(), 2)});
+    }
+    t.print();
+    std::printf("\n");
+}
+
+// ---------------------------------------------------------------------------
+// Pooled vs fresh hot-path allocation
+// ---------------------------------------------------------------------------
+
+void
+runPoolComparison(bool smoke)
+{
+    std::printf("Pooled vs fresh RnsPoly allocation (acquire/release "
+                "cycle)\n");
+    TablePrinter t({"shape", "fresh (us)", "pooled (us)", "speedup"});
+    const int reps = smoke ? 3 : 7;
+    const int iters = smoke ? 50 : 200;
+    struct Cfg
+    {
+        size_t log_n, limbs;
+    };
+    for (const Cfg &cfg : {Cfg{14, 8}, Cfg{16, 8}}) {
+        const size_t n = size_t(1) << cfg.log_n;
+        PolyPool pool;
+        // Warm the free list so the timed loop measures the recycle
+        // path, as a steady-state server would see it.
+        pool.release(pool.acquire(n, cfg.limbs, Rep::Eval));
+
+        volatile u64 sink = 0;
+        Result r{"poly_alloc", n, cfg.limbs, 0, 0};
+        r.baseline_ms = timeMs(reps, [&] {
+                            for (int i = 0; i < iters; ++i) {
+                                RnsPoly p(n, cfg.limbs, Rep::Eval);
+                                sink += p.limb(0)[0];
+                            }
+                        }) /
+                        iters;
+        r.optimized_ms = timeMs(reps, [&] {
+                             for (int i = 0; i < iters; ++i) {
+                                 RnsPoly p = pool.acquire(
+                                     n, cfg.limbs, Rep::Eval);
+                                 sink += p.limb(0)[0];
+                                 pool.release(std::move(p));
+                             }
+                         }) /
+                         iters;
+        g_results.push_back(r);
+        t.addRow({std::to_string(n) + " x " + std::to_string(cfg.limbs),
+                  TablePrinter::fmt(r.baseline_ms * 1000, 2),
+                  TablePrinter::fmt(r.optimized_ms * 1000, 2),
+                  TablePrinter::fmt(r.speedup(), 2)});
+    }
+    t.print();
+    std::printf("\n");
+}
+
+// ---------------------------------------------------------------------------
+// Scalar vs parallel kernel-backend comparison (full mode only)
+// ---------------------------------------------------------------------------
+
+void
+printBackendComparison()
+{
+    const size_t threads =
+        backendThreadsFromEnv(ThreadPool::defaultThreads());
+    auto scalar = makeKernelBackend(BackendKind::Scalar);
+    auto parallel = makeKernelBackend(BackendKind::Parallel, threads);
+
+    std::printf("Kernel-backend comparison (parallel: %zu threads)\n",
+                parallel->threads());
+    TablePrinter t({"Kernel", "N", "limbs", "scalar (ms)",
+                    "parallel (ms)", "speedup"});
+
+    const int reps = 5;
+    for (size_t log_n : {12u, 14u}) {
+        const size_t n = size_t(1) << log_n;
+        const size_t limbs = 8;
+        auto qs = generatePrimes(50, limbs, n);
+        std::vector<Modulus> moduli;
+        std::vector<NttTables> tables;
+        std::vector<const NttTables *> table_ptrs;
+        for (u64 q : qs) {
+            moduli.emplace_back(q);
+            tables.emplace_back(n, Modulus(q));
+        }
+        for (auto &tb : tables)
+            table_ptrs.push_back(&tb);
+
+        Rng rng(7);
+        RnsPoly poly(n, limbs, Rep::Eval);
+        for (size_t l = 0; l < limbs; ++l) {
+            auto v = rng.uniformVector(n, qs[l]);
+            std::copy(v.begin(), v.end(), poly.limb(l));
+        }
+
+        auto out_qs = generatePrimes(51, limbs, n);
+        std::vector<Modulus> out_base;
+        std::vector<NttTables> out_tables;
+        std::vector<const NttTables *> out_ptrs;
+        for (u64 q : out_qs) {
+            out_base.emplace_back(q);
+            out_tables.emplace_back(n, Modulus(q));
+        }
+        for (auto &tb : out_tables)
+            out_ptrs.push_back(&tb);
+        BaseConverter bc(moduli, out_base);
+        Automorphism am(galoisElt(5, n), n);
+
+        auto row = [&](const char *name, auto &&kernel) {
+            // The kernel receives the backend; transformed data is
+            // still valid input for the next rep.
+            double ms_s = timeMs(reps, [&] { kernel(*scalar); });
+            double ms_p = timeMs(reps, [&] { kernel(*parallel); });
+            t.addRow({name, std::to_string(n), std::to_string(limbs),
+                      TablePrinter::fmt(ms_s, 3),
+                      TablePrinter::fmt(ms_p, 3),
+                      TablePrinter::fmt(ms_s / ms_p, 2)});
+        };
+
+        row("ntt_forward", [&](KernelBackend &kb) {
+            RnsPoly p = poly;
+            p.setRep(Rep::Coeff);
+            kb.nttForward(p, table_ptrs);
+        });
+        row("ntt_inverse", [&](KernelBackend &kb) {
+            RnsPoly p = poly;
+            kb.nttInverse(p, table_ptrs);
+        });
+        row("bconv", [&](KernelBackend &kb) {
+            RnsPoly p = poly;
+            p.setRep(Rep::Coeff);
+            auto out = kb.bconv(bc, p);
+            (void)out;
+        });
+        row("automorphism", [&](KernelBackend &kb) {
+            auto out = kb.automorphism(am, poly, moduli);
+            (void)out;
+        });
+        row("mul_eval", [&](KernelBackend &kb) {
+            RnsPoly r(n, limbs, Rep::Eval);
+            kb.mulEval(poly, poly, moduli, r);
+        });
+        row("ntt_bconv_ntt", [&](KernelBackend &kb) {
+            auto out = kb.nttBconvNtt(poly, table_ptrs, bc, out_ptrs);
+            (void)out;
+        });
+    }
+    t.print();
+    std::printf("\n");
+}
+
+// ---------------------------------------------------------------------------
+// JSON emission (consumed by scripts/check_bench_regression.py)
+// ---------------------------------------------------------------------------
+
+bool
+writeJson(const std::string &path, bool smoke)
+{
+    std::FILE *f = std::fopen(path.c_str(), "w");
+    if (f == nullptr) {
+        std::fprintf(stderr, "cannot open %s for writing\n",
+                     path.c_str());
+        return false;
+    }
+    std::fprintf(f, "{\n  \"bench\": \"bench_micro_kernels\",\n");
+    std::fprintf(f, "  \"mode\": \"%s\",\n", smoke ? "smoke" : "full");
+    std::fprintf(f, "  \"parity_ok\": %s,\n",
+                 g_parity_ok ? "true" : "false");
+    std::fprintf(f, "  \"results\": [\n");
+    for (size_t i = 0; i < g_results.size(); ++i) {
+        const Result &r = g_results[i];
+        std::fprintf(f,
+                     "    {\"name\": \"%s\", \"n\": %zu, \"limbs\": "
+                     "%zu, \"baseline_ms\": %.6f, \"optimized_ms\": "
+                     "%.6f, \"speedup\": %.3f}%s\n",
+                     r.name.c_str(), r.n, r.limbs, r.baseline_ms,
+                     r.optimized_ms, r.speedup(),
+                     i + 1 < g_results.size() ? "," : "");
+    }
+    std::fprintf(f, "  ]\n}\n");
+    std::fclose(f);
+    std::printf("wrote %s\n", path.c_str());
+    return true;
+}
+
+#ifdef ARK_HAVE_GBENCH
+
+// ---------------------------------------------------------------------------
+// google-benchmark suite (optional; run with --gbench)
+// ---------------------------------------------------------------------------
 
 void
 BM_NttForward(benchmark::State &state)
@@ -150,117 +565,29 @@ BM_HMult(benchmark::State &state)
 }
 BENCHMARK(BM_HMult);
 
-// ---------------------------------------------------------------------------
-// Scalar vs parallel kernel-backend comparison (common/table_printer)
-// ---------------------------------------------------------------------------
-
-/** Best-of-reps wall time of fn(), in milliseconds. */
-template <typename Fn>
-double
-timeMs(int reps, Fn &&fn)
-{
-    using clock = std::chrono::steady_clock;
-    double best = 1e300;
-    for (int r = 0; r < reps; ++r) {
-        auto t0 = clock::now();
-        fn();
-        auto t1 = clock::now();
-        best = std::min(
-            best, std::chrono::duration<double, std::milli>(t1 - t0)
-                      .count());
-    }
-    return best;
-}
+#endif // ARK_HAVE_GBENCH
 
 void
-printBackendComparison()
+printUsage(const char *argv0)
 {
-    const size_t threads =
-        backendThreadsFromEnv(ThreadPool::defaultThreads());
-    auto scalar = makeKernelBackend(BackendKind::Scalar);
-    auto parallel = makeKernelBackend(BackendKind::Parallel, threads);
-
-    std::printf("Kernel-backend comparison (parallel: %zu threads)\n",
-                parallel->threads());
-    TablePrinter t({"Kernel", "N", "limbs", "scalar (ms)",
-                    "parallel (ms)", "speedup"});
-
-    const int reps = 5;
-    for (size_t log_n : {12u, 14u}) {
-        const size_t n = size_t(1) << log_n;
-        const size_t limbs = 8;
-        auto qs = generatePrimes(50, limbs, n);
-        std::vector<Modulus> moduli;
-        std::vector<NttTables> tables;
-        std::vector<const NttTables *> table_ptrs;
-        for (u64 q : qs) {
-            moduli.emplace_back(q);
-            tables.emplace_back(n, Modulus(q));
-        }
-        for (auto &tb : tables)
-            table_ptrs.push_back(&tb);
-
-        Rng rng(7);
-        RnsPoly poly(n, limbs, Rep::Eval);
-        for (size_t l = 0; l < limbs; ++l) {
-            auto v = rng.uniformVector(n, qs[l]);
-            std::copy(v.begin(), v.end(), poly.limb(l));
-        }
-
-        auto out_qs = generatePrimes(51, limbs, n);
-        std::vector<Modulus> out_base;
-        std::vector<NttTables> out_tables;
-        std::vector<const NttTables *> out_ptrs;
-        for (u64 q : out_qs) {
-            out_base.emplace_back(q);
-            out_tables.emplace_back(n, Modulus(q));
-        }
-        for (auto &tb : out_tables)
-            out_ptrs.push_back(&tb);
-        BaseConverter bc(moduli, out_base);
-        Automorphism am(galoisElt(5, n), n);
-
-        auto row = [&](const char *name, auto &&kernel) {
-            // The kernel receives the backend; transformed data is
-            // still valid input for the next rep.
-            double ms_s = timeMs(reps, [&] { kernel(*scalar); });
-            double ms_p = timeMs(reps, [&] { kernel(*parallel); });
-            t.addRow({name, std::to_string(n), std::to_string(limbs),
-                      TablePrinter::fmt(ms_s, 3),
-                      TablePrinter::fmt(ms_p, 3),
-                      TablePrinter::fmt(ms_s / ms_p, 2)});
-        };
-
-        row("ntt_forward", [&](KernelBackend &kb) {
-            RnsPoly p = poly;
-            p.setRep(Rep::Coeff);
-            kb.nttForward(p, table_ptrs);
-        });
-        row("ntt_inverse", [&](KernelBackend &kb) {
-            RnsPoly p = poly;
-            kb.nttInverse(p, table_ptrs);
-        });
-        row("bconv", [&](KernelBackend &kb) {
-            RnsPoly p = poly;
-            p.setRep(Rep::Coeff);
-            auto out = kb.bconv(bc, p);
-            (void)out;
-        });
-        row("automorphism", [&](KernelBackend &kb) {
-            auto out = kb.automorphism(am, poly, moduli);
-            (void)out;
-        });
-        row("mul_eval", [&](KernelBackend &kb) {
-            RnsPoly r(n, limbs, Rep::Eval);
-            kb.mulEval(poly, poly, moduli, r);
-        });
-        row("ntt_bconv_ntt", [&](KernelBackend &kb) {
-            auto out = kb.nttBconvNtt(poly, table_ptrs, bc, out_ptrs);
-            (void)out;
-        });
-    }
-    t.print();
-    std::printf("\n");
+    std::printf(
+        "usage: %s [--smoke] [--json PATH] [--gbench [args...]]\n"
+        "  (no args)     self-timed suite: lazy-vs-strict NTT, fused-\n"
+        "                vs-two-stage BConv, pooled-vs-fresh alloc,\n"
+        "                scalar-vs-parallel backend table\n"
+        "  --smoke       reduced sizes/reps for CI; parity checks\n"
+        "                still gate (nonzero exit on mismatch)\n"
+        "  --json PATH   also write results as JSON (for\n"
+        "                scripts/check_bench_regression.py)\n"
+        "  --gbench ...  run the google-benchmark suite instead,\n"
+        "                forwarding the remaining arguments%s\n",
+        argv0,
+#ifdef ARK_HAVE_GBENCH
+        ""
+#else
+        " (UNAVAILABLE in this build: google-benchmark not found)"
+#endif
+    );
 }
 
 } // namespace
@@ -269,9 +596,54 @@ printBackendComparison()
 int
 main(int argc, char **argv)
 {
-    ark::printBackendComparison();
-    benchmark::Initialize(&argc, argv);
-    benchmark::RunSpecifiedBenchmarks();
-    benchmark::Shutdown();
+    bool smoke = false;
+    std::string json_path;
+    for (int i = 1; i < argc; ++i) {
+        if (std::strcmp(argv[i], "--smoke") == 0) {
+            smoke = true;
+        } else if (std::strcmp(argv[i], "--json") == 0 &&
+                   i + 1 < argc) {
+            json_path = argv[++i];
+        } else if (std::strcmp(argv[i], "--gbench") == 0) {
+#ifdef ARK_HAVE_GBENCH
+            // Hand the remaining args to google-benchmark verbatim.
+            int gargc = argc - i;
+            benchmark::Initialize(&gargc, argv + i);
+            benchmark::RunSpecifiedBenchmarks();
+            benchmark::Shutdown();
+            return 0;
+#else
+            std::fprintf(stderr,
+                         "--gbench: built without google-benchmark; "
+                         "the self-timed mode needs no flags\n");
+            return 2;
+#endif
+        } else if (std::strcmp(argv[i], "--help") == 0) {
+            ark::printUsage(argv[0]);
+            return 0;
+        } else {
+            std::fprintf(stderr, "unknown argument '%s'\n", argv[i]);
+            ark::printUsage(argv[0]);
+            return 2;
+        }
+    }
+
+    ark::runNttComparison(smoke);
+    ark::runBconvComparison(smoke);
+    ark::runPoolComparison(smoke);
+    if (!smoke)
+        ark::printBackendComparison();
+
+    if (!json_path.empty() && !ark::writeJson(json_path, smoke))
+        return 1;
+
+    if (!ark::g_parity_ok) {
+        std::fprintf(stderr,
+                     "FAIL: lazy kernels diverged from the strict "
+                     "reference\n");
+        return 1;
+    }
+    std::printf("parity: lazy kernels bit-identical to strict "
+                "reference\n");
     return 0;
 }

@@ -1,0 +1,101 @@
+#!/usr/bin/env python3
+"""Compare a bench_micro_kernels --json run against a committed baseline.
+
+Stub regression tracker (warn-only for now): flags kernels whose
+speedup dropped by more than a tolerance versus the baseline JSON, and
+kernels that appeared/disappeared. Exits 0 regardless unless --strict
+is given; CI runs it warn-only because shared runners are far noisier
+than the committed (dedicated-run) baseline.
+
+Usage:
+    scripts/check_bench_regression.py CURRENT.json \
+        [--baseline bench/baselines/bench_micro_kernels.json] \
+        [--tolerance 0.25] [--strict]
+
+The baseline is refreshed by running `bench_micro_kernels --json ...`
+on a quiet machine and committing the output.
+"""
+
+import argparse
+import json
+import sys
+
+
+def load(path):
+    with open(path) as f:
+        doc = json.load(f)
+    results = {}
+    for r in doc.get("results", []):
+        key = (r["name"], r["n"], r["limbs"])
+        results[key] = r
+    return doc, results
+
+
+def main():
+    ap = argparse.ArgumentParser(description=__doc__)
+    ap.add_argument("current", help="JSON emitted by bench_micro_kernels --json")
+    ap.add_argument(
+        "--baseline",
+        default="bench/baselines/bench_micro_kernels.json",
+        help="committed baseline JSON (default: %(default)s)",
+    )
+    ap.add_argument(
+        "--tolerance",
+        type=float,
+        default=0.25,
+        help="allowed relative speedup drop before warning "
+        "(default: %(default)s)",
+    )
+    ap.add_argument(
+        "--strict",
+        action="store_true",
+        help="exit nonzero on warnings (future CI gate; off for now)",
+    )
+    args = ap.parse_args()
+
+    cur_doc, cur = load(args.current)
+    try:
+        base_doc, base = load(args.baseline)
+    except FileNotFoundError:
+        print(f"no baseline at {args.baseline}; nothing to compare")
+        return 0
+
+    warnings = []
+    if not cur_doc.get("parity_ok", True):
+        warnings.append("current run reports parity_ok=false")
+
+    for key, b in sorted(base.items()):
+        name = f"{key[0]} (N={key[1]}, limbs={key[2]})"
+        c = cur.get(key)
+        if c is None:
+            # Smoke mode measures a subset of the full baseline grid;
+            # only report kernels missing entirely.
+            if not any(k[0] == key[0] for k in cur):
+                warnings.append(f"{name}: missing from current run")
+            continue
+        if b["speedup"] <= 0:
+            continue
+        drop = 1.0 - c["speedup"] / b["speedup"]
+        if drop > args.tolerance:
+            warnings.append(
+                f"{name}: speedup {c['speedup']:.2f}x vs baseline "
+                f"{b['speedup']:.2f}x ({drop:.0%} drop)"
+            )
+    for key in sorted(set(cur) - set(base)):
+        print(f"note: {key[0]} (N={key[1]}, limbs={key[2]}) "
+              "not in baseline")
+
+    if warnings:
+        print(f"{len(warnings)} bench regression warning(s):")
+        for w in warnings:
+            print(f"  WARN: {w}")
+        if args.strict:
+            return 1
+        print("(warn-only mode; pass --strict to fail on these)")
+    else:
+        print("bench results within tolerance of baseline")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

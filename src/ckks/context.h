@@ -100,6 +100,14 @@ class CkksContext
      */
     KernelBackend &backend() const { return *backend_; }
 
+    /**
+     * The backend's poly-buffer recycler. Scheme layers acquire
+     * fully-overwritten hot-path temporaries (key-switch digits,
+     * accumulators, BConv/automorphism scratch) here instead of
+     * heap-allocating per op; see rns/poly_pool.h for the contract.
+     */
+    PolyPool &pool() const { return backend_->pool(); }
+
     /** NTT-table pointers for the first @p count q limbs (cached —
      *  built once per count; key-switch paths call this per op). */
     const std::vector<const NttTables *> &qTablePtrs(size_t count) const;

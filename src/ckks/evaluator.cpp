@@ -139,10 +139,12 @@ CkksEvaluator::mulByI(const Ciphertext &c) const
     const auto moduli = ctx_.levelModuli(c.level());
     const size_t half = ctx_.degree() / 2;
     KernelBackend &kb = ctx_.backend();
+    PolyPool &pool = kb.pool();
     auto shift = [&](const RnsPoly &src) {
         RnsPoly p = src;
         kb.nttInverse(p, ctx_.qTables());
-        RnsPoly out(p.degree(), p.numLimbs(), Rep::Coeff);
+        // Pooled: monomialMul writes every output position.
+        RnsPoly out = pool.acquire(p.degree(), p.numLimbs(), Rep::Coeff);
         kb.monomialMul(p, half, moduli, out);
         kb.nttForward(out, ctx_.qTables());
         return out;
@@ -165,6 +167,7 @@ CkksEvaluator::decompose(const RnsPoly &d, int level) const
     const int a = ctx_.alpha();
     const int digits = ctx_.numDigits(level);
     KernelBackend &kb = ctx_.backend();
+    PolyPool &pool = kb.pool();
 
     std::vector<RnsPoly> out;
     out.reserve(digits);
@@ -174,7 +177,8 @@ CkksEvaluator::decompose(const RnsPoly &d, int level) const
 
         // Pull the digit limbs, then run the whole BConvRoutine
         // (Alg. 1: INTT -> BConv -> NTT) as one fused backend call.
-        RnsPoly digit(n, hi - lo, Rep::Eval);
+        // Pooled temporaries: every limb is copied over in full.
+        RnsPoly digit = pool.acquire(n, hi - lo, Rep::Eval);
         for (size_t l = lo; l < hi; ++l)
             std::copy(d.limb(l), d.limb(l) + n, digit.limb(l - lo));
 
@@ -191,10 +195,11 @@ CkksEvaluator::decompose(const RnsPoly &d, int level) const
         RnsPoly conv = kb.nttBconvNtt(
             digit, in_tables, ctx_.digitConverter(level, dig),
             out_tables);
+        pool.release(std::move(digit));
 
         // Assemble the extended poly with limbs ordered
         // [q_0..q_level, p_0..p_alpha-1].
-        RnsPoly ext(n, nq + np, Rep::Eval);
+        RnsPoly ext = pool.acquire(n, nq + np, Rep::Eval);
         size_t conv_idx = 0;
         for (size_t l = 0; l < nq + np; ++l) {
             if (l >= lo && l < hi) {
@@ -205,6 +210,7 @@ CkksEvaluator::decompose(const RnsPoly &d, int level) const
                 ++conv_idx;
             }
         }
+        pool.release(std::move(conv));
         out.push_back(std::move(ext));
     }
     return out;
@@ -219,10 +225,13 @@ CkksEvaluator::modDownByP(const RnsPoly &extended, int level) const
     const size_t np = ctx_.pModuli().size();
     ARK_ASSERT(extended.numLimbs() == nq + np, "not an extended poly");
     KernelBackend &kb = ctx_.backend();
+    PolyPool &pool = kb.pool();
 
     // INTT the special limbs, BConv B -> C, NTT back (Alg. 2 line 6-7)
-    // — the same fused digit path key switching uses.
-    RnsPoly special(n, np, Rep::Eval);
+    // — the same fused digit path key switching uses. Pooled
+    // temporaries: special is copied over in full, out is written in
+    // full by subMulScalar.
+    RnsPoly special = pool.acquire(n, np, Rep::Eval);
     for (size_t l = 0; l < np; ++l)
         std::copy(extended.limb(nq + l), extended.limb(nq + l) + n,
                   special.limb(l));
@@ -233,14 +242,16 @@ CkksEvaluator::modDownByP(const RnsPoly &extended, int level) const
     RnsPoly conv = kb.nttBconvNtt(special, in_tables,
                                   ctx_.modDownConverter(level),
                                   ctx_.qTablePtrs(nq));
+    pool.release(std::move(special));
 
     // out = (extended - conv) * P^{-1} limb-wise over the q limbs.
     const auto moduli = ctx_.levelModuli(level);
     std::vector<u64> pinv(nq);
     for (size_t l = 0; l < nq; ++l)
         pinv[l] = ctx_.pInvModQ(l);
-    RnsPoly out(n, nq, Rep::Eval);
+    RnsPoly out = pool.acquire(n, nq, Rep::Eval);
     kb.subMulScalar(extended, conv, pinv, moduli, out);
+    pool.release(std::move(conv));
     return out;
 }
 
@@ -256,22 +267,34 @@ CkksEvaluator::keySwitchDigits(const std::vector<RnsPoly> &digits,
                    static_cast<size_t>(evk.numDigits()),
                "more digits than the evk provides");
     KernelBackend &kb = ctx_.backend();
+    PolyPool &pool = kb.pool();
 
-    RnsPoly acc_b(n, nq + np, Rep::Eval);
-    RnsPoly acc_a(n, nq + np, Rep::Eval);
+    // Pooled accumulators: evkMulAcc reads-modifies-writes, so these
+    // must start cleared (acquireZeroed, not acquire).
+    RnsPoly acc_b = pool.acquireZeroed(n, nq + np, Rep::Eval);
+    RnsPoly acc_a = pool.acquireZeroed(n, nq + np, Rep::Eval);
     const auto key_moduli = ctx_.keyModuli(level);
     for (size_t dig = 0; dig < digits.size(); ++dig) {
         kb.evkMulAcc(digits[dig], evk.b[dig], evk.a[dig], nq, full_nq,
                      key_moduli, acc_b, acc_a);
     }
-    return {modDownByP(acc_b, level), modDownByP(acc_a, level)};
+    auto r = std::make_pair(modDownByP(acc_b, level),
+                            modDownByP(acc_a, level));
+    pool.release(std::move(acc_b));
+    pool.release(std::move(acc_a));
+    return r;
 }
 
 std::pair<RnsPoly, RnsPoly>
 CkksEvaluator::keySwitch(const RnsPoly &d, const EvalKey &evk,
                          int level) const
 {
-    return keySwitchDigits(decompose(d, level), evk, level);
+    auto digits = decompose(d, level);
+    auto r = keySwitchDigits(digits, evk, level);
+    PolyPool &pool = ctx_.backend().pool();
+    for (auto &dig : digits)
+        pool.release(std::move(dig));
+    return r;
 }
 
 Ciphertext
@@ -285,9 +308,13 @@ CkksEvaluator::mul(const Ciphertext &c1, const Ciphertext &c2,
     const size_t n = ctx_.degree();
     const size_t nl = moduli.size();
     KernelBackend &kb = ctx_.backend();
+    PolyPool &pool = kb.pool();
 
-    RnsPoly d0(n, nl, Rep::Eval), d1(n, nl, Rep::Eval);
-    RnsPoly d2(n, nl, Rep::Eval);
+    // Pooled degree-2 temporaries: each is fully written by its first
+    // mulEval before being read.
+    RnsPoly d0 = pool.acquire(n, nl, Rep::Eval);
+    RnsPoly d1 = pool.acquire(n, nl, Rep::Eval);
+    RnsPoly d2 = pool.acquire(n, nl, Rep::Eval);
     kb.mulEval(c1.b, c2.b, moduli, d0);
     kb.mulEval(c1.a, c2.a, moduli, d2);
     // d1 = a1*b2 + a2*b1.
@@ -295,14 +322,19 @@ CkksEvaluator::mul(const Ciphertext &c1, const Ciphertext &c2,
     kb.mulAccEval(c2.a, c1.b, moduli, d1);
 
     auto [kb_poly, ka_poly] = keySwitch(d2, evk_mult, level);
+    pool.release(std::move(d2));
 
     Ciphertext r;
     r.slots = c1.slots;
     r.scale = c1.scale * c2.scale;
-    r.b = RnsPoly(n, nl, Rep::Eval);
-    r.a = RnsPoly(n, nl, Rep::Eval);
+    r.b = pool.acquire(n, nl, Rep::Eval);
+    r.a = pool.acquire(n, nl, Rep::Eval);
     kb.add(d0, kb_poly, moduli, r.b);
     kb.add(d1, ka_poly, moduli, r.a);
+    pool.release(std::move(d0));
+    pool.release(std::move(d1));
+    pool.release(std::move(kb_poly));
+    pool.release(std::move(ka_poly));
     return r;
 }
 
@@ -326,19 +358,22 @@ CkksEvaluator::rescale(const Ciphertext &c) const
     for (int l = 0; l < level; ++l)
         inv[l] = ctx_.qLastInvModQ(level, l);
 
+    PolyPool &pool = kb.pool();
     auto drop = [&](const RnsPoly &src) {
         // INTT the last limb, embed its centered residues into each
         // remaining limb, and multiply by q_last^{-1} (floor division
-        // in RNS).
+        // in RNS). Pooled temporaries: limbEmbed and subMulScalar
+        // write every word of tmp / out.
         std::vector<u64> last(src.limb(level), src.limb(level) + n);
         kb.nttInverseLimb(last.data(), ctx_.qTables()[level]);
 
-        RnsPoly tmp(n, level, Rep::Coeff);
+        RnsPoly tmp = pool.acquire(n, level, Rep::Coeff);
         kb.limbEmbed(last, q_last, moduli, tmp);
         kb.nttForward(tmp, ctx_.qTablePtrs(level));
 
-        RnsPoly out(n, level, Rep::Eval);
+        RnsPoly out = pool.acquire(n, level, Rep::Eval);
         kb.subMulScalar(src, tmp, inv, moduli, out);
+        pool.release(std::move(tmp));
         return out;
     };
 
@@ -368,16 +403,20 @@ CkksEvaluator::applyGalois(const Ciphertext &c, u64 galois_elt,
     const auto moduli = ctx_.levelModuli(level);
     const Automorphism &am = ctx_.automorphism(galois_elt);
     KernelBackend &kbe = ctx_.backend();
+    PolyPool &pool = kbe.pool();
 
     RnsPoly b_rot = kbe.automorphism(am, c.b, moduli);
     RnsPoly a_rot = kbe.automorphism(am, c.a, moduli);
     auto [kb, ka] = keySwitch(a_rot, evk, level);
+    pool.release(std::move(a_rot));
 
     Ciphertext r;
     r.slots = c.slots;
     r.scale = c.scale;
-    r.b = RnsPoly(ctx_.degree(), moduli.size(), Rep::Eval);
+    r.b = pool.acquire(ctx_.degree(), moduli.size(), Rep::Eval);
     kbe.add(b_rot, kb, moduli, r.b);
+    pool.release(std::move(b_rot));
+    pool.release(std::move(kb));
     r.a = std::move(ka);
     return r;
 }
@@ -411,6 +450,7 @@ CkksEvaluator::rotateHoisted(const Ciphertext &c,
     // Hoisting: decompose once; the automorphism commutes with the
     // digit extension, so each rotation only permutes the digits.
     auto digits = decompose(c.a, level);
+    PolyPool &pool = kbe.pool();
 
     std::vector<Ciphertext> out;
     out.reserve(rotations.size());
@@ -424,16 +464,22 @@ CkksEvaluator::rotateHoisted(const Ciphertext &c,
             rot_digits.push_back(kbe.automorphism(am, dig, key_moduli));
 
         auto [kb, ka] = keySwitchDigits(rot_digits, *evks[k], level);
+        for (auto &dig : rot_digits)
+            pool.release(std::move(dig));
         RnsPoly b_rot = kbe.automorphism(am, c.b, moduli);
 
         Ciphertext r;
         r.slots = c.slots;
         r.scale = c.scale;
-        r.b = RnsPoly(ctx_.degree(), moduli.size(), Rep::Eval);
+        r.b = pool.acquire(ctx_.degree(), moduli.size(), Rep::Eval);
         kbe.add(b_rot, kb, moduli, r.b);
+        pool.release(std::move(b_rot));
+        pool.release(std::move(kb));
         r.a = std::move(ka);
         out.push_back(std::move(r));
     }
+    for (auto &dig : digits)
+        pool.release(std::move(dig));
     return out;
 }
 
@@ -451,8 +497,9 @@ CkksEvaluator::modRaise(const Ciphertext &c) const
         std::vector<u64> coeffs(src.limb(0), src.limb(0) + n);
         kb.nttInverseLimb(coeffs.data(), ctx_.qTables()[0]);
 
-        // Center mod q0 and embed into every limb of the full chain.
-        RnsPoly out(n, L + 1, Rep::Coeff);
+        // Center mod q0 and embed into every limb of the full chain
+        // (limbEmbed writes every word of the pooled buffer).
+        RnsPoly out = kb.pool().acquire(n, L + 1, Rep::Coeff);
         kb.limbEmbed(coeffs, q0, moduli, out);
         kb.nttForward(out, ctx_.qTables());
         return out;

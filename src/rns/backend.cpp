@@ -58,34 +58,6 @@ nttMults(size_t n)
     return static_cast<u64>(n / 2) * m;
 }
 
-/** BConv scale stage for input limb @p j: dst = src * phat_j^-1. */
-void
-bconvScaleLimb(const BaseConverter &bc, size_t j, const u64 *src,
-               u64 *dst, size_t n)
-{
-    const Modulus &pj = bc.inBase()[j];
-    const u64 s = bc.phatInvModP(j);
-    const u64 ss = bc.phatInvModPShoup(j);
-    for (size_t c = 0; c < n; ++c)
-        dst[c] = pj.mulShoup(src[c], s, ss);
-}
-
-/** BConv base-table MAC lane for output limb @p i (lazy u128 acc). */
-void
-bconvMatmulLimb(const BaseConverter &bc, const RnsPoly &scaled, size_t i,
-                u64 *dst, size_t n)
-{
-    const Modulus &qi = bc.outBase()[i];
-    const size_t nb = bc.inBase().size();
-    for (size_t c = 0; c < n; ++c) {
-        u128 acc = 0;
-        for (size_t j = 0; j < nb; ++j)
-            acc += static_cast<u128>(scaled.limb(j)[c]) *
-                   bc.baseTable(i, j);
-        dst[c] = qi.reduce(acc);
-    }
-}
-
 } // namespace
 
 // ---------------------------------------------------------------------------
@@ -420,20 +392,20 @@ KernelBackend::bconv(const BaseConverter &bc, const RnsPoly &in)
     const size_t nb = bc.inBase().size();
     const size_t nc = bc.outBase().size();
     const size_t n = in.degree();
-    ARK_ASSERT(nb <= 256, "too many input limbs for lazy accumulation");
     recordStats(KernelOp::BConv, nb + nc, (nb + nc) * n,
                   nb * n + nb * nc * n);
 
-    // Scale stage: limb j times phat_j^-1 mod p_j.
-    RnsPoly scaled(n, nb, Rep::Coeff);
-    run(nb, [&](size_t j) {
-        bconvScaleLimb(bc, j, in.limb(j), scaled.limb(j), n);
-    });
-
-    // Matmul stage: one output limb per job (a 1 x |B| MAC lane).
-    RnsPoly out(n, nc, Rep::Coeff);
-    run(nc, [&](size_t i) {
-        bconvMatmulLimb(bc, scaled, i, out.limb(i), n);
+    // Fused scale + matmul, one coefficient tile per job: each tile's
+    // transposed scratch lives on the executing thread's stack, the
+    // output column blocks are disjoint, and the per-coefficient math
+    // matches the two-stage reference bit for bit.
+    RnsPoly out = pool_.acquire(n, nc, Rep::Coeff);
+    const size_t tile = bc.tileCoeffs();
+    const size_t num_tiles = (n + tile - 1) / tile;
+    run(num_tiles, [&](size_t t) {
+        alignas(64) u64 scratch[BaseConverter::kTileWords];
+        const size_t c0 = t * tile;
+        bc.convertTile(in, c0, std::min(c0 + tile, n), scratch, out);
     });
     return out;
 }
@@ -445,7 +417,9 @@ KernelBackend::automorphism(const Automorphism &am, const RnsPoly &p,
     const size_t n = p.degree();
     recordStats(KernelOp::Automorphism, p.numLimbs(),
                   2 * p.numLimbs() * n, 0);
-    RnsPoly out(n, p.numLimbs(), p.rep());
+    // Pooled: apply{Coeff,Eval} write every output position (the index
+    // map is a permutation), so stale buffer words never survive.
+    RnsPoly out = pool_.acquire(n, p.numLimbs(), p.rep());
     run(p.numLimbs(), [&](size_t l) {
         if (p.rep() == Rep::Coeff)
             am.applyCoeff(p.limb(l), out.limb(l), moduli[l]);
@@ -469,7 +443,6 @@ KernelBackend::nttBconvNtt(const RnsPoly &digit,
     ARK_ASSERT(digit.numLimbs() == nb, "digit limbs must match in-base");
     ARK_ASSERT(in_tables.size() >= nb && out_tables.size() >= nc,
                "not enough NTT tables");
-    ARK_ASSERT(nb <= 256, "too many input limbs for lazy accumulation");
     // Tally the fused call itself, then credit the component counters
     // so FU-level consumers (simulator) see the right per-FU split.
     recordStats(KernelOp::NttBconvNtt, nb + nc, 0, 0);
@@ -480,25 +453,32 @@ KernelBackend::nttBconvNtt(const RnsPoly &digit,
     recordStats(KernelOp::NttForward, nc, 2 * nc * n,
                   nc * nttMults(n));
 
-    // Stage 1: INTT each digit limb and fold the BConv scale stage
-    // into the INTT output pass (the NTTU's BConv-mult unit, Fig. 5),
-    // writing one shared scratch matrix.
-    RnsPoly scaled(n, nb, Rep::Coeff);
+    // Stage 1: INTT each digit limb into one pooled scratch matrix
+    // (the BConv scale now rides inside the tile pass, where the
+    // NTTU's BConv-mult unit applies it in hardware, Fig. 5).
+    RnsPoly scaled = pool_.acquire(n, nb, Rep::Coeff);
     run(nb, [&](size_t j) {
         u64 *dst = scaled.limb(j);
         std::memcpy(dst, digit.limb(j), n * sizeof(u64));
         in_tables[j]->inverse(dst);
-        bconvScaleLimb(bc, j, dst, dst, n);
     });
 
-    // Stage 2: per output limb, run the base-table MAC and immediately
-    // forward-NTT the produced limb in place — no materialized
-    // coefficient-rep intermediate between BConv and NTT.
-    RnsPoly out(n, nc, Rep::Coeff);
-    run(nc, [&](size_t i) {
-        bconvMatmulLimb(bc, scaled, i, out.limb(i), n);
-        out_tables[i]->forward(out.limb(i));
+    // Stage 2: fused, cache-blocked scale+MAC over coefficient tiles
+    // (see BaseConverter::convertTile) — no materialized scaled
+    // polynomial beyond the INTT output already in hand.
+    RnsPoly out = pool_.acquire(n, nc, Rep::Coeff);
+    const size_t tile = bc.tileCoeffs();
+    const size_t num_tiles = (n + tile - 1) / tile;
+    run(num_tiles, [&](size_t t) {
+        alignas(64) u64 scratch[BaseConverter::kTileWords];
+        const size_t c0 = t * tile;
+        bc.convertTile(scaled, c0, std::min(c0 + tile, n), scratch,
+                       out);
     });
+    pool_.release(std::move(scaled));
+
+    // Stage 3: forward-NTT each produced limb in place.
+    run(nc, [&](size_t i) { out_tables[i]->forward(out.limb(i)); });
     out.setRep(Rep::Eval);
     return out;
 }

@@ -33,6 +33,7 @@
 #include "rns/kernel_stats.h"
 #include "rns/ntt.h"
 #include "rns/poly.h"
+#include "rns/poly_pool.h"
 
 namespace ark {
 
@@ -146,6 +147,16 @@ class KernelBackend
     void notePlaintextWords(u64 words);
     /// @}
 
+    /**
+     * The backend's buffer recycler. Allocating kernels (bconv,
+     * automorphism, nttBconvNtt) draw their outputs and scratch from
+     * it, and scheme layers (ckks/evaluator.cpp) route their
+     * fully-overwritten temporaries through it; see rns/poly_pool.h
+     * for the stale-contents contract. Thread-safe, shared by every
+     * thread dispatching through this backend.
+     */
+    PolyPool &pool() { return pool_; }
+
   protected:
     /**
      * Execute @p jobs independent jobs (one per limb row, or one per
@@ -171,6 +182,7 @@ class KernelBackend
     const u64 instance_id_;
     mutable std::mutex shards_m_;
     mutable std::vector<std::unique_ptr<StatsShard>> shards_;
+    PolyPool pool_;
 };
 
 /** The reference engine: serial execution of every job. */

@@ -1,6 +1,10 @@
 #include "rns/bconv.h"
 
+#include <algorithm>
+#include <cstring>
+
 #include "common/logging.h"
+#include "rns/poly_pool.h"
 
 namespace ark {
 
@@ -11,6 +15,12 @@ BaseConverter::BaseConverter(std::vector<Modulus> in_base,
     const size_t nb = in_base_.size();
     const size_t nc = out_base_.size();
     ARK_ASSERT(nb > 0 && nc > 0, "empty base");
+    // Accumulating up to 256 products of two <2^60 words stays inside
+    // 128 bits; all ARK parameter sets have |B| <= 30 input limbs.
+    // Also guarantees tileCoeffs() >= 8.
+    ARK_ASSERT(nb <= 256, "too many input limbs for lazy accumulation");
+    tile_coeffs_ = std::max<size_t>(kTileWords / nb, 1) & ~size_t(7);
+    tile_coeffs_ = std::max<size_t>(tile_coeffs_, 8);
 
     phat_inv_mod_pj_.resize(nb);
     phat_inv_mod_pj_shoup_.resize(nb);
@@ -49,7 +59,10 @@ BaseConverter::scaleStage(const RnsPoly &in) const
     ARK_ASSERT(in.numLimbs() == in_base_.size(),
                "input limb count must match input base");
     const size_t n = in.degree();
-    RnsPoly scaled(n, in_base_.size(), Rep::Coeff);
+    // Pooled: every word is written below, so the stale contents of a
+    // recycled buffer are never observable.
+    RnsPoly scaled =
+        PolyPool::process().acquire(n, in_base_.size(), Rep::Coeff);
     for (size_t j = 0; j < in_base_.size(); ++j) {
         const Modulus &pj = in_base_[j];
         const u64 s = phat_inv_mod_pj_[j];
@@ -65,18 +78,18 @@ BaseConverter::scaleStage(const RnsPoly &in) const
 RnsPoly
 BaseConverter::matmulStage(const RnsPoly &scaled) const
 {
+    // Frozen pre-PR reference kernel (limb-strided MAC, pre-PR
+    // Barrett correction) kept for parity tests and lazy-vs-strict
+    // benchmarking, like NttTables::forwardStrict. Bit-identical to
+    // the fused tile path by construction.
     const size_t nb = in_base_.size();
     const size_t nc = out_base_.size();
     const size_t n = scaled.degree();
-    // Accumulating up to 256 products of two <2^60 words stays inside
-    // 128 bits; all ARK parameter sets have |B| <= 30 input limbs.
-    ARK_ASSERT(nb <= 256, "too many input limbs for lazy accumulation");
 
-    RnsPoly out(n, nc, Rep::Coeff);
+    RnsPoly out = PolyPool::process().acquire(n, nc, Rep::Coeff);
     for (size_t i = 0; i < nc; ++i) {
         const Modulus &qi = out_base_[i];
         u64 *dst = out.limb(i);
-        // Reduce each input limb mod q_i once, then run the MAC loop.
         for (size_t c = 0; c < n; ++c) {
             u128 acc = 0;
             for (size_t j = 0; j < nb; ++j) {
@@ -85,7 +98,7 @@ BaseConverter::matmulStage(const RnsPoly &scaled) const
                 // and the final Barrett reduction handles the excess.
                 acc += static_cast<u128>(y) * base_table_[i * nb + j];
             }
-            dst[c] = qi.reduce(acc);
+            dst[c] = qi.reduceReference(acc);
         }
     }
     return out;
@@ -94,7 +107,17 @@ BaseConverter::matmulStage(const RnsPoly &scaled) const
 RnsPoly
 BaseConverter::convert(const RnsPoly &in) const
 {
-    return matmulStage(scaleStage(in));
+    ARK_ASSERT(in.rep() == Rep::Coeff, "BConv needs Coeff rep");
+    ARK_ASSERT(in.numLimbs() == in_base_.size(),
+               "input limb count must match input base");
+    const size_t n = in.degree();
+    RnsPoly out =
+        PolyPool::process().acquire(n, out_base_.size(), Rep::Coeff);
+    alignas(64) u64 scratch[kTileWords];
+    const size_t tile = tile_coeffs_;
+    for (size_t c0 = 0; c0 < n; c0 += tile)
+        convertTile(in, c0, std::min(c0 + tile, n), scratch, out);
+    return out;
 }
 
 } // namespace ark

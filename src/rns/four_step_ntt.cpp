@@ -47,25 +47,34 @@ void
 FourStepNtt::smallNtt(u64 *a, const std::vector<u64> &roots,
                       const std::vector<u64> &roots_shoup) const
 {
-    const u64 q = q_.value();
     for (size_t i = 0; i < r_; ++i) {
         size_t j = bitrev_[i];
         if (i < j)
             std::swap(a[i], a[j]);
     }
+    // Harvey lazy butterflies in [0, 4q) (see NttTables::forward); the
+    // sweep at the end restores canonical words so the 4-step
+    // composition (twists use Barrett products on canonical inputs)
+    // is bit-identical to the strict small transform.
+    const u64 two_q = q_.twoQ();
     for (size_t len = 2; len <= r_; len <<= 1) {
         const size_t stride = r_ / len;
         for (size_t start = 0; start < r_; start += len) {
+            u64 *x = a + start;
+            u64 *y = x + len / 2;
             for (size_t j = 0; j < len / 2; ++j) {
-                const size_t tw = j * stride;
-                u64 u = a[start + j];
-                u64 v = q_.mulShoup(a[start + j + len / 2], roots[tw],
-                                    roots_shoup[tw]);
-                a[start + j] = addMod(u, v, q);
-                a[start + j + len / 2] = subMod(u, v, q);
+                u64 u = x[j];
+                if (u >= two_q)
+                    u -= two_q;
+                const u64 v = q_.mulShoupLazy(y[j], roots[j * stride],
+                                              roots_shoup[j * stride]);
+                x[j] = u + v;
+                y[j] = u - v + two_q;
             }
         }
     }
+    for (size_t i = 0; i < r_; ++i)
+        a[i] = q_.reduceLazy4q(a[i]);
 }
 
 std::vector<u64>

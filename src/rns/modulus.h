@@ -30,6 +30,15 @@ class Modulus
     /** Barrett reduction of a 128-bit value to [0, q). */
     u64 reduce(u128 x) const;
 
+    /**
+     * The pre-lazy-pass reduce, frozen verbatim (128-bit correction
+     * loop instead of reduce()'s word-sized conditional subtracts).
+     * Only the strict reference kernels (BaseConverter::matmulStage)
+     * call this, so lazy-vs-strict benchmarks compare against the
+     * true pre-PR arithmetic; always bit-identical to reduce().
+     */
+    u64 reduceReference(u128 x) const;
+
     /** (a * b) mod q via Barrett. */
     u64 mul(u64 a, u64 b) const
     {
@@ -58,9 +67,33 @@ class Modulus
      */
     u64 mulShoup(u64 x, u64 w, u64 w_shoup) const
     {
-        u64 hi = static_cast<u64>((static_cast<u128>(x) * w_shoup) >> 64);
-        u64 r = x * w - hi * q_;
+        u64 r = mulShoupLazy(x, w, w_shoup);
         return r >= q_ ? r - q_ : r;
+    }
+
+    /**
+     * Lazy Shoup product: congruent to x * w mod q but only reduced
+     * into [0, 2q) — the conditional correction of mulShoup is left
+     * to the caller's final normalization sweep. Valid for any
+     * 64-bit @p x (including lazy [0, 4q) butterfly values, since
+     * 4q < 2^64) and w < q; this is the Harvey-NTT butterfly
+     * multiplier (paper Section VI's Montgomery-pipeline analogue).
+     */
+    u64 mulShoupLazy(u64 x, u64 w, u64 w_shoup) const
+    {
+        u64 hi = static_cast<u64>((static_cast<u128>(x) * w_shoup) >> 64);
+        return x * w - hi * q_;
+    }
+
+    /** 2q, the lazy-domain half-bound (4q fits a word: q < 2^62). */
+    u64 twoQ() const { return 2 * q_; }
+
+    /** Normalize a lazy butterfly value in [0, 4q) to canonical [0, q). */
+    u64 reduceLazy4q(u64 v) const
+    {
+        if (v >= 2 * q_)
+            v -= 2 * q_;
+        return v >= q_ ? v - q_ : v;
     }
 
     bool operator==(const Modulus &o) const { return q_ == o.q_; }

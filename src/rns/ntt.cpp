@@ -44,6 +44,123 @@ NttTables::NttTables(size_t degree, Modulus modulus)
 void
 NttTables::forward(u64 *a) const
 {
+    // Harvey lazy Cooley-Tukey: butterfly values live in [0, 4q).
+    // Each butterfly folds its left input back into [0, 2q), takes the
+    // Shoup product lazily in [0, 2q), and emits u + v / u - v + 2q in
+    // [0, 4q) — no per-butterfly canonical correction. One
+    // normalization sweep at the end restores [0, q) words, so the
+    // output is bit-identical to forwardStrict.
+    const u64 two_q = q_.twoQ();
+    size_t t = n_ >> 1;
+    size_t m = 1;
+    for (; t >= 4; m <<= 1, t >>= 1) {
+        for (size_t i = 0; i < m; ++i) {
+            const u64 w = root_powers_[m + i];
+            const u64 ws = root_powers_shoup_[m + i];
+            u64 *x = a + 2 * i * t;
+            u64 *y = x + t;
+            for (size_t j = 0; j < t; ++j) {
+                u64 u = x[j];
+                if (u >= two_q)
+                    u -= two_q;
+                const u64 v = q_.mulShoupLazy(y[j], w, ws);
+                x[j] = u + v;
+                y[j] = u - v + two_q;
+            }
+        }
+    }
+    // Last two radix stages flattened: t == 2 works on (4i, 4i+2) /
+    // (4i+1, 4i+3) and t == 1 on adjacent pairs, each a single loop
+    // over i with the twiddle table read contiguously — short inner
+    // loops no longer pay the per-block setup, and the straight-line
+    // bodies auto-vectorize.
+    if (t == 2) {
+        const u64 *w = root_powers_.data() + m;
+        const u64 *ws = root_powers_shoup_.data() + m;
+        for (size_t i = 0; i < m; ++i) {
+            u64 *x = a + 4 * i;
+            for (size_t j = 0; j < 2; ++j) {
+                u64 u = x[j];
+                if (u >= two_q)
+                    u -= two_q;
+                const u64 v = q_.mulShoupLazy(x[j + 2], w[i], ws[i]);
+                x[j] = u + v;
+                x[j + 2] = u - v + two_q;
+            }
+        }
+        m <<= 1;
+        t = 1;
+    }
+    if (t == 1) {
+        const u64 *w = root_powers_.data() + m;
+        const u64 *ws = root_powers_shoup_.data() + m;
+        for (size_t i = 0; i < m; ++i) {
+            u64 u = a[2 * i];
+            if (u >= two_q)
+                u -= two_q;
+            const u64 v = q_.mulShoupLazy(a[2 * i + 1], w[i], ws[i]);
+            a[2 * i] = u + v;
+            a[2 * i + 1] = u - v + two_q;
+        }
+    }
+    for (size_t j = 0; j < n_; ++j)
+        a[j] = q_.reduceLazy4q(a[j]);
+}
+
+void
+NttTables::inverse(u64 *a) const
+{
+    // Harvey lazy Gentleman-Sande: values stay in [0, 2q) throughout
+    // (x + y folds back below 2q; the Shoup product of x - y + 2q is
+    // taken lazily). The final 1/N scaling pass uses the strict Shoup
+    // product, which both scales and normalizes — the transform ends
+    // canonical with no separate correction sweep.
+    const u64 two_q = q_.twoQ();
+    size_t t = 1;
+    size_t m = n_;
+    // First stage flattened (t == 1, adjacent pairs, contiguous
+    // twiddles) for the same auto-vectorization reason as forward.
+    if (m > 1) {
+        const size_t h = m >> 1;
+        const u64 *w = inv_root_powers_.data() + h;
+        const u64 *ws = inv_root_powers_shoup_.data() + h;
+        for (size_t i = 0; i < h; ++i) {
+            const u64 x = a[2 * i];
+            const u64 y = a[2 * i + 1];
+            const u64 s = x + y;
+            a[2 * i] = s >= two_q ? s - two_q : s;
+            a[2 * i + 1] =
+                q_.mulShoupLazy(x - y + two_q, w[i], ws[i]);
+        }
+        m = h;
+        t = 2;
+    }
+    for (; m > 1; m >>= 1) {
+        const size_t h = m >> 1;
+        size_t j1 = 0;
+        for (size_t i = 0; i < h; ++i) {
+            const u64 w = inv_root_powers_[h + i];
+            const u64 ws = inv_root_powers_shoup_[h + i];
+            u64 *x = a + j1;
+            u64 *y = x + t;
+            for (size_t j = 0; j < t; ++j) {
+                const u64 u = x[j];
+                const u64 v = y[j];
+                const u64 s = u + v;
+                x[j] = s >= two_q ? s - two_q : s;
+                y[j] = q_.mulShoupLazy(u - v + two_q, w, ws);
+            }
+            j1 += 2 * t;
+        }
+        t <<= 1;
+    }
+    for (size_t j = 0; j < n_; ++j)
+        a[j] = q_.mulShoup(a[j], n_inv_, n_inv_shoup_);
+}
+
+void
+NttTables::forwardStrict(u64 *a) const
+{
     const u64 q = q_.value();
     size_t t = n_;
     for (size_t m = 1; m < n_; m <<= 1) {
@@ -63,7 +180,7 @@ NttTables::forward(u64 *a) const
 }
 
 void
-NttTables::inverse(u64 *a) const
+NttTables::inverseStrict(u64 *a) const
 {
     const u64 q = q_.value();
     size_t t = 1;

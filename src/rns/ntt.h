@@ -8,6 +8,16 @@
  * psi / psi^-1 powers into the twiddles so the transform is negacyclic
  * (multiplication in Z_q[X]/(X^N + 1)).
  *
+ * The hot transforms use Harvey lazy reduction: forward butterfly
+ * values stay in [0, 4q) (q < 2^62, so 4q fits a word) with no
+ * per-butterfly conditional correction, and a single normalization
+ * sweep at the end of the transform restores canonical [0, q) words.
+ * The inverse keeps values in [0, 2q) and folds its normalization
+ * into the final 1/N scaling pass. forwardStrict / inverseStrict keep
+ * the fully-reduced reference butterflies; outputs are bit-identical
+ * (tests/test_backend_parity.cpp enforces it), so the lazy pass is a
+ * pure speedup.
+ *
  * The forward transform maps the coefficient representation to the
  * evaluation representation (paper Section II-B); pointwise products in
  * the evaluation representation equal negacyclic convolutions of the
@@ -45,6 +55,16 @@ class NttTables
 
     /** In-place inverse negacyclic NTT (eval -> coeff, natural order). */
     void inverse(u64 *data) const;
+
+    /**
+     * Reference forward transform with fully-reduced (strict)
+     * butterflies — the pre-lazy kernel, kept for parity tests and
+     * before/after benchmarking. Bit-identical to forward().
+     */
+    void forwardStrict(u64 *data) const;
+
+    /** Reference inverse transform; bit-identical to inverse(). */
+    void inverseStrict(u64 *data) const;
 
     void forward(std::vector<u64> &data) const { forward(data.data()); }
     void inverse(std::vector<u64> &data) const { inverse(data.data()); }

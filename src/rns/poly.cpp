@@ -12,6 +12,26 @@ RnsPoly::RnsPoly(size_t degree, size_t num_limbs, Rep rep)
     ARK_ASSERT(isPowerOfTwo(degree), "degree must be a power of two");
 }
 
+RnsPoly::RnsPoly(std::vector<u64> &&buf, size_t degree, size_t num_limbs,
+                 Rep rep)
+    : degree_(degree), num_limbs_(num_limbs), rep_(rep),
+      data_(std::move(buf))
+{
+    ARK_ASSERT(isPowerOfTwo(degree), "degree must be a power of two");
+    // A recycled buffer arrives at exactly this size (the pool keys on
+    // (degree, limbs)), making this a no-op that preserves its stale
+    // contents; a fresh buffer is empty and value-initializes.
+    data_.resize(degree * num_limbs);
+}
+
+std::vector<u64>
+RnsPoly::takeBuffer() &&
+{
+    degree_ = 0;
+    num_limbs_ = 0;
+    return std::move(data_);
+}
+
 void
 RnsPoly::resizeLimbs(size_t keep)
 {

@@ -59,6 +59,24 @@ class RnsPoly
     size_t byteSize() const { return data_.size() * sizeof(u64); }
 
   private:
+    /**
+     * PolyPool (rns/poly_pool.h) constructs polys over recycled
+     * backing buffers without the zero-fill of the public constructor
+     * and harvests the buffer back on release; no other caller may
+     * adopt a buffer, because skipping the zero-fill is only safe for
+     * temporaries every word of which is overwritten before being
+     * read.
+     */
+    friend class PolyPool;
+
+    /** Adopt @p buf as backing storage (contents left as-is beyond a
+     *  resize to the exact word count — NOT zeroed when recycled). */
+    RnsPoly(std::vector<u64> &&buf, size_t degree, size_t num_limbs,
+            Rep rep);
+
+    /** Surrender the backing buffer, leaving an empty poly. */
+    std::vector<u64> takeBuffer() &&;
+
     size_t degree_ = 0;
     size_t num_limbs_ = 0;
     Rep rep_ = Rep::Coeff;

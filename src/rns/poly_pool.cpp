@@ -1,0 +1,84 @@
+#include "rns/poly_pool.h"
+
+#include <algorithm>
+
+namespace ark {
+
+RnsPoly
+PolyPool::acquire(size_t degree, size_t limbs, Rep rep)
+{
+    std::vector<u64> buf;
+    {
+        std::lock_guard<std::mutex> lk(m_);
+        auto it = free_.find({degree, limbs});
+        if (it != free_.end() && !it->second.empty()) {
+            buf = std::move(it->second.back());
+            it->second.pop_back();
+            cached_words_ -= buf.size();
+            ++hits_;
+        } else {
+            ++misses_;
+        }
+    }
+    return RnsPoly(std::move(buf), degree, limbs, rep);
+}
+
+RnsPoly
+PolyPool::acquireZeroed(size_t degree, size_t limbs, Rep rep)
+{
+    RnsPoly p = acquire(degree, limbs, rep);
+    // A fresh buffer is already value-initialized; only a recycled one
+    // carries stale words. Cheaper to fill unconditionally than track.
+    std::fill(p.limb(0), p.limb(0) + degree * limbs, u64{0});
+    return p;
+}
+
+void
+PolyPool::release(RnsPoly &&p)
+{
+    const size_t degree = p.degree();
+    const size_t limbs = p.numLimbs();
+    if (degree == 0 || limbs == 0)
+        return;
+    std::vector<u64> buf = std::move(p).takeBuffer();
+    std::lock_guard<std::mutex> lk(m_);
+    ++released_;
+    auto &list = free_[{degree, limbs}];
+    if (list.size() < kMaxPerKey &&
+        cached_words_ + buf.size() <= kMaxCachedWords) {
+        cached_words_ += buf.size();
+        list.push_back(std::move(buf));
+    }
+    // else: drop on the floor — the vector destructor frees it.
+}
+
+PolyPool::Stats
+PolyPool::stats() const
+{
+    std::lock_guard<std::mutex> lk(m_);
+    Stats s;
+    s.hits = hits_;
+    s.misses = misses_;
+    s.released = released_;
+    s.cached_words = cached_words_;
+    for (const auto &[key, list] : free_)
+        s.cached_buffers += list.size();
+    return s;
+}
+
+void
+PolyPool::trim()
+{
+    std::lock_guard<std::mutex> lk(m_);
+    free_.clear();
+    cached_words_ = 0;
+}
+
+PolyPool &
+PolyPool::process()
+{
+    static PolyPool pool;
+    return pool;
+}
+
+} // namespace ark

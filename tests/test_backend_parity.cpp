@@ -4,12 +4,21 @@
  * every kernel, across several (N, L) shapes, including the fused
  * nttBconvNtt key-switch digit path — plus sanity checks that both
  * engines record KernelStats for what they executed.
+ *
+ * Also gates the lazy-reduction kernel pass: the Harvey lazy NTT must
+ * round-trip and match the strict reference transforms across every
+ * parameter-set prime width, the fused cache-blocked BConv must equal
+ * the two-stage pipeline, and kernels running over recycled
+ * (stale-content) pool buffers must be bit-identical to fresh
+ * allocations on both backends.
  */
 
 #include <gtest/gtest.h>
 
+#include "ckks/params.h"
 #include "common/random.h"
 #include "rns/backend.h"
+#include "rns/poly_pool.h"
 #include "rns/primes.h"
 
 namespace ark {
@@ -278,6 +287,223 @@ INSTANTIATE_TEST_SUITE_P(
     Shapes, BackendParityTest,
     ::testing::Values(Shape{256, 3}, Shape{512, 6}, Shape{1024, 8},
                       Shape{2048, 4}));
+
+// ---------------------------------------------------------------------------
+// Lazy-reduction vs strict reference kernels
+// ---------------------------------------------------------------------------
+
+/**
+ * The Harvey lazy (I)NTT must be bit-identical to the strict reference
+ * transforms on random data for every prime width a shipped parameter
+ * set uses (q0, scale and special primes of each preset), and the
+ * lazy round-trip must be the identity.
+ */
+TEST(LazyStrictParityTest, NttAcrossParameterSetPrimes)
+{
+    struct PresetPrimes
+    {
+        std::string name;
+        size_t degree;
+        std::vector<int> widths;
+    };
+    std::vector<PresetPrimes> presets;
+    for (const CkksParams &p :
+         {CkksParams::testTiny(), CkksParams::testSmall(),
+          CkksParams::testBoot()}) {
+        // Test at a reduced degree with the preset's real prime
+        // widths: NttTables work is O(N log N) per prime and the full
+        // bootstrap-size rings would dominate suite runtime without
+        // covering different code paths.
+        const size_t degree = std::min<size_t>(p.degree, 2048);
+        presets.push_back(
+            {p.name, degree, {p.log_q0, p.log_scale, p.log_special}});
+    }
+
+    u64 seed = 40;
+    for (const auto &preset : presets) {
+        for (int width : preset.widths) {
+            SCOPED_TRACE(preset.name + " width " +
+                         std::to_string(width));
+            auto primes = generatePrimes(width, 2, preset.degree);
+            for (u64 q : primes) {
+                NttTables tables(preset.degree, Modulus(q));
+                Rng rng(seed++);
+                auto v = rng.uniformVector(preset.degree, q);
+
+                auto lazy = v;
+                auto strict = v;
+                tables.forward(lazy.data());
+                tables.forwardStrict(strict.data());
+                EXPECT_EQ(lazy, strict) << "forward diverged, q=" << q;
+
+                tables.inverse(lazy.data());
+                tables.inverseStrict(strict.data());
+                EXPECT_EQ(lazy, strict) << "inverse diverged, q=" << q;
+                EXPECT_EQ(lazy, v) << "round-trip not identity, q=" << q;
+            }
+        }
+    }
+}
+
+/** Forward/inverse parity on tiny and odd-shaped degrees (the
+ *  flattened last-stage specializations cover t = 1, 2 explicitly). */
+TEST(LazyStrictParityTest, NttSmallDegrees)
+{
+    u64 seed = 60;
+    for (size_t degree : {size_t(2), size_t(4), size_t(8), size_t(16),
+                          size_t(64)}) {
+        auto primes = generatePrimes(30, 2, degree);
+        for (u64 q : primes) {
+            NttTables tables(degree, Modulus(q));
+            Rng rng(seed++);
+            auto v = rng.uniformVector(degree, q);
+            auto lazy = v, strict = v;
+            tables.forward(lazy.data());
+            tables.forwardStrict(strict.data());
+            EXPECT_EQ(lazy, strict) << "N=" << degree << " q=" << q;
+            tables.inverse(lazy.data());
+            tables.inverseStrict(strict.data());
+            EXPECT_EQ(lazy, strict) << "N=" << degree << " q=" << q;
+            EXPECT_EQ(lazy, v);
+        }
+    }
+}
+
+/** Fused cache-blocked convert == materialized two-stage pipeline on
+ *  randomized bases, including non-multiple-of-tile degrees. */
+TEST(LazyStrictParityTest, FusedBconvMatchesTwoStage)
+{
+    u64 seed = 80;
+    for (size_t degree : {size_t(256), size_t(1024)}) {
+        for (size_t nb : {size_t(1), size_t(3), size_t(7),
+                          size_t(13)}) {
+            SCOPED_TRACE("N=" + std::to_string(degree) +
+                         " nb=" + std::to_string(nb));
+            auto pb = generatePrimes(45, nb, degree);
+            auto pc = generatePrimes(50, 5, degree, pb);
+            std::vector<Modulus> mb, mc;
+            for (u64 p : pb)
+                mb.emplace_back(p);
+            for (u64 p : pc)
+                mc.emplace_back(p);
+            BaseConverter bc(mb, mc);
+
+            Rng rng(seed++);
+            RnsPoly in(degree, nb, Rep::Coeff);
+            for (size_t l = 0; l < nb; ++l) {
+                auto v = rng.uniformVector(degree, pb[l]);
+                std::copy(v.begin(), v.end(), in.limb(l));
+            }
+
+            RnsPoly fused = bc.convert(in);
+            RnsPoly two = bc.matmulStage(bc.scaleStage(in));
+            ASSERT_EQ(fused.numLimbs(), two.numLimbs());
+            for (size_t l = 0; l < fused.numLimbs(); ++l) {
+                for (size_t c = 0; c < degree; ++c) {
+                    ASSERT_EQ(fused.limb(l)[c], two.limb(l)[c])
+                        << "limb " << l << " coeff " << c;
+                }
+            }
+        }
+    }
+}
+
+/**
+ * Kernels drawing outputs and scratch from a deliberately polluted
+ * pool must produce bit-identical results to a backend with an empty
+ * pool, on both engines — stale buffer words must never leak into
+ * results.
+ */
+TEST(LazyStrictParityTest, PooledVersusFreshBitEquality)
+{
+    const size_t degree = 512;
+    const size_t limbs = 6;
+    auto qs = generatePrimes(40, limbs, degree);
+    std::vector<Modulus> moduli;
+    std::vector<NttTables> tables;
+    std::vector<const NttTables *> table_ptrs;
+    for (u64 q : qs) {
+        moduli.emplace_back(q);
+        tables.emplace_back(degree, Modulus(q));
+    }
+    for (auto &t : tables)
+        table_ptrs.push_back(&t);
+    auto pc = generatePrimes(41, 4, degree);
+    std::vector<Modulus> out_base;
+    std::vector<NttTables> out_tables;
+    std::vector<const NttTables *> out_ptrs;
+    for (u64 p : pc) {
+        out_base.emplace_back(p);
+        out_tables.emplace_back(degree, Modulus(p));
+    }
+    for (auto &t : out_tables)
+        out_ptrs.push_back(&t);
+    BaseConverter bc(moduli, out_base);
+    Automorphism am(galoisElt(3, degree), degree);
+
+    Rng rng(100);
+    RnsPoly in(degree, limbs, Rep::Coeff);
+    for (size_t l = 0; l < limbs; ++l) {
+        auto v = rng.uniformVector(degree, qs[l]);
+        std::copy(v.begin(), v.end(), in.limb(l));
+    }
+
+    for (BackendKind kind :
+         {BackendKind::Scalar, BackendKind::Parallel}) {
+        SCOPED_TRACE(kind == BackendKind::Scalar ? "scalar"
+                                                 : "parallel");
+        auto fresh = makeKernelBackend(kind, 4);
+        auto pooled = makeKernelBackend(kind, 4);
+
+        // Pollute the pooled backend's free lists with garbage-filled
+        // buffers of exactly the shapes the kernels will request.
+        auto pollute = [&](size_t nl, Rep rep) {
+            RnsPoly junk = pooled->pool().acquire(degree, nl, rep);
+            for (size_t l = 0; l < nl; ++l) {
+                for (size_t c = 0; c < degree; ++c)
+                    junk.limb(l)[c] = 0xDEADBEEFCAFEF00DULL;
+            }
+            pooled->pool().release(std::move(junk));
+        };
+        pollute(limbs, Rep::Coeff);
+        pollute(out_base.size(), Rep::Coeff);
+
+        RnsPoly bconv_fresh = fresh->bconv(bc, in);
+        RnsPoly bconv_pooled = pooled->bconv(bc, in);
+        for (size_t l = 0; l < bconv_fresh.numLimbs(); ++l) {
+            for (size_t c = 0; c < degree; ++c) {
+                ASSERT_EQ(bconv_fresh.limb(l)[c],
+                          bconv_pooled.limb(l)[c])
+                    << "bconv limb " << l << " coeff " << c;
+            }
+        }
+
+        pollute(limbs, Rep::Coeff);
+        RnsPoly rot_fresh = fresh->automorphism(am, in, moduli);
+        RnsPoly rot_pooled = pooled->automorphism(am, in, moduli);
+        for (size_t l = 0; l < rot_fresh.numLimbs(); ++l) {
+            for (size_t c = 0; c < degree; ++c) {
+                ASSERT_EQ(rot_fresh.limb(l)[c], rot_pooled.limb(l)[c])
+                    << "automorphism limb " << l << " coeff " << c;
+            }
+        }
+
+        RnsPoly digit = in;
+        digit.setRep(Rep::Eval);
+        pollute(limbs, Rep::Coeff);
+        pollute(out_base.size(), Rep::Coeff);
+        RnsPoly ks_fresh =
+            fresh->nttBconvNtt(digit, table_ptrs, bc, out_ptrs);
+        RnsPoly ks_pooled =
+            pooled->nttBconvNtt(digit, table_ptrs, bc, out_ptrs);
+        for (size_t l = 0; l < ks_fresh.numLimbs(); ++l) {
+            for (size_t c = 0; c < degree; ++c) {
+                ASSERT_EQ(ks_fresh.limb(l)[c], ks_pooled.limb(l)[c])
+                    << "nttBconvNtt limb " << l << " coeff " << c;
+            }
+        }
+    }
+}
 
 } // namespace
 } // namespace ark
