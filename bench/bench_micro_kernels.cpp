@@ -5,13 +5,18 @@
  * The default mode is SELF-TIMED and dependency-free: it verifies and
  * times the lazy-reduction kernel pass against the strict pre-PR
  * reference kernels (Harvey lazy NTT vs strict NTT, fused cache-blocked
- * BConv vs the two-stage pipeline, pooled vs fresh allocation) and
- * prints the scalar-vs-parallel backend table. `--json PATH` emits the
- * same numbers machine-readably (consumed by
- * scripts/check_bench_regression.py and archived as a CI artifact);
- * `--smoke` shrinks sizes/reps for CI. Bit-parity between the lazy and
- * strict kernels is always checked and is the only hard gate — timing
- * thresholds stay warn-only because shared CI runners are noisy.
+ * BConv vs the two-stage pipeline, pooled vs fresh allocation), the
+ * SimdBackend's vector kernels against the scalar lazy kernels at the
+ * host's best ISA tier, and prints the scalar-vs-parallel backend
+ * table. `--json PATH` emits the same numbers machine-readably
+ * (consumed by scripts/check_bench_regression.py and archived as a CI
+ * artifact) together with the dispatched SIMD tier and detected CPU
+ * features, so a baseline recorded on one ISA is never compared
+ * against a run on another; `--smoke` shrinks sizes/reps for CI.
+ * Bit-parity between the lazy and strict kernels — and between the
+ * vector and scalar kernels — is always checked and is the only hard
+ * gate; timing thresholds stay warn-only because shared CI runners
+ * are noisy.
  *
  * When google-benchmark is available the classic BM_* suite is still
  * compiled in and runs with `--gbench [benchmark args...]`.
@@ -32,6 +37,7 @@
 #include "common/thread_pool.h"
 #include "rns/backend.h"
 #include "rns/bconv.h"
+#include "rns/cpu_features.h"
 #include "rns/four_step_ntt.h"
 #include "rns/poly_pool.h"
 #include "rns/primes.h"
@@ -77,6 +83,9 @@ struct Result
 
 std::vector<Result> g_results;
 bool g_parity_ok = true;
+/// Tier the SimdBackend actually dispatched ("scalar" on plain hosts);
+/// recorded in the JSON so baselines from different ISAs never mix.
+std::string g_simd_tier = "scalar";
 
 void
 checkParity(bool ok, const char *what)
@@ -159,6 +168,153 @@ runNttComparison(bool smoke)
                   TablePrinter::fmt(ri.baseline_ms, 3),
                   TablePrinter::fmt(ri.optimized_ms, 3),
                   TablePrinter::fmt(ri.speedup(), 2)});
+    }
+    t.print();
+    std::printf("\n");
+}
+
+// ---------------------------------------------------------------------------
+// SimdBackend vector kernels vs the scalar lazy kernels
+// ---------------------------------------------------------------------------
+
+void
+runSimdComparison(bool smoke)
+{
+    SimdBackend simd;
+    ScalarBackend scalar;
+    g_simd_tier = simdTierName(simd.tier());
+    std::printf("Vector (simd backend, tier %s) vs scalar lazy "
+                "kernels, <2^60 limbs\n",
+                g_simd_tier.c_str());
+    if (simd.tier() == SimdTier::Scalar)
+        std::printf("  (no vector ISA on this host or tier capped; "
+                    "rows measure the scalar fallback)\n");
+    TablePrinter t({"kernel", "N", "scalar (ms)", "simd (ms)",
+                    "speedup"});
+    // Best-of-many-small-batches: this is far more robust on noisy
+    // shared runners than a few long timing windows, and the headline
+    // simd_ntt_forward N=2^16 row is what docs/benchmarks.md records.
+    const int reps = smoke ? 5 : 25;
+    const int iters = smoke ? 5 : 10;
+    std::vector<size_t> log_ns = smoke
+                                     ? std::vector<size_t>{12, 16}
+                                     : std::vector<size_t>{12, 14, 16};
+    for (size_t log_n : log_ns) {
+        const size_t n = size_t(1) << log_n;
+        u64 prime = generatePrimes(60, 1, n).front();
+        NttTables tables(n, Modulus(prime));
+        std::vector<const NttTables *> tp{&tables};
+        Rng rng(11);
+        auto v = rng.uniformVector(n, prime);
+        RnsPoly p(n, 1, Rep::Coeff);
+        std::copy(v.begin(), v.end(), p.limb(0));
+
+        // Bit-parity gates first: vector forward/inverse must match
+        // the scalar transforms word for word and round-trip.
+        {
+            RnsPoly a = p, b = p;
+            simd.nttForward(a, tp);
+            scalar.nttForward(b, tp);
+            checkParity(std::memcmp(a.limb(0), b.limb(0),
+                                    n * sizeof(u64)) == 0,
+                        "simd forward NTT != scalar");
+            simd.nttInverse(a, tp);
+            scalar.nttInverse(b, tp);
+            checkParity(std::memcmp(a.limb(0), b.limb(0),
+                                    n * sizeof(u64)) == 0,
+                        "simd inverse NTT != scalar");
+            checkParity(std::memcmp(a.limb(0), p.limb(0),
+                                    n * sizeof(u64)) == 0,
+                        "simd NTT round-trip != identity");
+        }
+
+        // Any canonical vector is valid input, so the timing loops
+        // transform the same buffer repeatedly (setRep is a flag).
+        RnsPoly w = p;
+        Result rf{"simd_ntt_forward", n, 1, 0, 0};
+        rf.baseline_ms = timeMs(reps, [&] {
+                             for (int i = 0; i < iters; ++i) {
+                                 w.setRep(Rep::Coeff);
+                                 scalar.nttForward(w, tp);
+                             }
+                         }) /
+                         iters;
+        rf.optimized_ms = timeMs(reps, [&] {
+                              for (int i = 0; i < iters; ++i) {
+                                  w.setRep(Rep::Coeff);
+                                  simd.nttForward(w, tp);
+                              }
+                          }) /
+                          iters;
+        g_results.push_back(rf);
+        t.addRow({"simd_ntt_forward", std::to_string(n),
+                  TablePrinter::fmt(rf.baseline_ms, 3),
+                  TablePrinter::fmt(rf.optimized_ms, 3),
+                  TablePrinter::fmt(rf.speedup(), 2)});
+
+        Result ri{"simd_ntt_inverse", n, 1, 0, 0};
+        ri.baseline_ms = timeMs(reps, [&] {
+                             for (int i = 0; i < iters; ++i) {
+                                 w.setRep(Rep::Eval);
+                                 scalar.nttInverse(w, tp);
+                             }
+                         }) /
+                         iters;
+        ri.optimized_ms = timeMs(reps, [&] {
+                              for (int i = 0; i < iters; ++i) {
+                                  w.setRep(Rep::Eval);
+                                  simd.nttInverse(w, tp);
+                              }
+                          }) /
+                          iters;
+        g_results.push_back(ri);
+        t.addRow({"simd_ntt_inverse", std::to_string(n),
+                  TablePrinter::fmt(ri.baseline_ms, 3),
+                  TablePrinter::fmt(ri.optimized_ms, 3),
+                  TablePrinter::fmt(ri.speedup(), 2)});
+    }
+
+    // The fused BConv tile with the vector MAC inner loop.
+    {
+        const size_t n = size_t(1) << (smoke ? 13 : 16);
+        const size_t nb = 12, nc = 8;
+        auto pb = generatePrimes(45, nb, n);
+        auto pc = generatePrimes(50, nc, n, pb);
+        std::vector<Modulus> mb, mc;
+        for (u64 q : pb)
+            mb.emplace_back(q);
+        for (u64 q : pc)
+            mc.emplace_back(q);
+        BaseConverter bc(mb, mc);
+        Rng rng(12);
+        RnsPoly in(n, nb, Rep::Coeff);
+        for (size_t l = 0; l < nb; ++l) {
+            auto v = rng.uniformVector(n, pb[l]);
+            std::copy(v.begin(), v.end(), in.limb(l));
+        }
+        {
+            RnsPoly a = simd.bconv(bc, in);
+            RnsPoly b = scalar.bconv(bc, in);
+            bool same = a.numLimbs() == b.numLimbs();
+            for (size_t l = 0; same && l < a.numLimbs(); ++l)
+                same = std::memcmp(a.limb(l), b.limb(l),
+                                   n * sizeof(u64)) == 0;
+            checkParity(same, "simd BConv != scalar BConv");
+        }
+        Result r{"simd_bconv", n, nb, 0, 0};
+        r.baseline_ms = timeMs(reps, [&] {
+            RnsPoly out = scalar.bconv(bc, in);
+            scalar.pool().release(std::move(out));
+        });
+        r.optimized_ms = timeMs(reps, [&] {
+            RnsPoly out = simd.bconv(bc, in);
+            simd.pool().release(std::move(out));
+        });
+        g_results.push_back(r);
+        t.addRow({"simd_bconv", std::to_string(n),
+                  TablePrinter::fmt(r.baseline_ms, 3),
+                  TablePrinter::fmt(r.optimized_ms, 3),
+                  TablePrinter::fmt(r.speedup(), 2)});
     }
     t.print();
     std::printf("\n");
@@ -417,6 +573,12 @@ writeJson(const std::string &path, bool smoke)
     }
     std::fprintf(f, "{\n  \"bench\": \"bench_micro_kernels\",\n");
     std::fprintf(f, "  \"mode\": \"%s\",\n", smoke ? "smoke" : "full");
+    // Provenance of the vector rows: the regression checker refuses to
+    // compare simd_* entries across differing tiers, and the feature
+    // list pins down which host recorded a committed baseline.
+    std::fprintf(f, "  \"simd_tier\": \"%s\",\n", g_simd_tier.c_str());
+    std::fprintf(f, "  \"cpu_features\": \"%s\",\n",
+                 cpuFeatureString().c_str());
     std::fprintf(f, "  \"parity_ok\": %s,\n",
                  g_parity_ok ? "true" : "false");
     std::fprintf(f, "  \"results\": [\n");
@@ -572,7 +734,8 @@ printUsage(const char *argv0)
 {
     std::printf(
         "usage: %s [--smoke] [--json PATH] [--gbench [args...]]\n"
-        "  (no args)     self-timed suite: lazy-vs-strict NTT, fused-\n"
+        "  (no args)     self-timed suite: lazy-vs-strict NTT, simd-\n"
+        "                vs-scalar kernels (best host ISA), fused-\n"
         "                vs-two-stage BConv, pooled-vs-fresh alloc,\n"
         "                scalar-vs-parallel backend table\n"
         "  --smoke       reduced sizes/reps for CI; parity checks\n"
@@ -629,6 +792,7 @@ main(int argc, char **argv)
     }
 
     ark::runNttComparison(smoke);
+    ark::runSimdComparison(smoke);
     ark::runBconvComparison(smoke);
     ark::runPoolComparison(smoke);
     if (!smoke)

@@ -23,6 +23,7 @@
 #include "ckks/encoder.h"
 #include "ckks/encryptor.h"
 #include "ckks/keygen.h"
+#include "rns/backend_kind.h"
 #include "serve/batch_server.h"
 
 using namespace ark;
@@ -106,8 +107,9 @@ const char *kUsage =
     "  --help    this text.\n"
     "\n"
     "Columns (host sweep):\n"
-    "  backend    kernel engine (scalar | parallel, rns/backend.h)\n"
-    "  kthreads   parallel backend pool size ('-' for scalar)\n"
+    "  backend    kernel engine (scalar | parallel | simd,\n"
+    "             rns/backend.h; simd dispatches the best host ISA)\n"
+    "  kthreads   parallel backend pool size ('-' otherwise)\n"
     "  workers    BatchServer request worker threads\n"
     "  wall ms    drain-window wall time for the whole batch\n"
     "  req/s      completed requests per second (the headline)\n"
@@ -134,6 +136,7 @@ main(int argc, char **argv)
     // every row measures what its label says.
     unsetenv("ARK_BACKEND");
     unsetenv("ARK_THREADS");
+    unsetenv("ARK_SIMD_TIER");
 
     const CkksParams base = CkksParams::testTiny();
     const size_t batch = smoke ? 8 : 32;
@@ -142,12 +145,18 @@ main(int argc, char **argv)
     const std::vector<SweepPoint> sweep =
         smoke ? std::vector<SweepPoint>{{BackendKind::Scalar, 0, 1},
                                         {BackendKind::Scalar, 0, 2},
+                                        {BackendKind::Simd, 0, 1},
+                                        {BackendKind::Simd, 0, 2},
                                         {BackendKind::Parallel, 2, 1},
                                         {BackendKind::Parallel, 2, 2}}
               : std::vector<SweepPoint>{{BackendKind::Scalar, 0, 1},
                                         {BackendKind::Scalar, 0, 2},
                                         {BackendKind::Scalar, 0, 4},
                                         {BackendKind::Scalar, 0, 8},
+                                        {BackendKind::Simd, 0, 1},
+                                        {BackendKind::Simd, 0, 2},
+                                        {BackendKind::Simd, 0, 4},
+                                        {BackendKind::Simd, 0, 8},
                                         {BackendKind::Parallel, 2, 1},
                                         {BackendKind::Parallel, 4, 1},
                                         {BackendKind::Parallel, 4, 2},
@@ -166,12 +175,11 @@ main(int argc, char **argv)
     std::string best_name = "-";
     for (const auto &pt : sweep) {
         ServeReport rep = runConfig(base, pt, batch, max_ops, all_ok);
-        const std::string label =
-            pt.kind == BackendKind::Scalar ? "scalar" : "parallel";
+        const std::string label = backendKindName(pt.kind);
         t.addRow({label,
-                  pt.kind == BackendKind::Scalar
-                      ? "-"
-                      : std::to_string(pt.kernel_threads),
+                  pt.kind == BackendKind::Parallel
+                      ? std::to_string(pt.kernel_threads)
+                      : "-",
                   std::to_string(pt.workers),
                   TablePrinter::fmt(rep.wall_seconds * 1e3, 1),
                   TablePrinter::fmt(rep.requests_per_sec, 1),

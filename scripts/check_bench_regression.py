@@ -7,6 +7,13 @@ kernels that appeared/disappeared. Exits 0 regardless unless --strict
 is given; CI runs it warn-only because shared runners are far noisier
 than the committed (dedicated-run) baseline.
 
+SIMD rows are ISA-gated: the JSON records which vector tier the
+SimdBackend dispatched (and the host's CPU feature list), and simd_*
+entries are only compared when the current run and the baseline used
+the same tier — an avx512 baseline says nothing about an avx2 or
+scalar-fallback runner, so those rows are skipped with a note instead
+of producing bogus warnings.
+
 Usage:
     scripts/check_bench_regression.py CURRENT.json \
         [--baseline bench/baselines/bench_micro_kernels.json] \
@@ -64,8 +71,24 @@ def main():
     if not cur_doc.get("parity_ok", True):
         warnings.append("current run reports parity_ok=false")
 
+    # simd_* rows are only comparable between runs that dispatched the
+    # same vector ISA tier.
+    cur_tier = cur_doc.get("simd_tier", "scalar")
+    base_tier = base_doc.get("simd_tier", "scalar")
+    tier_mismatch = cur_tier != base_tier
+    if tier_mismatch:
+        print(
+            f"note: simd tier differs (current={cur_tier}, "
+            f"baseline={base_tier}"
+            f"; features: current='{cur_doc.get('cpu_features', '?')}'"
+            f", baseline='{base_doc.get('cpu_features', '?')}')"
+            "; skipping simd_* comparisons"
+        )
+
     for key, b in sorted(base.items()):
         name = f"{key[0]} (N={key[1]}, limbs={key[2]})"
+        if tier_mismatch and key[0].startswith("simd_"):
+            continue
         c = cur.get(key)
         if c is None:
             # Smoke mode measures a subset of the full baseline grid;

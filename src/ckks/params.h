@@ -39,7 +39,9 @@ struct CkksParams
 
     /**
      * Kernel engine executing all limb-level compute (rns/backend.h).
-     * Overridable at runtime with ARK_BACKEND=scalar|parallel.
+     * Overridable at runtime with ARK_BACKEND=scalar|parallel|simd;
+     * the simd engine additionally honours ARK_SIMD_TIER to cap the
+     * instruction set it dispatches to.
      */
     BackendKind backend = BackendKind::Scalar;
     /** Thread-pool size for the parallel backend (0 = hardware

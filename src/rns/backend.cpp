@@ -9,6 +9,7 @@
 
 #include "common/logging.h"
 #include "common/thread_pool.h"
+#include "rns/simd_kernels.h"
 
 namespace ark {
 
@@ -301,17 +302,48 @@ KernelBackend::evkMulAcc(const RnsPoly &digit, const RnsPoly &evk_b,
     run(limbs, [&](size_t l) {
         // evk polys span the full basis; select the matching limb.
         const size_t evk_limb = l < nq ? l : full_nq + (l - nq);
-        const Modulus &m = key_moduli[l];
-        const u64 *pd = digit.limb(l);
-        const u64 *kb = evk_b.limb(evk_limb);
-        const u64 *ka = evk_a.limb(evk_limb);
-        u64 *ab = acc_b.limb(l);
-        u64 *aa = acc_a.limb(l);
-        for (size_t i = 0; i < n; ++i) {
-            ab[i] = m.add(ab[i], m.mul(pd[i], kb[i]));
-            aa[i] = m.add(aa[i], m.mul(pd[i], ka[i]));
-        }
+        evkMulAccLimbKernel(key_moduli[l], digit.limb(l),
+                            evk_b.limb(evk_limb), evk_a.limb(evk_limb),
+                            acc_b.limb(l), acc_a.limb(l), n);
     });
+}
+
+// ---------------------------------------------------------------------------
+// Per-job kernel bodies (reference scalar defaults). SimdBackend
+// overrides these; Scalar/Parallel run them as-is.
+// ---------------------------------------------------------------------------
+
+void
+KernelBackend::nttForwardLimbKernel(u64 *limb,
+                                    const NttTables &table) const
+{
+    table.forward(limb);
+}
+
+void
+KernelBackend::nttInverseLimbKernel(u64 *limb,
+                                    const NttTables &table) const
+{
+    table.inverse(limb);
+}
+
+void
+KernelBackend::bconvTileKernel(const BaseConverter &bc, const RnsPoly &in,
+                               size_t c0, size_t c1, u64 *scratch,
+                               RnsPoly &out) const
+{
+    bc.convertTile(in, c0, c1, scratch, out);
+}
+
+void
+KernelBackend::evkMulAccLimbKernel(const Modulus &m, const u64 *d,
+                                   const u64 *kb, const u64 *ka, u64 *ab,
+                                   u64 *aa, size_t n) const
+{
+    for (size_t i = 0; i < n; ++i) {
+        ab[i] = m.add(ab[i], m.mul(d[i], kb[i]));
+        aa[i] = m.add(aa[i], m.mul(d[i], ka[i]));
+    }
 }
 
 // ---------------------------------------------------------------------------
@@ -327,7 +359,9 @@ KernelBackend::nttForward(RnsPoly &p,
     const size_t n = p.degree();
     recordStats(KernelOp::NttForward, p.numLimbs(),
                   2 * p.numLimbs() * n, p.numLimbs() * nttMults(n));
-    run(p.numLimbs(), [&](size_t l) { tables[l]->forward(p.limb(l)); });
+    run(p.numLimbs(), [&](size_t l) {
+        nttForwardLimbKernel(p.limb(l), *tables[l]);
+    });
     p.setRep(Rep::Eval);
 }
 
@@ -341,7 +375,9 @@ KernelBackend::nttInverse(RnsPoly &p,
     recordStats(KernelOp::NttInverse, p.numLimbs(),
                   2 * p.numLimbs() * n,
                   p.numLimbs() * (nttMults(n) + n));
-    run(p.numLimbs(), [&](size_t l) { tables[l]->inverse(p.limb(l)); });
+    run(p.numLimbs(), [&](size_t l) {
+        nttInverseLimbKernel(p.limb(l), *tables[l]);
+    });
     p.setRep(Rep::Coeff);
 }
 
@@ -368,7 +404,7 @@ KernelBackend::nttForwardLimb(u64 *limb, const NttTables &table)
 {
     const size_t n = table.degree();
     recordStats(KernelOp::NttForward, 1, 2 * n, nttMults(n));
-    table.forward(limb);
+    nttForwardLimbKernel(limb, table);
 }
 
 void
@@ -376,7 +412,7 @@ KernelBackend::nttInverseLimb(u64 *limb, const NttTables &table)
 {
     const size_t n = table.degree();
     recordStats(KernelOp::NttInverse, 1, 2 * n, nttMults(n) + n);
-    table.inverse(limb);
+    nttInverseLimbKernel(limb, table);
 }
 
 // ---------------------------------------------------------------------------
@@ -405,7 +441,8 @@ KernelBackend::bconv(const BaseConverter &bc, const RnsPoly &in)
     run(num_tiles, [&](size_t t) {
         alignas(64) u64 scratch[BaseConverter::kTileWords];
         const size_t c0 = t * tile;
-        bc.convertTile(in, c0, std::min(c0 + tile, n), scratch, out);
+        bconvTileKernel(bc, in, c0, std::min(c0 + tile, n), scratch,
+                        out);
     });
     return out;
 }
@@ -460,7 +497,7 @@ KernelBackend::nttBconvNtt(const RnsPoly &digit,
     run(nb, [&](size_t j) {
         u64 *dst = scaled.limb(j);
         std::memcpy(dst, digit.limb(j), n * sizeof(u64));
-        in_tables[j]->inverse(dst);
+        nttInverseLimbKernel(dst, *in_tables[j]);
     });
 
     // Stage 2: fused, cache-blocked scale+MAC over coefficient tiles
@@ -472,13 +509,15 @@ KernelBackend::nttBconvNtt(const RnsPoly &digit,
     run(num_tiles, [&](size_t t) {
         alignas(64) u64 scratch[BaseConverter::kTileWords];
         const size_t c0 = t * tile;
-        bc.convertTile(scaled, c0, std::min(c0 + tile, n), scratch,
-                       out);
+        bconvTileKernel(bc, scaled, c0, std::min(c0 + tile, n), scratch,
+                        out);
     });
     pool_.release(std::move(scaled));
 
     // Stage 3: forward-NTT each produced limb in place.
-    run(nc, [&](size_t i) { out_tables[i]->forward(out.limb(i)); });
+    run(nc, [&](size_t i) {
+        nttForwardLimbKernel(out.limb(i), *out_tables[i]);
+    });
     out.setRep(Rep::Eval);
     return out;
 }
@@ -610,6 +649,83 @@ ScalarBackend::run(size_t jobs, const std::function<void(size_t)> &fn) const
         fn(i);
 }
 
+SimdBackend::SimdBackend(SimdTier max_tier)
+    : kernels_(simdKernels(
+          std::min(simdTierFromEnv(max_tier), detectSimdTier())))
+{
+}
+
+SimdTier
+SimdBackend::tier() const
+{
+    return kernels_.tier;
+}
+
+void
+SimdBackend::run(size_t jobs, const std::function<void(size_t)> &fn) const
+{
+    for (size_t i = 0; i < jobs; ++i)
+        fn(i);
+}
+
+namespace {
+
+// The vector NTT kernels run an approximate-Shoup butterfly whose lazy
+// values reach 8q, so they need 8q < 2^63 (and the AVX2 variant's
+// unbiased signed compares need the same headroom). All shipped
+// parameter sets use <= 60-bit primes; a wider modulus falls back to
+// the scalar tables, which stay exact for any q < 2^62.
+inline bool
+simdNttSafe(const NttTables &table)
+{
+    return table.modulus().value() < (1ULL << 60);
+}
+
+} // namespace
+
+void
+SimdBackend::nttForwardLimbKernel(u64 *limb, const NttTables &table) const
+{
+    if (kernels_.ntt_forward != nullptr &&
+        table.degree() >= kernels_.min_ntt_degree && simdNttSafe(table))
+        kernels_.ntt_forward(limb, table);
+    else
+        table.forward(limb);
+}
+
+void
+SimdBackend::nttInverseLimbKernel(u64 *limb, const NttTables &table) const
+{
+    if (kernels_.ntt_inverse != nullptr &&
+        table.degree() >= kernels_.min_ntt_degree && simdNttSafe(table))
+        kernels_.ntt_inverse(limb, table);
+    else
+        table.inverse(limb);
+}
+
+void
+SimdBackend::bconvTileKernel(const BaseConverter &bc, const RnsPoly &in,
+                             size_t c0, size_t c1, u64 *scratch,
+                             RnsPoly &out) const
+{
+    if (kernels_.bconv_tile != nullptr)
+        kernels_.bconv_tile(bc, in, c0, c1, scratch, out);
+    else
+        bc.convertTile(in, c0, c1, scratch, out);
+}
+
+void
+SimdBackend::evkMulAccLimbKernel(const Modulus &m, const u64 *d,
+                                 const u64 *kb, const u64 *ka, u64 *ab,
+                                 u64 *aa, size_t n) const
+{
+    if (kernels_.evk_mac_limb != nullptr) {
+        kernels_.evk_mac_limb(m, d, kb, ka, ab, aa, n);
+        return;
+    }
+    KernelBackend::evkMulAccLimbKernel(m, d, kb, ka, ab, aa, n);
+}
+
 ParallelBackend::ParallelBackend(size_t num_threads)
     : pool_(std::make_unique<ThreadPool>(num_threads))
 {
@@ -638,6 +754,8 @@ makeKernelBackend(BackendKind kind, size_t num_threads)
         return std::make_unique<ScalarBackend>();
       case BackendKind::Parallel:
         return std::make_unique<ParallelBackend>(num_threads);
+      case BackendKind::Simd:
+        return std::make_unique<SimdBackend>();
     }
     ARK_PANIC("unreachable");
 }
@@ -651,6 +769,10 @@ parseBackendKind(const char *name, BackendKind &out)
     }
     if (std::strcmp(name, "parallel") == 0) {
         out = BackendKind::Parallel;
+        return true;
+    }
+    if (std::strcmp(name, "simd") == 0) {
+        out = BackendKind::Simd;
         return true;
     }
     return false;
@@ -686,8 +808,8 @@ backendKindFromEnv(BackendKind fallback)
     if (!parseBackendKind(env, kind)) {
         char msg[160];
         std::snprintf(msg, sizeof msg,
-                      "invalid ARK_BACKEND '%s' (expected 'scalar' or "
-                      "'parallel')",
+                      "invalid ARK_BACKEND '%s' (expected 'scalar', "
+                      "'parallel', or 'simd')",
                       env);
         ARK_FATAL(msg);
     }

@@ -13,10 +13,12 @@
  * invocation counts and word-traffic tallies (KernelStats) are
  * recorded for core/traffic_analyzer and sim/simulator to consume.
  *
- * Both shipped backends execute the exact same per-limb loop bodies —
- * they differ only in the executor that maps limb jobs onto threads —
- * so ParallelBackend results are bit-identical to ScalarBackend by
- * construction (and tests/test_backend_parity.cpp enforces it).
+ * Every shipped backend is bit-identical to the scalar reference:
+ * ParallelBackend runs the exact same per-limb loop bodies and differs
+ * only in the executor that maps limb jobs onto threads; SimdBackend
+ * overrides the per-job kernel bodies with hand-vectorized AVX-512 /
+ * AVX2 code that applies the same exact integer arithmetic lane-wise
+ * (tests/test_backend_parity.cpp enforces both).
  */
 
 #pragma once
@@ -30,6 +32,7 @@
 #include "rns/automorphism.h"
 #include "rns/backend_kind.h"
 #include "rns/bconv.h"
+#include "rns/cpu_features.h"
 #include "rns/kernel_stats.h"
 #include "rns/ntt.h"
 #include "rns/poly.h"
@@ -160,10 +163,35 @@ class KernelBackend
   protected:
     /**
      * Execute @p jobs independent jobs (one per limb row, or one per
-     * output limb). The only point where the engines differ.
+     * output limb). Scalar and Parallel differ only here.
      */
     virtual void run(size_t jobs,
                      const std::function<void(size_t)> &fn) const = 0;
+
+    /// @name Per-job kernel bodies
+    /// The innermost loop bodies every NTT / BConv / evk-MAC job
+    /// executes. Defaults are the reference scalar loops; SimdBackend
+    /// overrides them with hand-vectorized kernels that compute the
+    /// same arithmetic lane-wise (bit-identical by construction).
+    /// Element-wise kernels stay non-virtual: they are memory-bound
+    /// and the compiler already vectorizes their trivial loops.
+    /// @{
+    /** One limb of the lazy forward NTT (in place). */
+    virtual void nttForwardLimbKernel(u64 *limb,
+                                      const NttTables &table) const;
+    /** One limb of the lazy inverse NTT (in place). */
+    virtual void nttInverseLimbKernel(u64 *limb,
+                                      const NttTables &table) const;
+    /** One fused BConv scale+MAC tile (convertTile contract;
+     *  @p scratch holds >= BaseConverter::kTileWords words). */
+    virtual void bconvTileKernel(const BaseConverter &bc,
+                                 const RnsPoly &in, size_t c0, size_t c1,
+                                 u64 *scratch, RnsPoly &out) const;
+    /** One limb of the evk MAC: ab += d * kb, aa += d * ka mod m. */
+    virtual void evkMulAccLimbKernel(const Modulus &m, const u64 *d,
+                                     const u64 *kb, const u64 *ka,
+                                     u64 *ab, u64 *aa, size_t n) const;
+    /// @}
 
     /** Tally one kernel call into the calling thread's shard. */
     void recordStats(KernelOp op, u64 limbs, u64 words, u64 mults);
@@ -196,6 +224,50 @@ class ScalarBackend final : public KernelBackend
   protected:
     void run(size_t jobs,
              const std::function<void(size_t)> &fn) const override;
+};
+
+struct SimdKernels;
+
+/**
+ * Hand-vectorized engine: serial over limb jobs like ScalarBackend,
+ * but each NTT / BConv-tile / evk-MAC job body runs the AVX-512 or
+ * AVX2 kernels from rns/simd_kernels.cpp, picked at construction from
+ * the host CPU (capped by @p max_tier and by ARK_SIMD_TIER). On hosts
+ * with no vector ISA — or for transforms too small to fill a vector —
+ * every call falls back to the scalar loop body, never aborts, so
+ * ARK_BACKEND=simd is safe everywhere.
+ */
+class SimdBackend final : public KernelBackend
+{
+  public:
+    /** @param max_tier cap on the dispatched ISA tier (the default
+     *  caps nothing; tests pass lower tiers to pin a code path). */
+    explicit SimdBackend(SimdTier max_tier = SimdTier::Avx512);
+
+    const char *name() const override { return "simd"; }
+    BackendKind kind() const override { return BackendKind::Simd; }
+    size_t threads() const override { return 1; }
+
+    /** The ISA tier actually dispatched after host/env clamping. */
+    SimdTier tier() const;
+
+  protected:
+    void run(size_t jobs,
+             const std::function<void(size_t)> &fn) const override;
+
+    void nttForwardLimbKernel(u64 *limb,
+                              const NttTables &table) const override;
+    void nttInverseLimbKernel(u64 *limb,
+                              const NttTables &table) const override;
+    void bconvTileKernel(const BaseConverter &bc, const RnsPoly &in,
+                         size_t c0, size_t c1, u64 *scratch,
+                         RnsPoly &out) const override;
+    void evkMulAccLimbKernel(const Modulus &m, const u64 *d,
+                             const u64 *kb, const u64 *ka, u64 *ab,
+                             u64 *aa, size_t n) const override;
+
+  private:
+    const SimdKernels &kernels_;
 };
 
 class ThreadPool;

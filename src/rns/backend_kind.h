@@ -15,15 +15,24 @@ namespace ark {
 enum class BackendKind {
     Scalar,   ///< single-threaded reference loops
     Parallel, ///< limb-parallel over a work-stealing thread pool
+    Simd,     ///< hand-vectorized kernels (AVX-512/AVX2, CPUID dispatch)
 };
 
 inline const char *
 backendKindName(BackendKind kind)
 {
-    return kind == BackendKind::Scalar ? "scalar" : "parallel";
+    switch (kind) {
+      case BackendKind::Scalar:
+        return "scalar";
+      case BackendKind::Parallel:
+        return "parallel";
+      case BackendKind::Simd:
+        return "simd";
+    }
+    return "scalar";
 }
 
-/** Parse "scalar" / "parallel"; returns false on anything else. */
+/** Parse "scalar" / "parallel" / "simd"; false on anything else. */
 bool parseBackendKind(const char *name, BackendKind &out);
 
 /** Upper bound accepted for a thread-count knob (sanity guard against

@@ -96,6 +96,13 @@ class Modulus
         return v >= q_ ? v - q_ : v;
     }
 
+    /// @name Barrett constant words (floor(2^128 / q)), exposed so the
+    /// SIMD kernel engine can mirror reduce() lane-wise bit for bit.
+    /// @{
+    u64 barrettHi() const { return barrett_hi_; }
+    u64 barrettLo() const { return barrett_lo_; }
+    /// @}
+
     bool operator==(const Modulus &o) const { return q_ == o.q_; }
 
   private:

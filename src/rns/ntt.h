@@ -69,6 +69,28 @@ class NttTables
     void forward(std::vector<u64> &data) const { forward(data.data()); }
     void inverse(std::vector<u64> &data) const { inverse(data.data()); }
 
+    /// @name Raw table access for the SIMD kernel engine
+    /// (rns/simd_kernels.cpp), which runs the same Harvey lazy
+    /// butterflies lane-wise and needs the twiddles and their Shoup
+    /// companions directly.
+    /// @{
+    const std::vector<u64> &rootPowers() const { return root_powers_; }
+    const std::vector<u64> &rootPowersShoup() const
+    {
+        return root_powers_shoup_;
+    }
+    const std::vector<u64> &invRootPowers() const
+    {
+        return inv_root_powers_;
+    }
+    const std::vector<u64> &invRootPowersShoup() const
+    {
+        return inv_root_powers_shoup_;
+    }
+    u64 nInv() const { return n_inv_; }
+    u64 nInvShoup() const { return n_inv_shoup_; }
+    /// @}
+
   private:
     size_t n_;
     int log_n_;

@@ -24,10 +24,21 @@
  *  - The pool may be shared by any number of threads (the serving
  *    runtime's workers share one context/backend); all methods are
  *    mutex-guarded, and the critical sections move only pointers.
+ *
+ * Internally the free lists are striped: each thread is pinned to one
+ * of kStripes stripes (a thread-local ticket, round-robin), so the
+ * workers of a serving pool park and reclaim their temporaries on
+ * disjoint mutexes instead of serializing on one. An acquire that
+ * misses its own stripe steals from the others (one lock at a time,
+ * never nested) before falling back to the heap, so buffers released
+ * by another thread are still recycled. The per-shape and total-word
+ * retention caps are split evenly across stripes, which keeps the
+ * global bounds of the unstriped pool intact.
  */
 
 #pragma once
 
+#include <array>
 #include <cstddef>
 #include <map>
 #include <mutex>
@@ -81,27 +92,46 @@ class PolyPool
     static PolyPool &process();
 
   private:
+    /** Free-list stripes; a power of two so the thread ticket maps on
+     *  with a mask. Eight comfortably spreads the serving runtime's
+     *  worker counts without bloating the idle pool. */
+    static constexpr size_t kStripes = 8;
     /** Buffers pooled per (degree, limbs) key beyond which release()
      *  frees instead of caching — bounds per-shape retention while
-     *  comfortably covering one serving worker set's temporaries. */
+     *  comfortably covering one serving worker set's temporaries.
+     *  Split evenly across stripes. */
     static constexpr size_t kMaxPerKey = 64;
     /**
      * Total words the pool will retain across all keys (256 MiB).
      * Long-running servers churn through many (degree, limbs) shapes
      * as workloads change level; without a byte budget the per-key
      * cap alone would let cached memory ratchet up by shape. Releases
-     * beyond the budget free to the heap instead.
+     * beyond the budget free to the heap instead. Split evenly across
+     * stripes.
      */
     static constexpr size_t kMaxCachedWords =
         (size_t(256) << 20) / sizeof(u64);
+    static constexpr size_t kMaxPerKeyPerStripe = kMaxPerKey / kStripes;
+    static constexpr size_t kMaxWordsPerStripe =
+        kMaxCachedWords / kStripes;
 
-    mutable std::mutex m_;
-    std::map<std::pair<size_t, size_t>, std::vector<std::vector<u64>>>
-        free_;
-    size_t cached_words_ = 0;
-    u64 hits_ = 0;
-    u64 misses_ = 0;
-    u64 released_ = 0;
+    struct Stripe
+    {
+        mutable std::mutex m;
+        std::map<std::pair<size_t, size_t>,
+                 std::vector<std::vector<u64>>>
+            free;
+        size_t cached_words = 0;
+        u64 hits = 0;
+        u64 misses = 0;
+        u64 released = 0;
+    };
+
+    /** Pop a cached buffer of @p key shape off @p s, if any. */
+    static bool popFrom(Stripe &s, std::pair<size_t, size_t> key,
+                        std::vector<u64> &buf);
+
+    std::array<Stripe, kStripes> stripes_;
 };
 
 } // namespace ark

@@ -1,9 +1,9 @@
 /**
  * @file
- * Bit-exactness of the ParallelBackend against the ScalarBackend for
- * every kernel, across several (N, L) shapes, including the fused
- * nttBconvNtt key-switch digit path — plus sanity checks that both
- * engines record KernelStats for what they executed.
+ * Bit-exactness of the ParallelBackend and the SimdBackend against the
+ * ScalarBackend for every kernel, across several (N, L) shapes,
+ * including the fused nttBconvNtt key-switch digit path — plus sanity
+ * checks that the engines record KernelStats for what they executed.
  *
  * Also gates the lazy-reduction kernel pass: the Harvey lazy NTT must
  * round-trip and match the strict reference transforms across every
@@ -11,6 +11,10 @@
  * the two-stage pipeline, and kernels running over recycled
  * (stale-content) pool buffers must be bit-identical to fresh
  * allocations on both backends.
+ *
+ * The SimdTierParityTest suite sweeps the vector kernels per ISA tier
+ * (skipping tiers the host cannot run), including the sub-vector-degree
+ * and wide-modulus fallbacks onto the scalar transforms.
  */
 
 #include <gtest/gtest.h>
@@ -18,6 +22,7 @@
 #include "ckks/params.h"
 #include "common/random.h"
 #include "rns/backend.h"
+#include "rns/cpu_features.h"
 #include "rns/poly_pool.h"
 #include "rns/primes.h"
 
@@ -47,6 +52,7 @@ class BackendParityTest : public ::testing::TestWithParam<Shape>
 
         scalar_ = makeKernelBackend(BackendKind::Scalar);
         parallel_ = makeKernelBackend(BackendKind::Parallel, 4);
+        simd_ = makeKernelBackend(BackendKind::Simd);
     }
 
     RnsPoly randomPoly(Rep rep, u64 seed, size_t limbs = 0) const
@@ -83,6 +89,7 @@ class BackendParityTest : public ::testing::TestWithParam<Shape>
     std::vector<const NttTables *> table_ptrs_;
     std::unique_ptr<KernelBackend> scalar_;
     std::unique_ptr<KernelBackend> parallel_;
+    std::unique_ptr<KernelBackend> simd_; ///< best tier the host runs
 };
 
 TEST_P(BackendParityTest, ElementwiseKernels)
@@ -96,9 +103,12 @@ TEST_P(BackendParityTest, ElementwiseKernels)
     auto check2 = [&](auto &&op) {
         RnsPoly rs(degree_, limbs_, Rep::Eval);
         RnsPoly rp(degree_, limbs_, Rep::Eval);
+        RnsPoly rv(degree_, limbs_, Rep::Eval);
         op(*scalar_, rs);
         op(*parallel_, rp);
+        op(*simd_, rv);
         expectIdentical(rs, rp);
+        expectIdentical(rs, rv);
     };
 
     check2([&](KernelBackend &kb, RnsPoly &r) { kb.add(a, b, moduli_, r); });
@@ -120,9 +130,12 @@ TEST_P(BackendParityTest, ElementwiseKernels)
     // MAC accumulates into the result: seed both sides identically.
     RnsPoly acc_s = randomPoly(Rep::Eval, 3);
     RnsPoly acc_p = acc_s;
+    RnsPoly acc_v = acc_s;
     scalar_->mulAccEval(a, b, moduli_, acc_s);
     parallel_->mulAccEval(a, b, moduli_, acc_p);
+    simd_->mulAccEval(a, b, moduli_, acc_v);
     expectIdentical(acc_s, acc_p);
+    expectIdentical(acc_s, acc_v);
 }
 
 TEST_P(BackendParityTest, MonomialMulAndLimbEmbed)
@@ -132,18 +145,24 @@ TEST_P(BackendParityTest, MonomialMulAndLimbEmbed)
                          degree_ - 1}) {
         RnsPoly rs(degree_, limbs_, Rep::Coeff);
         RnsPoly rp(degree_, limbs_, Rep::Coeff);
+        RnsPoly rv(degree_, limbs_, Rep::Coeff);
         scalar_->monomialMul(a, shift, moduli_, rs);
         parallel_->monomialMul(a, shift, moduli_, rp);
+        simd_->monomialMul(a, shift, moduli_, rv);
         expectIdentical(rs, rp);
+        expectIdentical(rs, rv);
     }
 
     Rng rng(5);
     auto src = rng.uniformVector(degree_, moduli_[0].value());
     RnsPoly es(degree_, limbs_, Rep::Coeff);
     RnsPoly ep(degree_, limbs_, Rep::Coeff);
+    RnsPoly ev(degree_, limbs_, Rep::Coeff);
     scalar_->limbEmbed(src, moduli_[0], moduli_, es);
     parallel_->limbEmbed(src, moduli_[0], moduli_, ep);
+    simd_->limbEmbed(src, moduli_[0], moduli_, ev);
     expectIdentical(es, ep);
+    expectIdentical(es, ev);
 }
 
 TEST_P(BackendParityTest, NttRoundTrip)
@@ -151,14 +170,19 @@ TEST_P(BackendParityTest, NttRoundTrip)
     auto a = randomPoly(Rep::Coeff, 6);
     auto original = a;
     auto b = a;
+    auto c = a;
 
     scalar_->nttForward(a, table_ptrs_);
     parallel_->nttForward(b, table_ptrs_);
+    simd_->nttForward(c, table_ptrs_);
     expectIdentical(a, b);
+    expectIdentical(a, c);
 
     scalar_->nttInverse(a, table_ptrs_);
     parallel_->nttInverse(b, table_ptrs_);
+    simd_->nttInverse(c, table_ptrs_);
     expectIdentical(a, b);
+    expectIdentical(a, c);
     expectIdentical(a, original);
 }
 
@@ -174,7 +198,9 @@ TEST_P(BackendParityTest, BConvMatchesScalarAndReference)
     auto in = randomPoly(Rep::Coeff, 7, nb);
     RnsPoly rs = scalar_->bconv(bc, in);
     RnsPoly rp = parallel_->bconv(bc, in);
+    RnsPoly rv = simd_->bconv(bc, in);
     expectIdentical(rs, rp);
+    expectIdentical(rs, rv);
     // Cross-check against the standalone reference implementation.
     RnsPoly ref = bc.convert(in);
     expectIdentical(rs, ref);
@@ -188,7 +214,9 @@ TEST_P(BackendParityTest, AutomorphismBothReps)
         auto p = randomPoly(rep, 8);
         RnsPoly rs = scalar_->automorphism(am, p, moduli_);
         RnsPoly rp = parallel_->automorphism(am, p, moduli_);
+        RnsPoly rv = simd_->automorphism(am, p, moduli_);
         expectIdentical(rs, rp);
+        expectIdentical(rs, rv);
     }
 }
 
@@ -211,7 +239,10 @@ TEST_P(BackendParityTest, FusedNttBconvNttMatchesUnfusedPipeline)
                                            out_ptrs);
     RnsPoly fused_p = parallel_->nttBconvNtt(digit, table_ptrs_, bc,
                                              out_ptrs);
+    RnsPoly fused_v = simd_->nttBconvNtt(digit, table_ptrs_, bc,
+                                         out_ptrs);
     expectIdentical(fused_s, fused_p);
+    expectIdentical(fused_s, fused_v);
 
     // The fused path must equal the unfused INTT -> BConv -> NTT
     // pipeline bit for bit.
@@ -253,12 +284,18 @@ TEST_P(BackendParityTest, EvkMulAccParity)
                                                 Rep::Eval);
     RnsPoly bp(degree_, nq + np, Rep::Eval), ap(degree_, nq + np,
                                                 Rep::Eval);
+    RnsPoly bv(degree_, nq + np, Rep::Eval), av(degree_, nq + np,
+                                                Rep::Eval);
     scalar_->evkMulAcc(digit, evk_b, evk_a, nq, full_nq, key_moduli,
                        bs, as);
     parallel_->evkMulAcc(digit, evk_b, evk_a, nq, full_nq, key_moduli,
                          bp, ap);
+    simd_->evkMulAcc(digit, evk_b, evk_a, nq, full_nq, key_moduli,
+                     bv, av);
     expectIdentical(bs, bp);
     expectIdentical(as, ap);
+    expectIdentical(bs, bv);
+    expectIdentical(as, av);
 }
 
 TEST_P(BackendParityTest, StatsRecordWhatExecuted)
@@ -267,7 +304,8 @@ TEST_P(BackendParityTest, StatsRecordWhatExecuted)
     auto b = randomPoly(Rep::Eval, 13);
     RnsPoly r(degree_, limbs_, Rep::Eval);
 
-    for (KernelBackend *kb : {scalar_.get(), parallel_.get()}) {
+    for (KernelBackend *kb :
+         {scalar_.get(), parallel_.get(), simd_.get()}) {
         kb->resetStats();
         kb->mulEval(a, b, moduli_, r);
         // stats() returns a merged snapshot by value; keep it alive
@@ -504,6 +542,206 @@ TEST(LazyStrictParityTest, PooledVersusFreshBitEquality)
         }
     }
 }
+
+// ---------------------------------------------------------------------------
+// SimdBackend tier sweep
+// ---------------------------------------------------------------------------
+
+/**
+ * A SimdBackend capped at exactly @p tier, or nullptr when the host
+ * cannot run it (the backend clamps the request to what CPUID reports,
+ * so a request coming back at a lower tier means "unavailable" — the
+ * caller should GTEST_SKIP, keeping the suite green on any machine).
+ */
+std::unique_ptr<SimdBackend>
+simdAtTier(SimdTier tier)
+{
+    auto be = std::make_unique<SimdBackend>(tier);
+    if (be->tier() != tier)
+        return nullptr;
+    return be;
+}
+
+class SimdTierParityTest : public ::testing::TestWithParam<SimdTier>
+{
+};
+
+/**
+ * NTT parity against the scalar backend across every prime width the
+ * shipped parameter sets use plus the widest supported one. Width 61
+ * exercises the q >= 2^60 guard, where the vector kernels' widened
+ * lazy bounds no longer hold and the backend must fall back to the
+ * scalar transforms rather than compute garbage.
+ */
+TEST_P(SimdTierParityTest, NttParityAcrossPrimeWidths)
+{
+    auto simd = simdAtTier(GetParam());
+    if (!simd)
+        GTEST_SKIP() << "tier not available on this host";
+    ScalarBackend scalar;
+
+    const size_t degree = 2048;
+    u64 seed = 200;
+    for (int width : {30, 40, 50, 55, 59, 60, 61}) {
+        SCOPED_TRACE("width " + std::to_string(width));
+        auto qs = generatePrimes(width, 2, degree);
+        for (u64 q : qs) {
+            NttTables tables(degree, Modulus(q));
+            std::vector<const NttTables *> tp{&tables};
+            Rng rng(seed++);
+            RnsPoly p(degree, 1, Rep::Coeff);
+            auto v = rng.uniformVector(degree, q);
+            std::copy(v.begin(), v.end(), p.limb(0));
+            RnsPoly ps = p;
+
+            simd->nttForward(p, tp);
+            scalar.nttForward(ps, tp);
+            for (size_t i = 0; i < degree; ++i)
+                ASSERT_EQ(p.limb(0)[i], ps.limb(0)[i])
+                    << "forward q=" << q << " i=" << i;
+
+            simd->nttInverse(p, tp);
+            scalar.nttInverse(ps, tp);
+            for (size_t i = 0; i < degree; ++i) {
+                ASSERT_EQ(p.limb(0)[i], ps.limb(0)[i])
+                    << "inverse q=" << q << " i=" << i;
+                ASSERT_EQ(p.limb(0)[i], v[i])
+                    << "round trip q=" << q << " i=" << i;
+            }
+        }
+    }
+}
+
+/** Tiny and sub-vector degrees: below min_ntt_degree the backend must
+ *  fall back to the scalar transform; at and above it the window
+ *  (shuffle) paths and the fused stage pairs all get exercised. */
+TEST_P(SimdTierParityTest, NttParityTinyDegrees)
+{
+    auto simd = simdAtTier(GetParam());
+    if (!simd)
+        GTEST_SKIP() << "tier not available on this host";
+    ScalarBackend scalar;
+
+    u64 seed = 300;
+    for (size_t degree : {size_t(2), size_t(4), size_t(8), size_t(16),
+                          size_t(32), size_t(64), size_t(4096)}) {
+        SCOPED_TRACE("degree " + std::to_string(degree));
+        auto qs = generatePrimes(45, 1, degree);
+        NttTables tables(degree, Modulus(qs[0]));
+        std::vector<const NttTables *> tp{&tables};
+        Rng rng(seed++);
+        RnsPoly p(degree, 1, Rep::Coeff);
+        auto v = rng.uniformVector(degree, qs[0]);
+        std::copy(v.begin(), v.end(), p.limb(0));
+        RnsPoly ps = p;
+
+        simd->nttForward(p, tp);
+        scalar.nttForward(ps, tp);
+        for (size_t i = 0; i < degree; ++i)
+            ASSERT_EQ(p.limb(0)[i], ps.limb(0)[i]) << "forward i=" << i;
+        simd->nttInverse(p, tp);
+        scalar.nttInverse(ps, tp);
+        for (size_t i = 0; i < degree; ++i) {
+            ASSERT_EQ(p.limb(0)[i], ps.limb(0)[i]) << "inverse i=" << i;
+            ASSERT_EQ(p.limb(0)[i], v[i]) << "round trip i=" << i;
+        }
+    }
+}
+
+/** Fused BConv tiles across odd base sizes (tile remainders) per tier. */
+TEST_P(SimdTierParityTest, BconvParityOddBases)
+{
+    auto simd = simdAtTier(GetParam());
+    if (!simd)
+        GTEST_SKIP() << "tier not available on this host";
+    ScalarBackend scalar;
+
+    const size_t degree = 256;
+    u64 seed = 400;
+    for (size_t nb : {size_t(1), size_t(3), size_t(7)}) {
+        SCOPED_TRACE("nb " + std::to_string(nb));
+        auto pb = generatePrimes(45, nb, degree);
+        auto pc = generatePrimes(50, 3, degree, pb);
+        std::vector<Modulus> mb, mc;
+        for (u64 p : pb)
+            mb.emplace_back(p);
+        for (u64 p : pc)
+            mc.emplace_back(p);
+        BaseConverter bc(mb, mc);
+
+        Rng rng(seed++);
+        RnsPoly in(degree, nb, Rep::Coeff);
+        for (size_t l = 0; l < nb; ++l) {
+            auto v = rng.uniformVector(degree, pb[l]);
+            std::copy(v.begin(), v.end(), in.limb(l));
+        }
+        RnsPoly rs = scalar.bconv(bc, in);
+        RnsPoly rv = simd->bconv(bc, in);
+        ASSERT_EQ(rs.numLimbs(), rv.numLimbs());
+        for (size_t l = 0; l < rs.numLimbs(); ++l) {
+            for (size_t c = 0; c < degree; ++c)
+                ASSERT_EQ(rs.limb(l)[c], rv.limb(l)[c])
+                    << "limb " << l << " coeff " << c;
+        }
+    }
+}
+
+/** evk MAC digit path per tier, including the full_nq > nq tail. */
+TEST_P(SimdTierParityTest, EvkMulAccParityPerTier)
+{
+    auto simd = simdAtTier(GetParam());
+    if (!simd)
+        GTEST_SKIP() << "tier not available on this host";
+    ScalarBackend scalar;
+
+    const size_t degree = 256;
+    const size_t np = 2, nq = 3, full_nq = nq + 1;
+    auto qs = generatePrimes(40, full_nq + np, degree);
+    std::vector<Modulus> key_moduli;
+    for (u64 q : qs)
+        key_moduli.emplace_back(q);
+
+    Rng rng(500);
+    RnsPoly digit(degree, nq + np, Rep::Eval);
+    RnsPoly evk_b(degree, full_nq + np, Rep::Eval);
+    RnsPoly evk_a(degree, full_nq + np, Rep::Eval);
+    for (size_t l = 0; l < nq + np; ++l) {
+        auto v = rng.uniformVector(degree, key_moduli[l].value());
+        std::copy(v.begin(), v.end(), digit.limb(l));
+    }
+    for (size_t l = 0; l < full_nq + np; ++l) {
+        auto vb = rng.uniformVector(degree, key_moduli[l].value());
+        auto va = rng.uniformVector(degree, key_moduli[l].value());
+        std::copy(vb.begin(), vb.end(), evk_b.limb(l));
+        std::copy(va.begin(), va.end(), evk_a.limb(l));
+    }
+
+    RnsPoly bs(degree, nq + np, Rep::Eval), as(degree, nq + np,
+                                               Rep::Eval);
+    RnsPoly bv(degree, nq + np, Rep::Eval), av(degree, nq + np,
+                                               Rep::Eval);
+    scalar.evkMulAcc(digit, evk_b, evk_a, nq, full_nq, key_moduli, bs,
+                     as);
+    simd->evkMulAcc(digit, evk_b, evk_a, nq, full_nq, key_moduli, bv,
+                    av);
+    for (size_t l = 0; l < nq + np; ++l) {
+        for (size_t c = 0; c < degree; ++c) {
+            ASSERT_EQ(bs.limb(l)[c], bv.limb(l)[c])
+                << "b limb " << l << " coeff " << c;
+            ASSERT_EQ(as.limb(l)[c], av.limb(l)[c])
+                << "a limb " << l << " coeff " << c;
+        }
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(Tiers, SimdTierParityTest,
+                         ::testing::Values(SimdTier::Scalar,
+                                           SimdTier::Avx2,
+                                           SimdTier::Avx512),
+                         [](const auto &info) {
+                             return std::string(
+                                 simdTierName(info.param));
+                         });
 
 } // namespace
 } // namespace ark

@@ -1,15 +1,22 @@
 /**
  * @file
- * ARK_BACKEND / ARK_THREADS environment-knob validation: junk values
- * must be rejected with a clear error (process exit naming the
- * offending value), never silently fall back or wrap.
+ * ARK_BACKEND / ARK_THREADS / ARK_SIMD_TIER environment-knob
+ * validation: junk values must be rejected with a clear error (process
+ * exit naming the offending value), never silently fall back or wrap —
+ * while a VALID tier request the host cannot satisfy (ARK_BACKEND=simd
+ * on a machine without that ISA) must clamp to what the CPU supports
+ * and keep computing correctly, never abort.
  */
 
 #include <cstdlib>
 
 #include <gtest/gtest.h>
 
+#include "common/random.h"
+#include "rns/backend.h"
 #include "rns/backend_kind.h"
+#include "rns/cpu_features.h"
+#include "rns/primes.h"
 
 namespace ark {
 namespace {
@@ -21,6 +28,8 @@ TEST(EnvConfig, ParseBackendKindAcceptsKnownNames)
     EXPECT_EQ(kind, BackendKind::Scalar);
     EXPECT_TRUE(parseBackendKind("parallel", kind));
     EXPECT_EQ(kind, BackendKind::Parallel);
+    EXPECT_TRUE(parseBackendKind("simd", kind));
+    EXPECT_EQ(kind, BackendKind::Simd);
 }
 
 TEST(EnvConfig, ParseBackendKindRejectsJunk)
@@ -98,6 +107,99 @@ TEST(EnvConfigDeathTest, JunkThreadsExitsWithClearError)
                 ::testing::ExitedWithCode(1),
                 "invalid ARK_THREADS '-1'");
     unsetenv("ARK_THREADS");
+}
+
+TEST(EnvConfig, ParseSimdTierAcceptsKnownNames)
+{
+    SimdTier tier = SimdTier::Avx512;
+    EXPECT_TRUE(parseSimdTier("scalar", tier));
+    EXPECT_EQ(tier, SimdTier::Scalar);
+    EXPECT_TRUE(parseSimdTier("neon", tier));
+    EXPECT_EQ(tier, SimdTier::Neon);
+    EXPECT_TRUE(parseSimdTier("avx2", tier));
+    EXPECT_EQ(tier, SimdTier::Avx2);
+    EXPECT_TRUE(parseSimdTier("avx512", tier));
+    EXPECT_EQ(tier, SimdTier::Avx512);
+}
+
+TEST(EnvConfig, ParseSimdTierRejectsJunk)
+{
+    SimdTier tier;
+    EXPECT_FALSE(parseSimdTier(nullptr, tier));
+    EXPECT_FALSE(parseSimdTier("", tier));
+    EXPECT_FALSE(parseSimdTier("AVX2", tier));
+    EXPECT_FALSE(parseSimdTier("avx2 ", tier));
+    EXPECT_FALSE(parseSimdTier("avx-512", tier));
+    EXPECT_FALSE(parseSimdTier("sse", tier));
+}
+
+TEST(EnvConfig, SimdTierEnvReaderUsesValidValues)
+{
+    setenv("ARK_SIMD_TIER", "avx2", 1);
+    EXPECT_EQ(simdTierFromEnv(SimdTier::Avx512), SimdTier::Avx2);
+    unsetenv("ARK_SIMD_TIER");
+    EXPECT_EQ(simdTierFromEnv(SimdTier::Avx512), SimdTier::Avx512);
+    // Empty counts as unset, not as junk.
+    setenv("ARK_SIMD_TIER", "", 1);
+    EXPECT_EQ(simdTierFromEnv(SimdTier::Scalar), SimdTier::Scalar);
+    unsetenv("ARK_SIMD_TIER");
+}
+
+TEST(EnvConfigDeathTest, JunkSimdTierExitsWithClearError)
+{
+    setenv("ARK_SIMD_TIER", "turbo", 1);
+    EXPECT_EXIT((void)simdTierFromEnv(SimdTier::Avx512),
+                ::testing::ExitedWithCode(1),
+                "invalid ARK_SIMD_TIER 'turbo'");
+    unsetenv("ARK_SIMD_TIER");
+}
+
+/**
+ * Requesting the simd backend never aborts, whatever the host CPU: the
+ * tier clamps to what CPUID reports (so ARK_BACKEND=simd on a
+ * no-AVX machine silently degrades to the scalar kernels), and the
+ * clamped backend still computes bit-correct NTTs. The capped requests
+ * below emulate progressively weaker hosts; each must come back at or
+ * below both the cap and the detected tier, and match the scalar
+ * backend bit for bit.
+ */
+TEST(EnvConfig, SimdBackendClampsToHostAndStaysCorrect)
+{
+    const size_t degree = 512;
+    auto qs = generatePrimes(45, 1, degree);
+    NttTables tables(degree, Modulus(qs[0]));
+    std::vector<const NttTables *> tp{&tables};
+    Rng rng(7);
+    RnsPoly ref(degree, 1, Rep::Coeff);
+    auto v = rng.uniformVector(degree, qs[0]);
+    std::copy(v.begin(), v.end(), ref.limb(0));
+    ScalarBackend scalar;
+    RnsPoly want = ref;
+    scalar.nttForward(want, tp);
+
+    for (SimdTier cap : {SimdTier::Scalar, SimdTier::Neon,
+                         SimdTier::Avx2, SimdTier::Avx512}) {
+        SCOPED_TRACE(simdTierName(cap));
+        SimdBackend be(cap);
+        EXPECT_LE(static_cast<int>(be.tier()), static_cast<int>(cap));
+        EXPECT_LE(static_cast<int>(be.tier()),
+                  static_cast<int>(detectSimdTier()));
+        RnsPoly got = ref;
+        be.nttForward(got, tp);
+        for (size_t i = 0; i < degree; ++i)
+            ASSERT_EQ(got.limb(0)[i], want.limb(0)[i]) << "i=" << i;
+    }
+
+    // The forced-fallback path spelled the way a user would: the env
+    // caps the tier below what the backend asks for.
+    setenv("ARK_SIMD_TIER", "scalar", 1);
+    SimdBackend forced(SimdTier::Avx512);
+    EXPECT_EQ(forced.tier(), SimdTier::Scalar);
+    unsetenv("ARK_SIMD_TIER");
+    RnsPoly got = ref;
+    forced.nttForward(got, tp);
+    for (size_t i = 0; i < degree; ++i)
+        ASSERT_EQ(got.limb(0)[i], want.limb(0)[i]) << "i=" << i;
 }
 
 } // namespace
