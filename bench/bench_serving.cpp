@@ -10,12 +10,21 @@
  * the paper's single-chip FCFS bound against the host's
  * request-parallel one.
  *
+ * A final row measures the network front-end: a WireClient submitting
+ * over a loopback socket to the WireServer in the same process
+ * (encrypt -> SUBMIT -> RESPONSE round trips, docs/wire_format.md).
+ *
  * `--smoke` shrinks the sweep for CI (a handful of requests per
  * config, small op caps); any failed request exits nonzero so CI can
- * gate on it.
+ * gate on it. `--json PATH` emits the rows machine-readably for
+ * scripts/check_bench_regression.py (baseline:
+ * bench/baselines/bench_serving.json).
  */
 
+#include <algorithm>
+#include <chrono>
 #include <cstdlib>
+#include <cstring>
 #include <future>
 #include <vector>
 
@@ -23,7 +32,10 @@
 #include "ckks/encoder.h"
 #include "ckks/encryptor.h"
 #include "ckks/keygen.h"
+#include "net/wire_client.h"
+#include "net/wire_server.h"
 #include "rns/backend_kind.h"
+#include "rns/cpu_features.h"
 #include "serve/batch_server.h"
 
 using namespace ark;
@@ -36,6 +48,72 @@ struct SweepPoint
     size_t kernel_threads; ///< parallel backend pool size (0 = hw)
     size_t workers;
 };
+
+/** One sweep row, also emitted to --json. Schema matches
+ *  bench_micro_kernels so check_bench_regression.py can diff it:
+ *  n = batch size, limbs = server workers, speedup = req/s (the
+ *  compared metric), baseline_ms/optimized_ms = p50/p99 latency.
+ *  simd-backend rows are named simd_* so the checker tier-gates
+ *  them. */
+struct Row
+{
+    std::string name;
+    size_t n = 0;
+    size_t limbs = 0;
+    double p50_ms = 0;
+    double p99_ms = 0;
+    double req_per_sec = 0;
+};
+
+std::vector<Row> g_rows;
+bool g_all_ok = true;
+
+std::string
+rowName(const SweepPoint &pt)
+{
+    switch (pt.kind) {
+    case BackendKind::Simd:
+        return "simd_serve";
+    case BackendKind::Parallel:
+        return "serve_parallel_kt" + std::to_string(pt.kernel_threads);
+    default:
+        return "serve_scalar";
+    }
+}
+
+bool
+writeJson(const std::string &path, bool smoke)
+{
+    std::FILE *f = std::fopen(path.c_str(), "w");
+    if (f == nullptr) {
+        std::fprintf(stderr, "cannot open %s for writing\n",
+                     path.c_str());
+        return false;
+    }
+    std::fprintf(f, "{\n  \"bench\": \"bench_serving\",\n");
+    std::fprintf(f, "  \"mode\": \"%s\",\n", smoke ? "smoke" : "full");
+    std::fprintf(f, "  \"simd_tier\": \"%s\",\n",
+                 simdTierName(SimdBackend().tier()));
+    std::fprintf(f, "  \"cpu_features\": \"%s\",\n",
+                 cpuFeatureString().c_str());
+    std::fprintf(f, "  \"parity_ok\": %s,\n",
+                 g_all_ok ? "true" : "false");
+    std::fprintf(f, "  \"results\": [\n");
+    for (size_t i = 0; i < g_rows.size(); ++i) {
+        const Row &r = g_rows[i];
+        std::fprintf(f,
+                     "    {\"name\": \"%s\", \"n\": %zu, \"limbs\": "
+                     "%zu, \"baseline_ms\": %.6f, \"optimized_ms\": "
+                     "%.6f, \"speedup\": %.3f}%s\n",
+                     r.name.c_str(), r.n, r.limbs, r.p50_ms, r.p99_ms,
+                     r.req_per_sec,
+                     i + 1 < g_rows.size() ? "," : "");
+    }
+    std::fprintf(f, "  ]\n}\n");
+    std::fclose(f);
+    std::printf("wrote %s\n", path.c_str());
+    return true;
+}
 
 /** Build the full serving stack for one config and run one batch. */
 ServeReport
@@ -97,13 +175,109 @@ runConfig(const CkksParams &base, const SweepPoint &pt, size_t batch,
     return rep;
 }
 
+/**
+ * The network front-end measured over a real (loopback) socket: one
+ * WireClient doing synchronous encrypt -> SUBMIT -> RESPONSE round
+ * trips against the WireServer, including serialization and framing
+ * (docs/wire_format.md) — the per-request wire overhead next to the
+ * in-process rows above.
+ */
+void
+runRemoteLoopback(const CkksParams &base, size_t requests)
+{
+    CkksContext ctx(base);
+    Rng rng(20220618);
+    KeyGenerator keygen(ctx, rng);
+    SecretKey sk = keygen.secretKey();
+    KeyCache keys(keygen, sk, ctx.degree());
+    CkksEncoder encoder(ctx);
+    CkksEncryptor encryptor(ctx, rng);
+
+    PlaintextStore store(ctx, PlaintextMode::OFLimb);
+    std::vector<Complex> m(base.num_slots, Complex(0.6, 0.05));
+    store.insert(encoder.encode(m, ctx.maxLevel()));
+
+    LowerOptions opt;
+    opt.max_ops = 16;
+    auto workloads = standardServingMix(base, opt);
+    std::vector<Ciphertext> inputs;
+    inputs.push_back(encryptor.encryptSymmetric(
+        encoder.encode(m, ctx.maxLevel()), sk));
+
+    BatchServerConfig cfg;
+    cfg.workers = 2;
+    BatchServer server(ctx, keys, store, workloads, inputs, cfg);
+    WireServer net(server);
+
+    WireClient client("127.0.0.1", net.port(), "bench-serving");
+    client.openSession("bench-tenant");
+    const RemoteWorkload &wl = client.workloads()[0];
+    Rng trng(99);
+    KeyGenerator tkeygen(client.context(), trng);
+    const SecretKey tsk = tkeygen.secretKey();
+    u64 seed = 0x5EEDull;
+    client.uploadMultiplicationKey(
+        tkeygen.evkMultSeeded(tsk, seed++));
+    for (i64 r : wl.rotations)
+        client.uploadRotationKey(
+            r, tkeygen.evkRotationSeeded(tsk, r, seed++));
+    CkksEncoder tenc(client.context());
+    CkksEncryptor tencr(client.context(), trng);
+    const Ciphertext input = tencr.encryptSymmetric(
+        tenc.encode(std::vector<Complex>(client.params().num_slots,
+                                         Complex(0.4, -0.1)),
+                    client.context().maxLevel()),
+        tsk);
+
+    using clock = std::chrono::steady_clock;
+    std::vector<double> lat_ms;
+    lat_ms.reserve(requests);
+    const auto t0 = clock::now();
+    for (size_t i = 0; i < requests; ++i) {
+        const auto r0 = clock::now();
+        const WireClient::SubmitOutcome out = client.submit(0, input);
+        const auto r1 = clock::now();
+        if (!out.ok) {
+            std::fprintf(stderr, "remote request failed: %s\n",
+                         out.error.c_str());
+            g_all_ok = false;
+        }
+        lat_ms.push_back(
+            std::chrono::duration<double, std::milli>(r1 - r0)
+                .count());
+    }
+    const double wall_s =
+        std::chrono::duration<double>(clock::now() - t0).count();
+    client.closeSession();
+    (void)server.drain();
+
+    std::sort(lat_ms.begin(), lat_ms.end());
+    const double p50 = lat_ms[lat_ms.size() / 2];
+    const double p99 = lat_ms[lat_ms.size() * 99 / 100];
+    const double rps =
+        wall_s > 0 ? static_cast<double>(requests) / wall_s : 0;
+
+    header("network front-end: loopback client <-> server round trips");
+    TablePrinter t({"path", "requests", "req/s", "p50 ms", "p99 ms"});
+    t.addRow({"wire (loopback TCP)", std::to_string(requests),
+              TablePrinter::fmt(rps, 1), TablePrinter::fmt(p50, 2),
+              TablePrinter::fmt(p99, 2)});
+    t.print();
+    std::printf("(synchronous round trips incl. serialization + "
+                "framing; compare the in-process rows above)\n");
+    g_rows.push_back({"remote_loopback", requests, 1, p50, p99, rps});
+}
+
 const char *kUsage =
     "bench_serving — batch-serving throughput sweep (src/serve/)\n"
     "\n"
-    "Usage: bench_serving [--smoke] [--help]\n"
-    "  --smoke   CI subset: 4 sweep points, 8 requests each, smaller\n"
+    "Usage: bench_serving [--smoke] [--json PATH] [--help]\n"
+    "  --smoke   CI subset: 7 sweep points, 8 requests each, smaller\n"
     "            per-request op caps. Any failed request still exits\n"
     "            nonzero.\n"
+    "  --json PATH  also write the sweep rows as JSON for\n"
+    "            scripts/check_bench_regression.py (committed\n"
+    "            baseline: bench/baselines/bench_serving.json).\n"
     "  --help    this text.\n"
     "\n"
     "Columns (host sweep):\n"
@@ -127,10 +301,24 @@ int
 main(int argc, char **argv)
 {
     bool smoke = false;
-    int exit_code = 0;
-    if (!parseBenchArgs(argc, argv, "bench_serving", kUsage, smoke,
-                        exit_code))
-        return exit_code;
+    std::string json_path;
+    for (int i = 1; i < argc; ++i) {
+        if (std::strcmp(argv[i], "--smoke") == 0) {
+            smoke = true;
+        } else if (std::strcmp(argv[i], "--json") == 0 &&
+                   i + 1 < argc) {
+            json_path = argv[++i];
+        } else if (std::strcmp(argv[i], "--help") == 0 ||
+                   std::strcmp(argv[i], "-h") == 0) {
+            std::fputs(kUsage, stdout);
+            return 0;
+        } else {
+            std::fprintf(stderr,
+                         "bench_serving: unknown flag '%s'\n\n%s",
+                         argv[i], kUsage);
+            return 2;
+        }
+    }
 
     // This binary sweeps backends explicitly; drop any env override so
     // every row measures what its label says.
@@ -148,7 +336,8 @@ main(int argc, char **argv)
                                         {BackendKind::Simd, 0, 1},
                                         {BackendKind::Simd, 0, 2},
                                         {BackendKind::Parallel, 2, 1},
-                                        {BackendKind::Parallel, 2, 2}}
+                                        {BackendKind::Parallel, 2, 2},
+                                        {BackendKind::Parallel, 4, 1}}
               : std::vector<SweepPoint>{{BackendKind::Scalar, 0, 1},
                                         {BackendKind::Scalar, 0, 2},
                                         {BackendKind::Scalar, 0, 4},
@@ -176,6 +365,9 @@ main(int argc, char **argv)
     for (const auto &pt : sweep) {
         ServeReport rep = runConfig(base, pt, batch, max_ops, all_ok);
         const std::string label = backendKindName(pt.kind);
+        g_rows.push_back({rowName(pt), batch, pt.workers,
+                          rep.latency.p50_ms, rep.latency.p99_ms,
+                          rep.requests_per_sec});
         t.addRow({label,
                   pt.kind == BackendKind::Parallel
                       ? std::to_string(pt.kernel_threads)
@@ -229,7 +421,15 @@ main(int argc, char **argv)
               fmtMs(sb.p50_latency, 1), fmtMs(sb.p99_latency, 1)});
     s.print();
 
-    if (!all_ok) {
+    // The same requests once more, but over a real socket: the wire
+    // protocol's per-request cost measured end to end.
+    runRemoteLoopback(base, smoke ? 8 : 32);
+
+    g_all_ok = g_all_ok && all_ok;
+    if (!json_path.empty() && !writeJson(json_path, smoke))
+        return 1;
+
+    if (!g_all_ok) {
         std::fprintf(stderr, "bench_serving: some requests failed\n");
         return 1;
     }

@@ -20,13 +20,24 @@
  * is flat — the table is about the routing split, which the last
  * column shows per shard.
  *
+ * Table 4 (per-tenant evk cache pressure): what the network
+ * front-end's multi-tenancy adds on top of the sharded key working
+ * set. Each remote tenant uploads its own evk set (one mult key plus
+ * the rotation keys of the workload mix) into an uploaded-mode
+ * KeyCache (docs/serving.md §3), so the host's resident evk bytes
+ * scale linearly with tenants — the table shows the resident MiB
+ * (KeyCache::byteSize) next to the wire MB it took to ship those keys
+ * seed-compressed vs raw (docs/wire_format.md §6).
+ *
  * `--smoke` shrinks every axis for CI and (always) gates the headline:
  * at 2 shards on bootstrap and ResNet, every shard's evk traffic must
  * be strictly below the single-chip EvkCluster baseline.
  */
 
+#include <algorithm>
 #include <cstdlib>
 #include <future>
+#include <memory>
 #include <vector>
 
 #include "bench_util.h"
@@ -34,8 +45,10 @@
 #include "ckks/encryptor.h"
 #include "ckks/keygen.h"
 #include "graph/builder.h"
+#include "rns/automorphism.h"
 #include "serve/batch_server.h"
 #include "shard/shard_plan.h"
+#include "wire/serializer.h"
 
 using namespace ark;
 
@@ -65,7 +78,10 @@ const char *kUsage =
     "Columns, table 2 (fleet serving): aggregate req/s of N chips\n"
     "draining the 4-workload mix, requests routed by program.\n"
     "Columns, table 3 (host serving): measured BatchServer req/s and\n"
-    "the per-shard request split under evk-affinity routing.\n";
+    "the per-shard request split under evk-affinity routing.\n"
+    "Columns, table 4 (tenant evk pressure): resident evk MiB on the\n"
+    "host and seeded-vs-raw upload wire MB as remote tenants\n"
+    "(docs/serving.md) each bring their own key set.\n";
 
 /** Greedy balance of whole requests onto chips by service time. */
 std::vector<size_t>
@@ -283,6 +299,104 @@ hostServingTable(bool smoke)
     return all_ok;
 }
 
+/**
+ * Per-tenant uploaded-evk cache pressure: each remote tenant's key
+ * set (1 mult + the mix's rotation evks, seed-compressed on the wire
+ * per docs/wire_format.md §6) lands in its own uploaded-mode
+ * KeyCache. Resident bytes via KeyCache::byteSize, wire bytes via the
+ * serializer itself.
+ */
+void
+tenantPressureTable(bool smoke)
+{
+    header("per-tenant evk cache pressure (network front-end)");
+    const CkksParams p = CkksParams::testTiny();
+    CkksContext ctx(p);
+
+    // The rotation-amount union of the standard mix: exactly the evks
+    // one tenant must upload to run every workload.
+    LowerOptions opt;
+    opt.max_ops = smoke ? 16 : 32;
+    std::vector<i64> amounts;
+    for (const ServeWorkload &w : standardServingMix(p, opt)) {
+        for (i64 r : w.rotationAmounts())
+            amounts.push_back(r);
+    }
+    std::sort(amounts.begin(), amounts.end());
+    amounts.erase(std::unique(amounts.begin(), amounts.end()),
+                  amounts.end());
+
+    Rng rng(7);
+    TablePrinter t({"tenants", "evks/tenant", "resident MiB",
+                    "wire MB (seeded)", "wire MB (raw)", "savings"});
+    std::vector<std::unique_ptr<KeyCache>> tenants;
+    u64 seed = 0xBEEF;
+    size_t seeded_wire = 0, raw_wire = 0;
+    for (size_t n : smoke ? std::vector<size_t>{1, 2}
+                          : std::vector<size_t>{1, 2, 4, 8}) {
+        while (tenants.size() < n) {
+            // One tenant: fresh secret, seeded evks, uploaded-mode
+            // cache — the same path a WireServer session takes.
+            KeyGenerator keygen(ctx, rng);
+            const SecretKey sk = keygen.secretKey();
+            auto cache = std::make_unique<KeyCache>(ctx.degree());
+            {
+                const EvalKey mult =
+                    keygen.evkMultSeeded(sk, seed++);
+                ByteWriter ws, wr;
+                writeEvalKey(ws, EvalKeyPurpose::Multiplication, 0,
+                             mult);
+                EvalKey raw = mult;
+                raw.seeded = false;
+                writeEvalKey(wr, EvalKeyPurpose::Multiplication, 0,
+                             raw);
+                seeded_wire += ws.size();
+                raw_wire += wr.size();
+                cache->insertMultiplication(mult);
+            }
+            for (i64 r : amounts) {
+                const EvalKey key =
+                    keygen.evkRotationSeeded(sk, r, seed++);
+                ByteWriter ws, wr;
+                writeEvalKey(ws, EvalKeyPurpose::Galois,
+                             galoisElt(r, ctx.degree()), key);
+                EvalKey raw = key;
+                raw.seeded = false;
+                writeEvalKey(wr, EvalKeyPurpose::Galois,
+                             galoisElt(r, ctx.degree()), raw);
+                seeded_wire += ws.size();
+                raw_wire += wr.size();
+                cache->insertRotation(r, key);
+            }
+            tenants.push_back(std::move(cache));
+        }
+        size_t resident = 0;
+        for (const auto &c : tenants)
+            resident += c->byteSize();
+        t.addRow({std::to_string(n),
+                  std::to_string(1 + amounts.size()),
+                  TablePrinter::fmt(static_cast<double>(resident) /
+                                        (1024.0 * 1024.0),
+                                    2),
+                  TablePrinter::fmt(static_cast<double>(seeded_wire) /
+                                        1e6,
+                                    2),
+                  TablePrinter::fmt(static_cast<double>(raw_wire) /
+                                        1e6,
+                                    2),
+                  TablePrinter::fmt(
+                      seeded_wire > 0
+                          ? static_cast<double>(raw_wire) /
+                                static_cast<double>(seeded_wire)
+                          : 0,
+                      2)});
+    }
+    t.print();
+    std::printf("(resident = uploaded-mode KeyCache::byteSize summed "
+                "over tenants; wire = cumulative EVAL_KEY frame "
+                "bytes, seed-compressed vs raw)\n");
+}
+
 } // namespace
 
 int
@@ -297,6 +411,7 @@ main(int argc, char **argv)
     const bool gate_ok = dagShardingTable(smoke);
     fleetServingTable(smoke);
     const bool serve_ok = hostServingTable(smoke);
+    tenantPressureTable(smoke);
 
     if (!gate_ok) {
         std::fprintf(stderr, "bench_sharding: sharding gate failed\n");

@@ -1,0 +1,337 @@
+/**
+ * @file
+ * Remote serving walkthrough over the wire protocol
+ * (docs/wire_format.md): the OpenFHE-style client flow against a live
+ * ARK batch server — connect, receive the parameter set, generate
+ * keys locally, upload the evks seed-compressed (§6), encrypt, submit,
+ * decrypt. docs/serving.md narrates the same steps.
+ *
+ * Three modes:
+ *   --serve [--port N]   stand up the server half (BatchServer +
+ *                        WireServer) on the standard 4-workload mix
+ *                        and serve until killed. Honors the
+ *                        ARK_LISTEN_* environment knobs
+ *                        (docs/configuration.md).
+ *   --connect ADDR PORT  run the client flow against a live server
+ *                        and print every step.
+ *   --smoke              server + client in one process on an
+ *                        ephemeral loopback port; additionally
+ *                        replays the identical request in-process
+ *                        (BatchServer::trySubmitRemote) and exits
+ *                        nonzero unless the two results are
+ *                        bit-identical. CI runs this.
+ */
+
+#include <chrono>
+#include <cinttypes>
+#include <cstdio>
+#include <cstring>
+#include <future>
+#include <memory>
+#include <thread>
+#include <vector>
+
+#include "ckks/encoder.h"
+#include "ckks/encryptor.h"
+#include "ckks/keygen.h"
+#include "net/wire_client.h"
+#include "net/wire_server.h"
+
+using namespace ark;
+
+namespace {
+
+/** Everything the server half owns; mirrors the serving_demo stack
+ *  plus the wire front-end. */
+struct ServerStack
+{
+    std::unique_ptr<CkksContext> ctx;
+    Rng rng{20221001};
+    std::unique_ptr<KeyGenerator> keygen;
+    SecretKey sk;
+    std::unique_ptr<KeyCache> keys;
+    std::unique_ptr<PlaintextStore> store;
+    std::vector<ServeWorkload> workloads;
+    std::vector<Ciphertext> inputs;
+    std::unique_ptr<BatchServer> server;
+    std::unique_ptr<WireServer> net;
+
+    explicit ServerStack(u16 port)
+    {
+        CkksParams p = CkksParams::testTiny();
+        ctx = std::make_unique<CkksContext>(p);
+        keygen = std::make_unique<KeyGenerator>(*ctx, rng);
+        sk = keygen->secretKey();
+        keys = std::make_unique<KeyCache>(*keygen, sk, ctx->degree());
+        CkksEncoder encoder(*ctx);
+        CkksEncryptor encryptor(*ctx, rng);
+
+        store = std::make_unique<PlaintextStore>(*ctx,
+                                                 PlaintextMode::OFLimb);
+        std::vector<Complex> m(p.num_slots, Complex(0.7, 0.1));
+        store->insert(encoder.encode(m, ctx->maxLevel()));
+
+        LowerOptions opt;
+        opt.max_ops = 20;
+        workloads = standardServingMix(p, opt);
+
+        inputs.push_back(encryptor.encryptSymmetric(
+            encoder.encode(m, ctx->maxLevel()), sk));
+
+        // Environment overrides (ARK_LISTEN_ADDR / ARK_LISTEN_PORT /
+        // ARK_MAX_SESSIONS / ARK_MAX_FRAME_MIB) apply first; an
+        // explicit --port wins over all of them.
+        BatchServerConfig cfg = serveConfigFromEnv();
+        cfg.workers = 2;
+        if (port != 0)
+            cfg.listen_port = port;
+        server = std::make_unique<BatchServer>(
+            *ctx, *keys, *store, workloads, inputs, cfg);
+        net = std::make_unique<WireServer>(*server);
+    }
+};
+
+/** The client flow's artifacts, kept so --smoke can replay the exact
+ *  request in-process for the bit-parity gate. */
+struct FlowArtifacts
+{
+    bool ok = false;
+    size_t workload_index = 0;
+    EvalKey mult;
+    std::vector<std::pair<i64, EvalKey>> rotations;
+    Ciphertext input;
+    WireClient::SubmitOutcome remote;
+};
+
+/** Serialized size of @p key as the wire would ship it. */
+size_t
+evkWireBytes(const EvalKey &key, bool seeded)
+{
+    EvalKey k = key;
+    k.seeded = seeded;
+    ByteWriter w;
+    writeEvalKey(w, EvalKeyPurpose::Multiplication, 0, k);
+    return w.size();
+}
+
+/** The full tenant flow against a live server; prints every step. */
+FlowArtifacts
+runClientFlow(const std::string &addr, u16 port)
+{
+    FlowArtifacts art;
+    std::printf("connecting to %s:%u ...\n", addr.c_str(),
+                static_cast<unsigned>(port));
+    WireClient client(addr, port, "remote-client-demo");
+    const CkksParams &p = client.params();
+    std::printf("  server params: %s (N=%zu, %d levels), params "
+                "hash %016" PRIx64 "\n",
+                p.name.c_str(), p.degree, p.max_level,
+                client.boundParamsHash());
+    std::printf("  workload catalog (%zu entries):\n",
+                client.workloads().size());
+    for (const RemoteWorkload &w : client.workloads()) {
+        std::printf("    %-18s %3zu ops, needs %zu levels, %zu "
+                    "rotation keys\n",
+                    w.name.c_str(), w.op_count, w.levels_needed,
+                    w.rotations.size());
+    }
+
+    const u64 session = client.openSession("remote-client-demo");
+    std::printf("  session %" PRIu64 " open\n", session);
+
+    // Local keygen against the received params — the server never
+    // sees the secret key, only the evks (seed-compressed, §6).
+    art.workload_index = 0;
+    const RemoteWorkload &wl = client.workloads()[art.workload_index];
+    Rng tenant_rng(static_cast<u64>(
+        std::chrono::steady_clock::now().time_since_epoch().count()));
+    KeyGenerator keygen(client.context(), tenant_rng);
+    const SecretKey sk = keygen.secretKey();
+    u64 seed = tenant_rng.next();
+    art.mult = keygen.evkMultSeeded(sk, seed++);
+    for (i64 r : wl.rotations)
+        art.rotations.emplace_back(
+            r, keygen.evkRotationSeeded(sk, r, seed++));
+
+    const size_t seeded_b = evkWireBytes(art.mult, true);
+    const size_t raw_b = evkWireBytes(art.mult, false);
+    std::printf("  evk on the wire: %zu bytes seeded vs %zu raw "
+                "(%.2fx smaller)\n",
+                seeded_b, raw_b,
+                static_cast<double>(raw_b) /
+                    static_cast<double>(seeded_b));
+
+    u64 resident = client.uploadMultiplicationKey(art.mult);
+    for (const auto &[r, key] : art.rotations)
+        resident = client.uploadRotationKey(r, key);
+    std::printf("  uploaded 1 mult + %zu rotation evks; server-side "
+                "tenant footprint %.2f MiB\n",
+                art.rotations.size(),
+                static_cast<double>(resident) / (1024.0 * 1024.0));
+
+    // Encrypt the tenant's own input and submit.
+    CkksEncoder encoder(client.context());
+    CkksEncryptor encryptor(client.context(), tenant_rng);
+    std::vector<Complex> msg(p.num_slots);
+    for (size_t i = 0; i < msg.size(); ++i)
+        msg[i] = Complex(0.5 + 0.001 * static_cast<double>(i % 13),
+                         0.02);
+    art.input = encryptor.encryptSymmetric(
+        encoder.encode(msg, client.context().maxLevel()), sk);
+
+    std::printf("  submitting workload '%s' ...\n", wl.name.c_str());
+    art.remote = client.submit(art.workload_index, art.input);
+    if (!art.remote.ok) {
+        std::fprintf(stderr, "  request failed: %s (%s)\n",
+                     art.remote.error.c_str(),
+                     wireCodeName(art.remote.code));
+        return art;
+    }
+    std::printf("  ok: %" PRIu64 " HE ops, %.2f ms server latency, "
+                "level %d, checksum %016" PRIx64 "\n",
+                art.remote.he_ops, art.remote.latency_ms,
+                art.remote.final_level, art.remote.checksum);
+
+    // Decrypt locally — the server only ever handled ciphertext.
+    CkksDecryptor decryptor(client.context(), sk);
+    const std::vector<Complex> out = encoder.decode(
+        decryptor.decrypt(art.remote.output), p.num_slots);
+    std::printf("  decrypted result slot[0] = (%.6f, %.6f)\n",
+                out[0].real(), out[0].imag());
+
+    client.closeSession();
+    std::printf("  session closed\n");
+    art.ok = true;
+    return art;
+}
+
+/** --smoke: loopback round trip plus the in-process bit-parity gate. */
+int
+runSmoke()
+{
+    ServerStack s(/*port=*/0);
+    std::printf("loopback server on %s:%u\n", s.net->addr().c_str(),
+                static_cast<unsigned>(s.net->port()));
+    FlowArtifacts art = runClientFlow("127.0.0.1", s.net->port());
+    if (!art.ok) {
+        std::fprintf(stderr, "remote_client: client flow failed\n");
+        return 1;
+    }
+
+    // Replay the identical request in-process: same uploaded key
+    // material, same input ciphertext, straight into
+    // trySubmitRemote. Execution is pure, so anything but
+    // bit-identical results is a wire-layer bug.
+    KeyCache local(s.ctx->degree());
+    local.insertMultiplication(art.mult);
+    for (const auto &[r, key] : art.rotations)
+        local.insertRotation(r, key);
+    std::future<ServeResult> fut;
+    if (s.server->trySubmitRemote(
+            art.workload_index,
+            std::make_shared<Ciphertext>(art.input), &local, fut) !=
+        AdmitResult::Admitted) {
+        std::fprintf(stderr, "remote_client: in-process replay "
+                             "refused admission\n");
+        return 1;
+    }
+    const ServeResult in_process = fut.get();
+    if (!in_process.ok) {
+        std::fprintf(stderr, "remote_client: in-process replay "
+                             "failed: %s\n",
+                     in_process.error.c_str());
+        return 1;
+    }
+    if (in_process.checksum != art.remote.checksum ||
+        in_process.final_level != art.remote.final_level) {
+        std::fprintf(stderr,
+                     "remote_client: PARITY FAILURE: remote checksum "
+                     "%016" PRIx64 " level %d vs in-process "
+                     "%016" PRIx64 " level %d\n",
+                     art.remote.checksum, art.remote.final_level,
+                     in_process.checksum, in_process.final_level);
+        return 1;
+    }
+    std::printf("parity: remote result bit-identical to in-process "
+                "execution (checksum %016" PRIx64 ")\n",
+                art.remote.checksum);
+    return 0;
+}
+
+int
+runServe(u16 port)
+{
+    ServerStack s(port);
+    std::printf("serving on %s:%u (%zu workloads, %zu workers, "
+                "max %zu sessions) — Ctrl-C to stop\n",
+                s.net->addr().c_str(),
+                static_cast<unsigned>(s.net->port()),
+                s.workloads.size(), s.server->workers(),
+                s.server->config().max_sessions);
+    std::printf("connect with: remote_client --connect %s %u\n",
+                s.net->addr().c_str(),
+                static_cast<unsigned>(s.net->port()));
+    for (;;)
+        std::this_thread::sleep_for(std::chrono::seconds(1));
+}
+
+const char *kUsage =
+    "remote_client — wire-protocol serving walkthrough "
+    "(docs/serving.md)\n"
+    "\n"
+    "usage: remote_client --serve [--port N]\n"
+    "       remote_client --connect ADDR PORT\n"
+    "       remote_client --smoke\n"
+    "\n"
+    "  --serve     stand up BatchServer + WireServer on the standard\n"
+    "              workload mix and serve until killed. Binds\n"
+    "              127.0.0.1 on an ephemeral port by default;\n"
+    "              override with --port or the ARK_LISTEN_ADDR /\n"
+    "              ARK_LISTEN_PORT environment knobs\n"
+    "              (docs/configuration.md).\n"
+    "  --connect   run the tenant flow against a live server:\n"
+    "              receive params -> keygen -> upload seeded evks ->\n"
+    "              encrypt -> submit -> decrypt.\n"
+    "  --smoke     both halves in one process on a loopback port,\n"
+    "              plus an in-process replay that must be\n"
+    "              bit-identical (nonzero exit otherwise). CI mode.\n";
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    if (argc >= 2 && std::strcmp(argv[1], "--smoke") == 0)
+        return runSmoke();
+    if (argc >= 2 && std::strcmp(argv[1], "--serve") == 0) {
+        u16 port = 0;
+        if (argc >= 4 && std::strcmp(argv[2], "--port") == 0) {
+            const long v = std::strtol(argv[3], nullptr, 10);
+            if (v < 0 || v > 65535) {
+                std::fprintf(stderr, "bad --port '%s'\n", argv[3]);
+                return 2;
+            }
+            port = static_cast<u16>(v);
+        }
+        return runServe(port);
+    }
+    if (argc == 4 && std::strcmp(argv[1], "--connect") == 0) {
+        const long v = std::strtol(argv[3], nullptr, 10);
+        if (v <= 0 || v > 65535) {
+            std::fprintf(stderr, "bad port '%s'\n", argv[3]);
+            return 2;
+        }
+        FlowArtifacts art =
+            runClientFlow(argv[2], static_cast<u16>(v));
+        return art.ok ? 0 : 1;
+    }
+    std::fputs(kUsage, argc >= 2 &&
+                           (std::strcmp(argv[1], "--help") == 0 ||
+                            std::strcmp(argv[1], "-h") == 0)
+                   ? stdout
+                   : stderr);
+    return argc >= 2 && (std::strcmp(argv[1], "--help") == 0 ||
+                         std::strcmp(argv[1], "-h") == 0)
+               ? 0
+               : 2;
+}

@@ -7,18 +7,43 @@
  * whole point of Min-KS (paper Section IV-A) is to shrink that set, so
  * the cache records every distinct evk requested; tests and the
  * traffic analyzer read the count back.
+ *
+ * Two modes share the class:
+ *
+ *  - **Generating** (the classic mode): constructed with a
+ *    KeyGenerator + SecretKey, misses are generated on first use.
+ *  - **Uploaded** (the serving front-end's per-tenant mode):
+ *    constructed with only the ring degree; keys arrive via insert*()
+ *    — deserialized from EVAL_KEY wire frames
+ *    (docs/wire_format.md §5.7) — and a lookup miss throws
+ *    MissingKeyError instead of generating, because the cache holds
+ *    no secret to generate from. The WireServer maps that error to
+ *    the MISSING_KEY wire code.
  */
 
 #pragma once
 
 #include <algorithm>
 #include <map>
+#include <memory>
 #include <mutex>
+#include <stdexcept>
 #include <vector>
 
 #include "ckks/keygen.h"
 
 namespace ark {
+
+/** Thrown by an uploaded-mode KeyCache when a requested evk was never
+ *  uploaded (wire error code MISSING_KEY, docs/wire_format.md §7). */
+class MissingKeyError : public std::runtime_error
+{
+  public:
+    explicit MissingKeyError(const std::string &what)
+        : std::runtime_error(what)
+    {
+    }
+};
 
 /**
  * Generates and caches evks keyed by Galois element.
@@ -37,10 +62,15 @@ namespace ark {
 class KeyCache
 {
   public:
+    /** Generating mode: misses are filled from @p keygen. */
     KeyCache(KeyGenerator &keygen, const SecretKey &sk, size_t degree)
-        : keygen_(keygen), sk_(sk), degree_(degree)
+        : keygen_(&keygen), sk_(&sk), degree_(degree)
     {
     }
+
+    /** Uploaded mode: keys arrive via insert*(); misses throw
+     *  MissingKeyError. Used per tenant by the network front-end. */
+    explicit KeyCache(size_t degree) : degree_(degree) {}
 
     /** Rotation key for amount r (generated on first use). */
     const EvalKey &rotation(i64 r)
@@ -55,7 +85,7 @@ class KeyCache
      * only on the set, not on how the caller gathered it. Call while
      * single-threaded (setup phase) for reproducible material; safe,
      * but order-sensitive again, if keys were already generated
-     * elsewhere.
+     * elsewhere. Generating mode only.
      */
     void warm(std::vector<i64> amounts)
     {
@@ -76,9 +106,33 @@ class KeyCache
     {
         std::lock_guard<std::mutex> lk(m_);
         if (!mult_) {
-            mult_ = std::make_unique<EvalKey>(keygen_.evkMult(sk_));
+            if (keygen_ == nullptr)
+                throw MissingKeyError(
+                    "no multiplication evk uploaded");
+            mult_ = std::make_unique<EvalKey>(keygen_->evkMult(*sk_));
         }
         return *mult_;
+    }
+
+    /** Store an uploaded rotation/conjugation evk under its Galois
+     *  element (replacing any previous upload for that element). */
+    void insertGalois(u64 galois_elt, EvalKey key)
+    {
+        std::lock_guard<std::mutex> lk(m_);
+        keys_[galois_elt] = std::move(key);
+    }
+
+    /** Store an uploaded rotation evk by rotation amount. */
+    void insertRotation(i64 r, EvalKey key)
+    {
+        insertGalois(galoisElt(r, degree_), std::move(key));
+    }
+
+    /** Store an uploaded multiplication evk. */
+    void insertMultiplication(EvalKey key)
+    {
+        std::lock_guard<std::mutex> lk(m_);
+        mult_ = std::make_unique<EvalKey>(std::move(key));
     }
 
     /** Number of distinct rotation/conjugation evks materialized. */
@@ -88,7 +142,9 @@ class KeyCache
         return keys_.size();
     }
 
-    /** Total bytes of cached evk material (the Min-KS working set). */
+    /** Total bytes of cached evk material (the Min-KS working set;
+     *  for an uploaded-mode cache, the tenant's resident key
+     *  footprint the serving benches report). */
     size_t byteSize() const
     {
         std::lock_guard<std::mutex> lk(m_);
@@ -106,16 +162,20 @@ class KeyCache
         std::lock_guard<std::mutex> lk(m_);
         auto it = keys_.find(galois_elt);
         if (it == keys_.end()) {
+            if (keygen_ == nullptr)
+                throw MissingKeyError(
+                    "no evk uploaded for galois element " +
+                    std::to_string(galois_elt));
             it = keys_.emplace(galois_elt,
-                               keygen_.evkGalois(sk_, galois_elt))
+                               keygen_->evkGalois(*sk_, galois_elt))
                      .first;
         }
         return it->second;
     }
 
-    KeyGenerator &keygen_;
-    const SecretKey &sk_;
-    size_t degree_;
+    KeyGenerator *keygen_ = nullptr;
+    const SecretKey *sk_ = nullptr;
+    size_t degree_ = 0;
     mutable std::mutex m_;
     std::map<u64, EvalKey> keys_;
     std::unique_ptr<EvalKey> mult_;

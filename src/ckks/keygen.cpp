@@ -8,6 +8,40 @@
 
 namespace ark {
 
+std::vector<RnsPoly>
+expandSeededEvkA(const CkksContext &ctx, u64 seed)
+{
+    // docs/wire_format.md §6: one fresh Rng per key, digits in
+    // ascending order, limbs in extended-basis order within a digit.
+    // Any change here is a wire-format break.
+    Rng rng(seed);
+    const auto moduli = ctx.keyModuli(ctx.maxLevel());
+    std::vector<RnsPoly> out;
+    out.reserve(static_cast<size_t>(ctx.dnum()));
+    for (int d = 0; d < ctx.dnum(); ++d) {
+        RnsPoly p(ctx.degree(), moduli.size(), Rep::Eval);
+        for (size_t l = 0; l < moduli.size(); ++l) {
+            auto v = rng.uniformVector(ctx.degree(), moduli[l].value());
+            std::copy(v.begin(), v.end(), p.limb(l));
+        }
+        out.push_back(std::move(p));
+    }
+    return out;
+}
+
+RnsPoly
+expandSeededPkA(const CkksContext &ctx, u64 seed)
+{
+    Rng rng(seed);
+    const auto moduli = ctx.levelModuli(ctx.maxLevel());
+    RnsPoly p(ctx.degree(), moduli.size(), Rep::Eval);
+    for (size_t l = 0; l < moduli.size(); ++l) {
+        auto v = rng.uniformVector(ctx.degree(), moduli[l].value());
+        std::copy(v.begin(), v.end(), p.limb(l));
+    }
+    return p;
+}
+
 KeyGenerator::KeyGenerator(const CkksContext &ctx, Rng &rng)
     : ctx_(ctx), rng_(rng)
 {
@@ -81,7 +115,8 @@ KeyGenerator::publicKey(const SecretKey &sk)
 }
 
 EvalKey
-KeyGenerator::makeEvk(const SecretKey &sk, const RnsPoly &s_prime)
+KeyGenerator::makeEvk(const SecretKey &sk, const RnsPoly &s_prime,
+                      const std::vector<RnsPoly> *seeded_a)
 {
     const int L = ctx_.maxLevel();
     const auto moduli = ctx_.keyModuli(L);
@@ -91,7 +126,9 @@ KeyGenerator::makeEvk(const SecretKey &sk, const RnsPoly &s_prime)
 
     EvalKey evk;
     for (int d = 0; d < ctx_.dnum(); ++d) {
-        RnsPoly a = uniformKeyPoly();
+        RnsPoly a = seeded_a != nullptr
+                        ? (*seeded_a)[static_cast<size_t>(d)]
+                        : uniformKeyPoly();
         RnsPoly e = errorKeyPoly();
         const auto &g = ctx_.gadget(d);
 
@@ -144,6 +181,66 @@ EvalKey
 KeyGenerator::evkConjugate(const SecretKey &sk)
 {
     return evkGalois(sk, galoisEltConjugate(ctx_.degree()));
+}
+
+PublicKey
+KeyGenerator::publicKeySeeded(const SecretKey &sk, u64 a_seed)
+{
+    const int L = ctx_.maxLevel();
+    const auto q_moduli = ctx_.levelModuli(L);
+    const size_t nq = q_moduli.size();
+    const size_t n = ctx_.degree();
+    KernelBackend &kb = ctx_.backend();
+
+    PublicKey pk;
+    pk.a = expandSeededPkA(ctx_, a_seed);
+    auto e = rng_.errorVector(n);
+    RnsPoly ep = polyFromSigned(e, q_moduli);
+    kb.nttForward(ep, ctx_.qTables());
+
+    RnsPoly s(n, nq, Rep::Eval);
+    for (size_t l = 0; l < nq; ++l)
+        std::copy(sk.s.limb(l), sk.s.limb(l) + n, s.limb(l));
+    RnsPoly as(n, nq, Rep::Eval);
+    kb.mulEval(pk.a, s, q_moduli, as);
+    pk.b = RnsPoly(n, nq, Rep::Eval);
+    kb.sub(ep, as, q_moduli, pk.b);
+    pk.a_seed = a_seed;
+    pk.seeded = true;
+    return pk;
+}
+
+EvalKey
+KeyGenerator::evkMultSeeded(const SecretKey &sk, u64 a_seed)
+{
+    const auto moduli = ctx_.keyModuli(ctx_.maxLevel());
+    RnsPoly s2(ctx_.degree(), moduli.size(), Rep::Eval);
+    ctx_.backend().mulEval(sk.s, sk.s, moduli, s2);
+    const auto a = expandSeededEvkA(ctx_, a_seed);
+    EvalKey evk = makeEvk(sk, s2, &a);
+    evk.a_seed = a_seed;
+    evk.seeded = true;
+    return evk;
+}
+
+EvalKey
+KeyGenerator::evkGaloisSeeded(const SecretKey &sk, u64 galois_elt,
+                              u64 a_seed)
+{
+    const auto moduli = ctx_.keyModuli(ctx_.maxLevel());
+    const Automorphism &am = ctx_.automorphism(galois_elt);
+    RnsPoly sr = ctx_.backend().automorphism(am, sk.s, moduli);
+    const auto a = expandSeededEvkA(ctx_, a_seed);
+    EvalKey evk = makeEvk(sk, sr, &a);
+    evk.a_seed = a_seed;
+    evk.seeded = true;
+    return evk;
+}
+
+EvalKey
+KeyGenerator::evkRotationSeeded(const SecretKey &sk, i64 r, u64 a_seed)
+{
+    return evkGaloisSeeded(sk, galoisElt(r, ctx_.degree()), a_seed);
 }
 
 } // namespace ark

@@ -1,0 +1,259 @@
+#include "net/wire_client.h"
+
+#include "rns/automorphism.h"
+
+namespace ark {
+
+namespace {
+
+/** Decode a §5.15 ERROR body into a WireError. */
+WireError
+decodeError(const std::vector<u8> &body)
+{
+    ByteReader r(body);
+    const WireCode code = static_cast<WireCode>(r.getU16());
+    r.getU8(); // fatal flag (thrown errors are treated as fatal)
+    const std::string msg = r.getString();
+    r.finish();
+    return WireError(code, std::string(wireCodeName(code)) + ": " +
+                               msg);
+}
+
+} // namespace
+
+WireClient::WireClient(const std::string &addr, u16 port,
+                       const std::string &client_name)
+{
+    stream_ = std::make_unique<TcpStream>(
+        TcpStream::connect(addr, port));
+
+    // §5.1 CLIENT_HELLO: this implementation speaks exactly v1.
+    {
+        ByteWriter w;
+        w.putU16(kWireVersion);
+        w.putU16(kWireVersion);
+        w.putString(client_name);
+        stream_->sendFrame(FrameType::ClientHello, 0, w.take());
+    }
+
+    // §5.2 SERVER_HELLO.
+    {
+        TcpStream::Frame f =
+            stream_->recvFrame(server_max_frame_bytes_);
+        if (f.header.type == FrameType::Error)
+            throw decodeError(f.body);
+        if (f.header.type != FrameType::ServerHello)
+            throw WireError(WireCode::Protocol,
+                            std::string("expected SERVER_HELLO, got ") +
+                                frameTypeName(f.header.type));
+        ByteReader r(f.body);
+        const u16 version = r.getU16();
+        if (version != kWireVersion)
+            throw WireError(WireCode::UnsupportedVersion,
+                            "server negotiated unsupported version " +
+                                std::to_string(version));
+        r.getString(); // server name (informational)
+        server_max_sessions_ = r.getU32();
+        server_max_frame_bytes_ = r.getU64();
+        r.finish();
+        params_hash_ = f.header.params_hash;
+    }
+
+    // §5.3 PARAMS: rebuild the scheme context locally and verify the
+    // §3 hash binding — the strongest possible check that both sides
+    // agree on every scheme-defining field.
+    {
+        TcpStream::Frame f =
+            stream_->recvFrame(server_max_frame_bytes_);
+        if (f.header.type != FrameType::Params)
+            throw WireError(WireCode::Protocol,
+                            std::string("expected PARAMS, got ") +
+                                frameTypeName(f.header.type));
+        ByteReader r(f.body);
+        params_ = readParams(r);
+        r.finish();
+        if (paramsHash(params_) != params_hash_)
+            throw WireError(
+                WireCode::ParamsMismatch,
+                "PARAMS body hashes to a different value than the "
+                "bound parameter-set hash");
+        ctx_ = std::make_unique<CkksContext>(params_);
+    }
+
+    // §5.4 WORKLOAD_LIST.
+    {
+        TcpStream::Frame f =
+            stream_->recvFrame(server_max_frame_bytes_);
+        if (f.header.type != FrameType::WorkloadList)
+            throw WireError(
+                WireCode::Protocol,
+                std::string("expected WORKLOAD_LIST, got ") +
+                    frameTypeName(f.header.type));
+        ByteReader r(f.body);
+        const u32 count = r.getU32();
+        workloads_.reserve(count);
+        for (u32 i = 0; i < count; ++i) {
+            RemoteWorkload wl;
+            wl.name = r.getString();
+            wl.op_count = r.getU32();
+            wl.levels_needed = r.getU32();
+            const u32 n_rot = r.getU32();
+            wl.rotations.reserve(n_rot);
+            for (u32 j = 0; j < n_rot; ++j)
+                wl.rotations.push_back(r.getI64());
+            workloads_.push_back(std::move(wl));
+        }
+        r.finish();
+    }
+}
+
+WireClient::~WireClient()
+{
+    disconnect();
+}
+
+void
+WireClient::disconnect()
+{
+    if (stream_) {
+        stream_->shutdownBoth();
+        stream_.reset();
+    }
+    session_open_ = false;
+}
+
+TcpStream::Frame
+WireClient::roundTrip(FrameType type, const std::vector<u8> &body)
+{
+    if (!stream_)
+        throw NetError("client is disconnected");
+    stream_->sendFrame(type, params_hash_, body);
+    TcpStream::Frame f = stream_->recvFrame(server_max_frame_bytes_);
+    // §3: the server binds every post-hello frame to the set too.
+    if (f.header.type != FrameType::Error &&
+        f.header.params_hash != params_hash_)
+        throw WireError(WireCode::ParamsMismatch,
+                        "server frame bound to a different "
+                        "parameter-set hash");
+    return f;
+}
+
+u64
+WireClient::openSession(const std::string &tenant_name)
+{
+    ByteWriter w;
+    w.putString(tenant_name);
+    TcpStream::Frame f = roundTrip(FrameType::OpenSession, w.take());
+    if (f.header.type == FrameType::Error)
+        throw decodeError(f.body);
+    if (f.header.type != FrameType::SessionAccept)
+        throw WireError(WireCode::Protocol,
+                        std::string("expected SESSION_ACCEPT, got ") +
+                            frameTypeName(f.header.type));
+    ByteReader r(f.body);
+    session_id_ = r.getU64();
+    r.finish();
+    session_open_ = true;
+    return session_id_;
+}
+
+u64
+WireClient::keyAck(TcpStream::Frame f)
+{
+    if (f.header.type == FrameType::Error)
+        throw decodeError(f.body);
+    if (f.header.type != FrameType::KeyAck)
+        throw WireError(WireCode::Protocol,
+                        std::string("expected KEY_ACK, got ") +
+                            frameTypeName(f.header.type));
+    ByteReader r(f.body);
+    const u64 resident_bytes = r.getU64();
+    r.finish();
+    return resident_bytes;
+}
+
+u64
+WireClient::uploadMultiplicationKey(const EvalKey &key)
+{
+    ByteWriter w;
+    writeEvalKey(w, EvalKeyPurpose::Multiplication, 0, key);
+    return keyAck(roundTrip(FrameType::EvalKey, w.take()));
+}
+
+u64
+WireClient::uploadRotationKey(i64 amount, const EvalKey &key)
+{
+    ByteWriter w;
+    writeEvalKey(w, EvalKeyPurpose::Galois,
+                 galoisElt(amount, ctx_->degree()), key);
+    return keyAck(roundTrip(FrameType::EvalKey, w.take()));
+}
+
+u64
+WireClient::uploadPublicKey(const PublicKey &pk)
+{
+    ByteWriter w;
+    writePublicKey(w, pk);
+    return keyAck(roundTrip(FrameType::PublicKey, w.take()));
+}
+
+WireClient::SubmitOutcome
+WireClient::submit(size_t workload_index, const Ciphertext &input)
+{
+    ByteWriter w;
+    w.putU32(static_cast<u32>(workload_index));
+    writeCiphertext(w, input);
+    TcpStream::Frame f = roundTrip(FrameType::Submit, w.take());
+
+    SubmitOutcome out;
+    if (f.header.type == FrameType::Error) {
+        WireError e = decodeError(f.body);
+        // Retryable refusals surface as a failed outcome; anything
+        // else means the session is dead and the caller must know.
+        if (e.code() != WireCode::QueueFull &&
+            e.code() != WireCode::UnknownWorkload)
+            throw e;
+        out.code = e.code();
+        out.error = e.what();
+        return out;
+    }
+    if (f.header.type != FrameType::Response)
+        throw WireError(WireCode::Protocol,
+                        std::string("expected RESPONSE, got ") +
+                            frameTypeName(f.header.type));
+    ByteReader r(f.body);
+    out.request_id = r.getU64();
+    out.ok = r.getU8() != 0;
+    out.code = static_cast<WireCode>(r.getU16());
+    out.error = r.getString();
+    out.checksum = r.getU64();
+    out.final_level = r.getI32();
+    out.he_ops = r.getU64();
+    out.latency_ms = r.getF64();
+    out.has_output = r.getU8() != 0;
+    if (out.has_output)
+        out.output = readCiphertext(r, *ctx_);
+    r.finish();
+    return out;
+}
+
+void
+WireClient::closeSession()
+{
+    if (!session_open_)
+        return;
+    ByteWriter w;
+    w.putU64(session_id_);
+    TcpStream::Frame f =
+        roundTrip(FrameType::CloseSession, w.take());
+    if (f.header.type == FrameType::Error)
+        throw decodeError(f.body);
+    if (f.header.type != FrameType::CloseSession)
+        throw WireError(WireCode::Protocol,
+                        std::string("expected CLOSE_SESSION echo, "
+                                    "got ") +
+                            frameTypeName(f.header.type));
+    session_open_ = false;
+}
+
+} // namespace ark

@@ -1,0 +1,132 @@
+/**
+ * @file
+ * Client library for the ARK wire protocol (docs/wire_format.md) —
+ * the remote half of the OpenFHE-style flow: connect, receive the
+ * server's parameter set, generate keys locally, upload the evks
+ * (seed-compressed, §6), encrypt, submit, decrypt.
+ *
+ * The constructor performs the §5.1-§5.4 hello exchange and builds a
+ * CkksContext from the received PARAMS frame, so a WireClient is
+ * self-contained: callers encode/encrypt against context() and never
+ * need out-of-band parameter agreement. Every frame after the hello
+ * is bound to the negotiated parameter-set hash; a mismatch on either
+ * side is a fatal PARAMS_MISMATCH (§7).
+ *
+ * Error handling: retryable refusals (QUEUE_FULL, UNKNOWN_WORKLOAD)
+ * surface as a failed SubmitOutcome with the wire code; fatal ERROR
+ * frames and malformed server frames throw WireError; transport
+ * failures throw NetError. docs/serving.md §4 walks a full session.
+ */
+
+#pragma once
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "ckks/context.h"
+#include "net/socket.h"
+#include "wire/serializer.h"
+
+namespace ark {
+
+/** One entry of the server's §5.4 workload catalog. */
+struct RemoteWorkload
+{
+    std::string name;
+    size_t op_count = 0;
+    /** Levels a request consumes — the input must be encrypted at
+     *  least this high. */
+    size_t levels_needed = 0;
+    /** Rotation amounts the workload references: exactly the evks a
+     *  tenant must upload before submitting it. */
+    std::vector<i64> rotations;
+};
+
+/** A connected, hello-complete wire-protocol client session. */
+class WireClient
+{
+  public:
+    /** Connect and run the hello exchange (§5.1-§5.4). Throws
+     *  NetError / WireError on failure. */
+    WireClient(const std::string &addr, u16 port,
+               const std::string &client_name = "ark-client");
+    ~WireClient();
+
+    WireClient(const WireClient &) = delete;
+    WireClient &operator=(const WireClient &) = delete;
+
+    /** The server's parameter set (from the PARAMS frame). */
+    const CkksParams &params() const { return params_; }
+    /** A context built from params() — encode/encrypt against this. */
+    const CkksContext &context() const { return *ctx_; }
+    /** The §3 hash both sides bind every frame to. */
+    u64 boundParamsHash() const { return params_hash_; }
+
+    const std::vector<RemoteWorkload> &workloads() const
+    {
+        return workloads_;
+    }
+    size_t serverMaxSessions() const { return server_max_sessions_; }
+    u64 serverMaxFrameBytes() const { return server_max_frame_bytes_; }
+
+    /** §5.5: open the tenant session. Returns the session id. */
+    u64 openSession(const std::string &tenant_name);
+    bool sessionOpen() const { return session_open_; }
+
+    /** Upload one evk (§5.7; seed-compressed when key.seeded). The
+     *  returned value is the server-side tenant key footprint in
+     *  bytes after the upload (from KEY_ACK §5.9) — what
+     *  bench_sharding reports as per-tenant evk cache pressure. */
+    u64 uploadMultiplicationKey(const EvalKey &key);
+    u64 uploadRotationKey(i64 amount, const EvalKey &key);
+    /** Upload the tenant public key (§5.8). */
+    u64 uploadPublicKey(const PublicKey &pk);
+
+    /** Outcome of one §5.12 SUBMIT. */
+    struct SubmitOutcome
+    {
+        bool ok = false;
+        /** §7 code: Ok on success; QueueFull / UnknownWorkload on a
+         *  retryable refusal; the execution-failure codes
+         *  (MissingKey, LevelExhausted, ExecFailed) when the request
+         *  ran and failed. */
+        WireCode code = WireCode::Ok;
+        std::string error;
+        u64 request_id = 0;
+        u64 checksum = 0;
+        int final_level = -1;
+        u64 he_ops = 0;
+        double latency_ms = 0;
+        bool has_output = false;
+        Ciphertext output;
+    };
+
+    /** Submit @p input under workload @p workload_index and wait for
+     *  the RESPONSE (synchronous, one request in flight per client). */
+    SubmitOutcome submit(size_t workload_index,
+                         const Ciphertext &input);
+
+    /** §5.14: close the session (waits for the server's echo). */
+    void closeSession();
+
+    /** Drop the connection without the close handshake. */
+    void disconnect();
+
+  private:
+    TcpStream::Frame roundTrip(FrameType type,
+                               const std::vector<u8> &body);
+    u64 keyAck(TcpStream::Frame f);
+
+    std::unique_ptr<TcpStream> stream_;
+    CkksParams params_;
+    std::unique_ptr<CkksContext> ctx_;
+    u64 params_hash_ = 0;
+    std::vector<RemoteWorkload> workloads_;
+    size_t server_max_sessions_ = 0;
+    u64 server_max_frame_bytes_ = kDefaultMaxFrameBytes;
+    u64 session_id_ = 0;
+    bool session_open_ = false;
+};
+
+} // namespace ark

@@ -1,0 +1,375 @@
+#include "net/wire_server.h"
+
+#include "common/logging.h"
+
+namespace ark {
+
+namespace {
+
+/** §5.15 ERROR body. */
+std::vector<u8>
+errorBody(WireCode code, bool fatal, const std::string &message)
+{
+    ByteWriter w;
+    w.putU16(static_cast<u16>(code));
+    w.putU8(fatal ? 1 : 0);
+    w.putString(message);
+    return w.take();
+}
+
+/** §7: map an execution failure class onto its wire code. */
+WireCode
+codeOf(ServeErrorKind kind)
+{
+    switch (kind) {
+      case ServeErrorKind::None:
+        return WireCode::Ok;
+      case ServeErrorKind::LevelExhausted:
+        return WireCode::LevelExhausted;
+      case ServeErrorKind::MissingKey:
+        return WireCode::MissingKey;
+      case ServeErrorKind::Other:
+        break;
+    }
+    return WireCode::ExecFailed;
+}
+
+/** A fatal protocol violation: sent as an ERROR frame, then the
+ *  connection closes. Thrown to unwind the session loop. */
+struct FatalWireError
+{
+    WireCode code;
+    std::string message;
+};
+
+} // namespace
+
+WireServer::WireServer(BatchServer &server)
+    : server_(server),
+      params_hash_(paramsHash(server.context().params())),
+      max_frame_bytes_(server.config().max_frame_bytes),
+      addr_(server.config().listen_addr),
+      listener_(server.config().listen_addr, server.config().listen_port)
+{
+    port_ = listener_.port();
+    accept_thread_ = std::thread([this] { acceptLoop(); });
+}
+
+WireServer::~WireServer()
+{
+    stop();
+}
+
+void
+WireServer::stop()
+{
+    if (stop_.exchange(true))
+        return;
+    if (accept_thread_.joinable())
+        accept_thread_.join();
+    listener_.close();
+    std::lock_guard<std::mutex> lk(conns_m_);
+    for (auto &conn : conns_) {
+        // Wake the session thread out of recvFrame, then join it.
+        conn->stream.shutdownBoth();
+        if (conn->thread.joinable())
+            conn->thread.join();
+    }
+    conns_.clear();
+}
+
+void
+WireServer::acceptLoop()
+{
+    while (!stop_.load()) {
+        Socket sock = listener_.accept(stop_);
+        if (!sock.valid())
+            break; // stopped
+        std::lock_guard<std::mutex> lk(conns_m_);
+        conns_.push_back(
+            std::make_unique<Connection>(TcpStream(std::move(sock))));
+        Connection &conn = *conns_.back();
+        conn.thread =
+            std::thread([this, &conn] { serveConnection(conn); });
+    }
+}
+
+void
+WireServer::serveConnection(Connection &conn)
+{
+    TcpStream &stream = conn.stream;
+    const CkksContext &ctx = server_.context();
+
+    // Per-connection tenant state. The KeyCache is uploaded-mode:
+    // this session's keys only, never the server's own material.
+    bool session_open = false;
+    u64 session_id = 0;
+    std::unique_ptr<KeyCache> tenant_keys;
+    std::unique_ptr<PublicKey> tenant_pk; // held for future use (§5.8)
+
+    auto closeSession = [&] {
+        if (session_open) {
+            session_open = false;
+            active_sessions_.fetch_sub(1);
+        }
+    };
+
+    try {
+        // §5.1-§5.4 hello exchange. The first frame MUST be
+        // CLIENT_HELLO; its header carries params_hash 0 (the client
+        // cannot know the set yet).
+        TcpStream::Frame hello = stream.recvFrame(max_frame_bytes_);
+        if (hello.header.type != FrameType::ClientHello)
+            throw FatalWireError{WireCode::Protocol,
+                                 "expected CLIENT_HELLO, got " +
+                                     std::string(frameTypeName(
+                                         hello.header.type))};
+        ByteReader hr(hello.body);
+        const u16 min_v = hr.getU16();
+        const u16 max_v = hr.getU16();
+        hr.getString(); // client name (informational)
+        hr.finish();
+        if (kWireVersion < min_v || kWireVersion > max_v)
+            throw FatalWireError{
+                WireCode::UnsupportedVersion,
+                "server speaks v" + std::to_string(kWireVersion) +
+                    ", client requires [" + std::to_string(min_v) +
+                    ", " + std::to_string(max_v) + "]"};
+
+        {
+            // §5.2 SERVER_HELLO: negotiated version + serving limits.
+            ByteWriter w;
+            w.putU16(kWireVersion);
+            w.putString("ark-batch-server");
+            w.putU32(static_cast<u32>(server_.config().max_sessions));
+            w.putU64(max_frame_bytes_);
+            stream.sendFrame(FrameType::ServerHello, params_hash_,
+                             w.take());
+        }
+        {
+            // §5.3 PARAMS: the set every later frame is bound to.
+            ByteWriter w;
+            writeParams(w, ctx.params());
+            stream.sendFrame(FrameType::Params, params_hash_,
+                             w.take());
+        }
+        {
+            // §5.4 WORKLOAD_LIST: the catalog, with each workload's
+            // level budget and rotation set so the client knows
+            // exactly which evks to upload.
+            ByteWriter w;
+            const auto &wls = server_.workloads();
+            w.putU32(static_cast<u32>(wls.size()));
+            for (const ServeWorkload &wl : wls) {
+                w.putString(wl.name);
+                w.putU32(static_cast<u32>(wl.ops.size()));
+                w.putU32(static_cast<u32>(wl.levelsNeeded()));
+                const std::vector<i64> rots = wl.rotationAmounts();
+                w.putU32(static_cast<u32>(rots.size()));
+                for (i64 r : rots)
+                    w.putI64(r);
+            }
+            stream.sendFrame(FrameType::WorkloadList, params_hash_,
+                             w.take());
+        }
+
+        // Session loop: one frame in, one frame out, until the peer
+        // disconnects or a fatal error unwinds.
+        for (;;) {
+            TcpStream::Frame f = stream.recvFrame(max_frame_bytes_);
+            // §3: every post-hello client frame is bound to the
+            // server's parameter set.
+            if (f.header.params_hash != params_hash_)
+                throw FatalWireError{
+                    WireCode::ParamsMismatch,
+                    "frame bound to parameter-set hash " +
+                        std::to_string(f.header.params_hash) +
+                        ", server serves " +
+                        std::to_string(params_hash_)};
+            ByteReader r(f.body);
+
+            switch (f.header.type) {
+              case FrameType::OpenSession: {
+                r.getString(); // tenant name (informational)
+                r.finish();
+                if (session_open)
+                    throw FatalWireError{
+                        WireCode::Protocol,
+                        "session already open on this connection"};
+                // Admit-or-refuse under the configured tenant cap.
+                size_t cur = active_sessions_.load();
+                bool admitted = false;
+                while (cur < server_.config().max_sessions) {
+                    if (active_sessions_.compare_exchange_weak(
+                            cur, cur + 1)) {
+                        admitted = true;
+                        break;
+                    }
+                }
+                if (!admitted)
+                    throw FatalWireError{
+                        WireCode::SessionLimit,
+                        "server session cap of " +
+                            std::to_string(
+                                server_.config().max_sessions) +
+                            " reached"};
+                session_open = true;
+                session_id = next_session_id_.fetch_add(1);
+                sessions_opened_.fetch_add(1);
+                tenant_keys =
+                    std::make_unique<KeyCache>(ctx.degree());
+                tenant_pk.reset();
+                ByteWriter w;
+                w.putU64(session_id);
+                stream.sendFrame(FrameType::SessionAccept,
+                                 params_hash_, w.take());
+                break;
+              }
+
+              case FrameType::EvalKey: {
+                if (!session_open)
+                    throw FatalWireError{
+                        WireCode::UnknownSession,
+                        "key upload before OPEN_SESSION"};
+                WireEvalKey wk = readEvalKey(r, ctx);
+                r.finish();
+                if (wk.purpose == EvalKeyPurpose::Multiplication)
+                    tenant_keys->insertMultiplication(
+                        std::move(wk.key));
+                else
+                    tenant_keys->insertGalois(wk.galois_elt,
+                                              std::move(wk.key));
+                ByteWriter w;
+                w.putU64(tenant_keys->byteSize());
+                stream.sendFrame(FrameType::KeyAck, params_hash_,
+                                 w.take());
+                break;
+              }
+
+              case FrameType::PublicKey: {
+                if (!session_open)
+                    throw FatalWireError{
+                        WireCode::UnknownSession,
+                        "key upload before OPEN_SESSION"};
+                tenant_pk = std::make_unique<PublicKey>(
+                    readPublicKey(r, ctx));
+                r.finish();
+                ByteWriter w;
+                w.putU64(tenant_keys->byteSize());
+                stream.sendFrame(FrameType::KeyAck, params_hash_,
+                                 w.take());
+                break;
+              }
+
+              case FrameType::Submit: {
+                if (!session_open)
+                    throw FatalWireError{
+                        WireCode::UnknownSession,
+                        "SUBMIT before OPEN_SESSION"};
+                const u32 widx = r.getU32();
+                if (widx >= server_.workloads().size()) {
+                    // Non-fatal: the client mis-indexed the catalog,
+                    // the session is still healthy.
+                    stream.sendFrame(
+                        FrameType::Error, params_hash_,
+                        errorBody(WireCode::UnknownWorkload, false,
+                                  "workload index " +
+                                      std::to_string(widx) +
+                                      " out of range"));
+                    break;
+                }
+                auto input = std::make_shared<Ciphertext>(
+                    readCiphertext(r, ctx));
+                r.finish();
+                std::future<ServeResult> fut;
+                const AdmitResult admitted = server_.trySubmitRemote(
+                    widx, std::move(input), tenant_keys.get(), fut);
+                if (admitted == AdmitResult::Full) {
+                    // §7: QUEUE_FULL is the retryable refusal — the
+                    // typed surface of RequestQueue admission.
+                    stream.sendFrame(
+                        FrameType::Error, params_hash_,
+                        errorBody(WireCode::QueueFull, false,
+                                  "admission queue full"));
+                    break;
+                }
+                if (admitted == AdmitResult::Closed)
+                    throw FatalWireError{WireCode::ServerShutdown,
+                                         "server shutting down"};
+                const ServeResult res = fut.get();
+                // §5.13 RESPONSE (execution failures ride here, with
+                // the §7 code of their ServeErrorKind).
+                ByteWriter w;
+                w.putU64(res.id);
+                w.putU8(res.ok ? 1 : 0);
+                w.putU16(static_cast<u16>(codeOf(res.error_kind)));
+                w.putString(res.error);
+                w.putU64(res.checksum);
+                w.putI32(res.final_level);
+                w.putU64(res.he_ops);
+                w.putF64(res.latency_ms);
+                w.putU8(res.output ? 1 : 0);
+                if (res.output)
+                    writeCiphertext(w, *res.output);
+                stream.sendFrame(FrameType::Response, params_hash_,
+                                 w.take());
+                break;
+              }
+
+              case FrameType::CloseSession: {
+                const u64 id = r.getU64();
+                r.finish();
+                if (!session_open || id != session_id)
+                    throw FatalWireError{
+                        WireCode::UnknownSession,
+                        "CLOSE_SESSION for unknown session " +
+                            std::to_string(id)};
+                closeSession();
+                tenant_keys.reset();
+                ByteWriter w;
+                w.putU64(id);
+                stream.sendFrame(FrameType::CloseSession,
+                                 params_hash_, w.take());
+                break;
+              }
+
+              default:
+                throw FatalWireError{
+                    WireCode::Protocol,
+                    std::string("unexpected frame ") +
+                        frameTypeName(f.header.type)};
+            }
+        }
+    } catch (const NetClosed &) {
+        // Peer disconnected: normal end of a session.
+    } catch (const FatalWireError &e) {
+        try {
+            stream.sendFrame(FrameType::Error, params_hash_,
+                             errorBody(e.code, true, e.message));
+        } catch (const NetError &) {
+        }
+    } catch (const WireError &e) {
+        // Malformed frame from the peer (truncated body, bad field,
+        // oversized frame, ...): report its own code, then close (§8).
+        try {
+            stream.sendFrame(FrameType::Error, params_hash_,
+                             errorBody(e.code(), true, e.what()));
+        } catch (const NetError &) {
+        }
+    } catch (const NetError &) {
+        // Transport died mid-write; nothing to report to anyone.
+    } catch (const std::exception &e) {
+        // Anything else (a broken promise during teardown, ...) is an
+        // execution failure as far as the peer is concerned.
+        try {
+            stream.sendFrame(
+                FrameType::Error, params_hash_,
+                errorBody(WireCode::ExecFailed, true, e.what()));
+        } catch (const NetError &) {
+        }
+    }
+    closeSession();
+    stream.shutdownBoth();
+}
+
+} // namespace ark

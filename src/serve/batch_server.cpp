@@ -1,6 +1,10 @@
 #include "serve/batch_server.h"
 
 #include <algorithm>
+#include <cerrno>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
 #include <stdexcept>
 
 #include "common/logging.h"
@@ -8,6 +12,25 @@
 namespace ark {
 
 namespace {
+
+/** Strict unsigned env parse: digits only, range-checked. */
+bool
+parseEnvU64(const char *s, u64 lo, u64 hi, u64 &out)
+{
+    if (*s == '\0')
+        return false;
+    for (const char *p = s; *p; ++p) {
+        if (*p < '0' || *p > '9')
+            return false;
+    }
+    errno = 0;
+    char *end = nullptr;
+    const unsigned long long v = std::strtoull(s, &end, 10);
+    if (errno == ERANGE || v < lo || v > hi)
+        return false;
+    out = static_cast<u64>(v);
+    return true;
+}
 
 /** Apply the config's intra-request schedule to every workload.
  *  Dependence-safe: reordering follows the bit-exact commutation
@@ -78,6 +101,59 @@ apportion(size_t total, const std::vector<size_t> &weights)
 
 } // namespace
 
+BatchServerConfig
+serveConfigFromEnv(BatchServerConfig cfg)
+{
+    // An empty value counts as unset, matching ARK_BACKEND et al.
+    if (const char *env = std::getenv("ARK_LISTEN_ADDR")) {
+        if (*env != '\0')
+            cfg.listen_addr = env;
+    }
+    const char *port_env = std::getenv("ARK_LISTEN_PORT");
+    if (port_env != nullptr && *port_env != '\0') {
+        const char *env = port_env;
+        u64 v = 0;
+        if (!parseEnvU64(env, 0, 65535, v)) {
+            char msg[160];
+            std::snprintf(msg, sizeof msg,
+                          "invalid ARK_LISTEN_PORT '%s' (expected an "
+                          "integer in [0, 65535]; 0 = ephemeral)",
+                          env);
+            ARK_FATAL(msg);
+        }
+        cfg.listen_port = static_cast<u16>(v);
+    }
+    const char *sess_env = std::getenv("ARK_MAX_SESSIONS");
+    if (sess_env != nullptr && *sess_env != '\0') {
+        const char *env = sess_env;
+        u64 v = 0;
+        if (!parseEnvU64(env, 1, 4096, v)) {
+            char msg[160];
+            std::snprintf(msg, sizeof msg,
+                          "invalid ARK_MAX_SESSIONS '%s' (expected an "
+                          "integer in [1, 4096])",
+                          env);
+            ARK_FATAL(msg);
+        }
+        cfg.max_sessions = static_cast<size_t>(v);
+    }
+    const char *frame_env = std::getenv("ARK_MAX_FRAME_MIB");
+    if (frame_env != nullptr && *frame_env != '\0') {
+        const char *env = frame_env;
+        u64 v = 0;
+        if (!parseEnvU64(env, 1, 16384, v)) {
+            char msg[160];
+            std::snprintf(msg, sizeof msg,
+                          "invalid ARK_MAX_FRAME_MIB '%s' (expected an "
+                          "integer in [1, 16384])",
+                          env);
+            ARK_FATAL(msg);
+        }
+        cfg.max_frame_bytes = v * 1024 * 1024;
+    }
+    return cfg;
+}
+
 BatchServer::BatchServer(const CkksContext &ctx, KeyCache &keys,
                          const PlaintextStore &plaintexts,
                          std::vector<ServeWorkload> workloads,
@@ -147,19 +223,10 @@ BatchServer::~BatchServer()
     shutdown();
 }
 
-std::future<ServeResult>
-BatchServer::enqueue(size_t workload_index, bool blocking,
-                     bool &accepted)
+AdmitResult
+BatchServer::admitJob(ServeJob &&job, bool blocking)
 {
-    ARK_ASSERT(workload_index < workloads_.size(),
-               "workload index out of range");
-    if (shut_down_.load())
-        throw std::runtime_error("BatchServer is shut down");
-
-    ServeJob job;
-    job.request.id = next_id_.fetch_add(1);
-    job.request.workload_index = workload_index;
-    std::future<ServeResult> fut = job.promise.get_future();
+    const size_t workload_index = job.request.workload_index;
 
     // Evk-affinity routing: the request joins the queue of the worker
     // group that owns its workload's rotation-evk signature.
@@ -181,9 +248,21 @@ BatchServer::enqueue(size_t workload_index, bool blocking,
         }
     }
 
-    accepted = blocking ? queue.push(std::move(job))
-                        : queue.tryPush(std::move(job));
-    if (!accepted) {
+    AdmitResult admitted;
+    if (blocking) {
+        // A blocking push only fails when the queue was closed.
+        admitted = queue.push(std::move(job)) ? AdmitResult::Admitted
+                                              : AdmitResult::Closed;
+    } else {
+        admitted = queue.tryPushResult(std::move(job));
+        // A Full refusal that raced a shutdown() past the caller's
+        // entry check must report Closed: "retry later" would be a
+        // lie once the queues stop admitting.
+        if (admitted == AdmitResult::Full &&
+            (shut_down_.load() || queue.closed()))
+            admitted = AdmitResult::Closed;
+    }
+    if (admitted != AdmitResult::Admitted) {
         {
             std::lock_guard<std::mutex> lk(idle_m_);
             outstanding_.fetch_sub(1);
@@ -191,20 +270,59 @@ BatchServer::enqueue(size_t workload_index, bool blocking,
         idle_cv_.notify_all();
         // A refused probe must not skew the next report's wall clock:
         // close the window again while it is still empty.
-        {
-            std::lock_guard<std::mutex> lk(metrics_m_);
-            if (window_open_ && done_ == 0 &&
-                outstanding_.load() == 0)
-                window_open_ = false;
-        }
-        // A blocking push only fails when the queue was closed; a
-        // non-blocking one must distinguish "momentarily full" (false,
-        // caller sheds load) from a shutdown() that raced past the
-        // entry check (throw, caller must stop retrying).
-        if (blocking || shut_down_.load() || queue.closed())
-            throw std::runtime_error("BatchServer is shut down");
+        std::lock_guard<std::mutex> lk(metrics_m_);
+        if (window_open_ && done_ == 0 && outstanding_.load() == 0)
+            window_open_ = false;
     }
+    return admitted;
+}
+
+std::future<ServeResult>
+BatchServer::enqueue(size_t workload_index, bool blocking,
+                     bool &accepted)
+{
+    ARK_ASSERT(workload_index < workloads_.size(),
+               "workload index out of range");
+    if (shut_down_.load())
+        throw std::runtime_error("BatchServer is shut down");
+
+    ServeJob job;
+    job.request.id = next_id_.fetch_add(1);
+    job.request.workload_index = workload_index;
+    std::future<ServeResult> fut = job.promise.get_future();
+
+    const AdmitResult admitted = admitJob(std::move(job), blocking);
+    accepted = admitted == AdmitResult::Admitted;
+    // In-process contract: Full is the caller's load-shedding signal
+    // (trySubmit returns false), Closed means stop retrying (throw).
+    if (admitted == AdmitResult::Closed)
+        throw std::runtime_error("BatchServer is shut down");
     return fut;
+}
+
+AdmitResult
+BatchServer::trySubmitRemote(size_t workload_index,
+                             std::shared_ptr<Ciphertext> input,
+                             KeyCache *tenant_keys,
+                             std::future<ServeResult> &out)
+{
+    ARK_ASSERT(workload_index < workloads_.size(),
+               "workload index out of range");
+    if (shut_down_.load())
+        return AdmitResult::Closed;
+
+    ServeJob job;
+    job.request.id = next_id_.fetch_add(1);
+    job.request.workload_index = workload_index;
+    job.request.input = std::move(input);
+    job.request.tenant_keys = tenant_keys;
+    std::future<ServeResult> fut = job.promise.get_future();
+
+    const AdmitResult admitted =
+        admitJob(std::move(job), /*blocking=*/false);
+    if (admitted == AdmitResult::Admitted)
+        out = std::move(fut);
+    return admitted;
 }
 
 std::future<ServeResult>
@@ -252,30 +370,36 @@ BatchServer::execute(const ServeRequest &req) const
     ServeResult r;
     r.id = req.id;
 
+    // Remote requests carry their own input ciphertext and their
+    // tenant's uploaded key cache; in-process ones use the server's.
+    KeyCache &keys = req.tenant_keys ? *req.tenant_keys : keys_;
+
     const auto t0 = std::chrono::steady_clock::now();
     try {
-        Ciphertext ct = inputs_[w.input_index % inputs_.size()];
+        Ciphertext ct = req.input
+                            ? *req.input
+                            : inputs_[w.input_index % inputs_.size()];
         for (const ServeOp &op : w.ops) {
             switch (op.kind) {
               case ServeOpKind::Square:
                 if (ct.level() < 1)
-                    throw std::runtime_error(
+                    throw LevelExhaustedError(
                         "level budget exhausted before Square");
-                ct = eval_.square(ct, keys_.multiplication());
+                ct = eval_.square(ct, keys.multiplication());
                 break;
               case ServeOpKind::Rescale:
                 if (ct.level() < 1)
-                    throw std::runtime_error(
+                    throw LevelExhaustedError(
                         "level budget exhausted before Rescale");
                 ct = eval_.rescale(ct);
                 break;
               case ServeOpKind::Rotate:
                 ct = eval_.rotate(ct, op.rotation,
-                                  keys_.rotation(op.rotation));
+                                  keys.rotation(op.rotation));
                 break;
               case ServeOpKind::MulPlain: {
                 if (ct.level() < 1)
-                    throw std::runtime_error(
+                    throw LevelExhaustedError(
                         "level budget exhausted before MulPlain");
                 Plaintext pt = plaintexts_.get(
                     op.pt_index % plaintexts_.size(), ct.level());
@@ -291,9 +415,20 @@ BatchServer::execute(const ServeRequest &req) const
         r.ok = true;
         r.final_level = ct.level();
         r.checksum = ciphertextChecksum(ct);
+        if (req.input)
+            r.output = std::make_shared<Ciphertext>(std::move(ct));
+    } catch (const LevelExhaustedError &e) {
+        r.ok = false;
+        r.error = e.what();
+        r.error_kind = ServeErrorKind::LevelExhausted;
+    } catch (const MissingKeyError &e) {
+        r.ok = false;
+        r.error = e.what();
+        r.error_kind = ServeErrorKind::MissingKey;
     } catch (const std::exception &e) {
         r.ok = false;
         r.error = e.what();
+        r.error_kind = ServeErrorKind::Other;
     }
     const auto t1 = std::chrono::steady_clock::now();
     r.latency_ms =

@@ -77,7 +77,36 @@ struct BatchServerConfig
      * pure function runs.
      */
     size_t shards = 1;
+
+    // --- Network front-end knobs (net/wire_server.h; all four are
+    // documented in docs/configuration.md and overridable via the
+    // ARK_LISTEN_ADDR / ARK_LISTEN_PORT / ARK_MAX_SESSIONS /
+    // ARK_MAX_FRAME_MIB environment variables, see serveConfigFromEnv).
+
+    /** Address the WireServer binds. Loopback by default: exposing an
+     *  FHE compute endpoint beyond the host is an explicit opt-in. */
+    std::string listen_addr = "127.0.0.1";
+    /** TCP port; 0 = ephemeral (kernel-assigned, reported by
+     *  WireServer::port() — what the tests and --smoke mode use). */
+    u16 listen_port = 0;
+    /** Concurrent client sessions admitted; further OPEN_SESSIONs are
+     *  refused with wire code SESSION_LIMIT. */
+    size_t max_sessions = 8;
+    /** Receive-side cap on one frame's body (docs/wire_format.md §2);
+     *  larger frames are refused with FRAME_TOO_LARGE before any body
+     *  byte is read. */
+    u64 max_frame_bytes = 256ull * 1024 * 1024;
 };
+
+/**
+ * Apply the serving environment overrides to @p cfg and return it:
+ * ARK_LISTEN_ADDR (bind address), ARK_LISTEN_PORT (0..65535),
+ * ARK_MAX_SESSIONS (1..4096), ARK_MAX_FRAME_MIB (1..16384, converted
+ * to bytes). Malformed values are fatal, naming the offending value;
+ * an empty value counts as unset — same discipline as ARK_BACKEND /
+ * ARK_THREADS.
+ */
+BatchServerConfig serveConfigFromEnv(BatchServerConfig cfg = {});
 
 /** Multi-threaded request executor over shared CKKS state. */
 class BatchServer
@@ -103,6 +132,10 @@ class BatchServer
     {
         return workloads_;
     }
+    /** The shared scheme context (the WireServer needs it to bind the
+     *  params hash and deserialize tenant payloads against). */
+    const CkksContext &context() const { return ctx_; }
+    const BatchServerConfig &config() const { return cfg_; }
     size_t workers() const { return workers_.size(); }
     /** Worker groups (1 = the classic single-queue server). */
     size_t shards() const { return queues_.size(); }
@@ -122,6 +155,21 @@ class BatchServer
      * refusal.
      */
     bool trySubmit(size_t workload_index, std::future<ServeResult> &out);
+
+    /**
+     * Admission-controlled submit of a remote tenant's request: the
+     * ciphertext deserialized from its SUBMIT frame plus its uploaded
+     * key cache (null = use the server's own keys). Routes through
+     * the SAME shard queues as in-process traffic — remote requests
+     * exercise the admission, scheduling, and sharding planes
+     * unchanged. Returns the typed admission outcome; @p out is set
+     * only on Admitted. Never throws on shutdown (returns Closed):
+     * the wire layer turns Closed into a SERVER_SHUTDOWN error frame.
+     */
+    AdmitResult trySubmitRemote(size_t workload_index,
+                                std::shared_ptr<Ciphertext> input,
+                                KeyCache *tenant_keys,
+                                std::future<ServeResult> &out);
 
     /**
      * Admit a whole batch. In schedule-aware mode the admission order
@@ -147,6 +195,7 @@ class BatchServer
   private:
     void workerLoop(size_t group);
     ServeResult execute(const ServeRequest &req) const;
+    AdmitResult admitJob(ServeJob &&job, bool blocking);
     std::future<ServeResult> enqueue(size_t workload_index,
                                      bool blocking, bool &accepted);
 

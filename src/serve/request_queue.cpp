@@ -26,14 +26,22 @@ RequestQueue::push(ServeJob &&job)
 bool
 RequestQueue::tryPush(ServeJob &&job)
 {
+    return tryPushResult(std::move(job)) == AdmitResult::Admitted;
+}
+
+AdmitResult
+RequestQueue::tryPushResult(ServeJob &&job)
+{
     {
         std::lock_guard<std::mutex> lk(m_);
-        if (closed_ || q_.size() >= capacity_)
-            return false;
+        if (closed_)
+            return AdmitResult::Closed;
+        if (q_.size() >= capacity_)
+            return AdmitResult::Full;
         q_.push_back(std::move(job));
     }
     not_empty_.notify_one();
-    return true;
+    return AdmitResult::Admitted;
 }
 
 bool

@@ -30,6 +30,20 @@ struct ServeJob
     std::promise<ServeResult> promise;
 };
 
+/**
+ * Typed admission outcome. tryPush() collapses "full" and "closed"
+ * into one false, which was fine for in-process callers (shed load
+ * either way) but not for the network front-end: the wire protocol
+ * reports QUEUE_FULL (retryable) and SERVER_SHUTDOWN (fatal) as
+ * distinct error codes (docs/wire_format.md §7), so the admission
+ * point must say which one happened.
+ */
+enum class AdmitResult {
+    Admitted, ///< job enqueued
+    Full,     ///< capacity reached right now — retry later
+    Closed,   ///< queue closed — no future admission
+};
+
 /** Bounded MPMC job queue with blocking and non-blocking admission. */
 class RequestQueue
 {
@@ -50,6 +64,13 @@ class RequestQueue
      * leaving @p job intact — when full or closed.
      */
     bool tryPush(ServeJob &&job);
+
+    /**
+     * tryPush() with a typed refusal: Full and Closed are
+     * distinguished so the caller can surface the right wire error
+     * code. Leaves @p job intact unless Admitted.
+     */
+    AdmitResult tryPushResult(ServeJob &&job);
 
     /**
      * Dequeue, blocking while the queue is empty. Returns false once

@@ -22,6 +22,8 @@
 
 #pragma once
 
+#include <memory>
+#include <stdexcept>
 #include <string>
 #include <vector>
 
@@ -29,6 +31,8 @@
 #include "sim/program.h"
 
 namespace ark {
+
+class KeyCache;
 
 /** Primitive ops a serving request executes. */
 enum class ServeOpKind {
@@ -87,6 +91,44 @@ struct ServeRequest
 {
     u64 id = 0;
     size_t workload_index = 0;
+    /**
+     * Remote-tenant input: when set, execution starts from this
+     * ciphertext instead of the server's pre-encrypted template for
+     * the workload (the SUBMIT frame's payload,
+     * docs/wire_format.md §5.12). shared_ptr because the job is moved
+     * through the queue while the session thread may still hold it.
+     */
+    std::shared_ptr<Ciphertext> input;
+    /**
+     * Remote-tenant key material: when set, execution resolves evks
+     * from this uploaded-mode cache instead of the server's own.
+     * Borrowed, never owned — the WireServer session owning the
+     * tenant keeps it alive until its last submit completes. Null for
+     * in-process requests.
+     */
+    KeyCache *tenant_keys = nullptr;
+};
+
+/** Machine-readable failure class of a request (ServeResult::error
+ *  carries the human-readable detail). The network front-end maps
+ *  these 1:1 onto wire error codes (docs/wire_format.md §7). */
+enum class ServeErrorKind {
+    None = 0,       ///< request succeeded
+    LevelExhausted, ///< level budget ran out mid-workload
+    MissingKey,     ///< tenant never uploaded a referenced evk
+    Other,          ///< anything else (wire code EXEC_FAILED)
+};
+
+/** Thrown by request execution when the level budget runs out —
+ *  typed so the wire layer can report LEVEL_EXHAUSTED rather than a
+ *  generic execution failure. */
+class LevelExhaustedError : public std::runtime_error
+{
+  public:
+    explicit LevelExhaustedError(const std::string &what)
+        : std::runtime_error(what)
+    {
+    }
 };
 
 /** Outcome of one request. */
@@ -95,12 +137,18 @@ struct ServeResult
     u64 id = 0;
     bool ok = false;
     std::string error;
+    /** Failure class for typed error reporting (None when ok). */
+    ServeErrorKind error_kind = ServeErrorKind::None;
     /** FNV-1a digest over the output ciphertext's limbs and level —
      *  cheap bit-exact identity for parity tests. */
     u64 checksum = 0;
     int final_level = -1;
     size_t he_ops = 0; ///< primitive ops executed
     double latency_ms = 0;
+    /** The output ciphertext itself, populated only for remote
+     *  requests (ServeRequest::input set) — in-process callers key on
+     *  the checksum and skip the copy. */
+    std::shared_ptr<Ciphertext> output;
 };
 
 /** FNV-1a digest of a ciphertext (both polys, word-at-a-time). */

@@ -1,0 +1,271 @@
+#include "wire/serializer.h"
+
+#include <cstring>
+
+#include "ckks/keygen.h"
+
+namespace ark {
+
+namespace {
+
+/** FNV-1a 64 over a byte buffer (§3). */
+u64
+fnv1a(const std::vector<u8> &bytes)
+{
+    u64 h = 1469598103934665603ull;
+    for (u8 b : bytes) {
+        h ^= b;
+        h *= 1099511628211ull;
+    }
+    return h;
+}
+
+/** The §3 hash preimage: the numeric tail of the §5.3 PARAMS body. */
+void
+writeParamsNumeric(ByteWriter &w, const CkksParams &p)
+{
+    w.putU32(static_cast<u32>(p.degree));
+    w.putU32(static_cast<u32>(p.num_slots));
+    w.putI32(p.max_level);
+    w.putI32(p.dnum);
+    w.putI32(p.log_q0);
+    w.putI32(p.log_scale);
+    w.putI32(p.log_special);
+    w.putU32(static_cast<u32>(p.word_bytes));
+    w.putU32(static_cast<u32>(p.hamming_weight));
+    w.putI32(p.boot_levels);
+}
+
+[[noreturn]] void
+badField(const std::string &what)
+{
+    throw WireError(WireCode::BadField, what);
+}
+
+} // namespace
+
+u64
+paramsHash(const CkksParams &p)
+{
+    ByteWriter w;
+    writeParamsNumeric(w, p);
+    return fnv1a(w.bytes());
+}
+
+void
+writeParams(ByteWriter &w, const CkksParams &p)
+{
+    w.putString(p.name);
+    writeParamsNumeric(w, p);
+}
+
+CkksParams
+readParams(ByteReader &r)
+{
+    CkksParams p;
+    p.name = r.getString();
+    p.degree = r.getU32();
+    p.num_slots = r.getU32();
+    p.max_level = r.getI32();
+    p.dnum = r.getI32();
+    p.log_q0 = r.getI32();
+    p.log_scale = r.getI32();
+    p.log_special = r.getI32();
+    p.word_bytes = r.getU32();
+    p.hamming_weight = r.getU32();
+    p.boot_levels = r.getI32();
+    // Shape sanity so a corrupted PARAMS frame cannot seed a context
+    // with degenerate values (execution knobs stay receiver-local).
+    if (p.degree == 0 || (p.degree & (p.degree - 1)) != 0)
+        badField("params degree must be a nonzero power of two");
+    if (p.max_level < 0 || p.dnum <= 0 ||
+        (p.max_level + 1) % p.dnum != 0)
+        badField("params dnum must divide max_level + 1");
+    return p;
+}
+
+void
+writePoly(ByteWriter &w, const RnsPoly &p)
+{
+    w.putU32(static_cast<u32>(p.degree()));
+    w.putU16(static_cast<u16>(p.numLimbs()));
+    w.putU8(p.rep() == Rep::Eval ? 1 : 0);
+    for (size_t l = 0; l < p.numLimbs(); ++l) {
+        // Words are serialized LE one by one; on the LE hosts this
+        // library targets the compiler reduces it to a block copy.
+        for (size_t i = 0; i < p.degree(); ++i)
+            w.putU64(p.limb(l)[i]);
+    }
+}
+
+RnsPoly
+readPoly(ByteReader &r, size_t expect_degree, size_t max_limbs)
+{
+    const u32 degree = r.getU32();
+    const u16 limbs = r.getU16();
+    const u8 rep = r.getU8();
+    if (degree != expect_degree)
+        badField("poly degree " + std::to_string(degree) +
+                 " does not match context degree " +
+                 std::to_string(expect_degree));
+    if (limbs == 0 || limbs > max_limbs)
+        badField("poly limb count " + std::to_string(limbs) +
+                 " outside [1, " + std::to_string(max_limbs) + "]");
+    if (rep > 1)
+        badField("poly representation flag " + std::to_string(rep));
+    RnsPoly p(degree, limbs, rep == 1 ? Rep::Eval : Rep::Coeff);
+    for (size_t l = 0; l < p.numLimbs(); ++l) {
+        for (size_t i = 0; i < p.degree(); ++i)
+            p.limb(l)[i] = r.getU64();
+    }
+    return p;
+}
+
+void
+writePlaintext(ByteWriter &w, const Plaintext &pt)
+{
+    w.putF64(pt.scale);
+    w.putI32(pt.level);
+    writePoly(w, pt.poly);
+}
+
+Plaintext
+readPlaintext(ByteReader &r, const CkksContext &ctx)
+{
+    Plaintext pt;
+    pt.scale = r.getF64();
+    pt.level = r.getI32();
+    if (pt.level < 0 || pt.level > ctx.maxLevel())
+        badField("plaintext level " + std::to_string(pt.level));
+    pt.poly = readPoly(r, ctx.degree(),
+                       static_cast<size_t>(ctx.maxLevel()) + 1);
+    if (pt.poly.numLimbs() != static_cast<size_t>(pt.level) + 1)
+        badField("plaintext limb count does not match its level");
+    return pt;
+}
+
+void
+writeCiphertext(ByteWriter &w, const Ciphertext &ct)
+{
+    w.putF64(ct.scale);
+    w.putU32(static_cast<u32>(ct.slots));
+    writePoly(w, ct.b);
+    writePoly(w, ct.a);
+}
+
+Ciphertext
+readCiphertext(ByteReader &r, const CkksContext &ctx)
+{
+    Ciphertext ct;
+    ct.scale = r.getF64();
+    ct.slots = r.getU32();
+    const size_t max_limbs = static_cast<size_t>(ctx.maxLevel()) + 1;
+    ct.b = readPoly(r, ctx.degree(), max_limbs);
+    ct.a = readPoly(r, ctx.degree(), max_limbs);
+    if (!ct.b.sameShape(ct.a))
+        badField("ciphertext b/a limb counts differ");
+    if (ct.slots == 0 || ct.slots > ctx.degree() / 2)
+        badField("ciphertext slot count " + std::to_string(ct.slots));
+    return ct;
+}
+
+void
+writeEvalKey(ByteWriter &w, EvalKeyPurpose purpose, u64 galois_elt,
+             const EvalKey &key)
+{
+    w.putU8(static_cast<u8>(purpose));
+    w.putU64(galois_elt);
+    w.putU8(key.seeded ? 1 : 0); // §5.7 flags: bit0 = seed-compressed
+    w.putU64(key.seeded ? key.a_seed : 0);
+    w.putU16(static_cast<u16>(key.numDigits()));
+    for (const RnsPoly &b : key.b)
+        writePoly(w, b);
+    if (!key.seeded) {
+        for (const RnsPoly &a : key.a)
+            writePoly(w, a);
+    }
+}
+
+WireEvalKey
+readEvalKey(ByteReader &r, const CkksContext &ctx)
+{
+    WireEvalKey out;
+    const u8 purpose = r.getU8();
+    if (purpose > static_cast<u8>(EvalKeyPurpose::Galois))
+        badField("evk purpose " + std::to_string(purpose));
+    out.purpose = static_cast<EvalKeyPurpose>(purpose);
+    out.galois_elt = r.getU64();
+    const u8 flags = r.getU8();
+    if (flags > 1)
+        badField("evk flags " + std::to_string(flags));
+    const bool seeded = (flags & 1) != 0;
+    const u64 seed = r.getU64();
+    const u16 dnum = r.getU16();
+    if (dnum != static_cast<u16>(ctx.dnum()))
+        badField("evk digit count " + std::to_string(dnum) +
+                 " does not match context dnum " +
+                 std::to_string(ctx.dnum()));
+    const size_t key_limbs =
+        ctx.keyModuli(ctx.maxLevel()).size();
+    EvalKey &key = out.key;
+    for (u16 d = 0; d < dnum; ++d) {
+        RnsPoly b = readPoly(r, ctx.degree(), key_limbs);
+        if (b.numLimbs() != key_limbs || b.rep() != Rep::Eval)
+            badField("evk b poly must span the extended basis in "
+                     "Eval representation");
+        key.b.push_back(std::move(b));
+    }
+    if (seeded) {
+        // §6: the uniform halves are re-derived, never transferred.
+        key.a = expandSeededEvkA(ctx, seed);
+        key.a_seed = seed;
+        key.seeded = true;
+    } else {
+        for (u16 d = 0; d < dnum; ++d) {
+            RnsPoly a = readPoly(r, ctx.degree(), key_limbs);
+            if (a.numLimbs() != key_limbs || a.rep() != Rep::Eval)
+                badField("evk a poly must span the extended basis in "
+                         "Eval representation");
+            key.a.push_back(std::move(a));
+        }
+    }
+    return out;
+}
+
+void
+writePublicKey(ByteWriter &w, const PublicKey &pk)
+{
+    w.putU8(pk.seeded ? 1 : 0); // §5.8 flags: bit0 = seed-compressed
+    w.putU64(pk.seeded ? pk.a_seed : 0);
+    writePoly(w, pk.b);
+    if (!pk.seeded)
+        writePoly(w, pk.a);
+}
+
+PublicKey
+readPublicKey(ByteReader &r, const CkksContext &ctx)
+{
+    const u8 flags = r.getU8();
+    if (flags > 1)
+        badField("public-key flags " + std::to_string(flags));
+    const bool seeded = (flags & 1) != 0;
+    const u64 seed = r.getU64();
+    const size_t q_limbs = static_cast<size_t>(ctx.maxLevel()) + 1;
+    PublicKey pk;
+    pk.b = readPoly(r, ctx.degree(), q_limbs);
+    if (pk.b.numLimbs() != q_limbs || pk.b.rep() != Rep::Eval)
+        badField("public-key b poly must span q_0..q_L in Eval "
+                 "representation");
+    if (seeded) {
+        pk.a = expandSeededPkA(ctx, seed);
+        pk.a_seed = seed;
+        pk.seeded = true;
+    } else {
+        pk.a = readPoly(r, ctx.degree(), q_limbs);
+        if (!pk.a.sameShape(pk.b) || pk.a.rep() != Rep::Eval)
+            badField("public-key a poly shape mismatch");
+    }
+    return pk;
+}
+
+} // namespace ark

@@ -17,6 +17,7 @@
 #include "rns/backend_kind.h"
 #include "rns/cpu_features.h"
 #include "rns/primes.h"
+#include "serve/batch_server.h"
 
 namespace ark {
 namespace {
@@ -200,6 +201,91 @@ TEST(EnvConfig, SimdBackendClampsToHostAndStaysCorrect)
     forced.nttForward(got, tp);
     for (size_t i = 0; i < degree; ++i)
         ASSERT_EQ(got.limb(0)[i], want.limb(0)[i]) << "i=" << i;
+}
+
+// Serving front-end knobs (docs/configuration.md): same discipline as
+// the kernel knobs — valid values apply, junk is fatal and names the
+// offending value, absent variables leave the config untouched.
+
+TEST(EnvConfig, ServeConfigHonorsEnvOverrides)
+{
+    unsetenv("ARK_LISTEN_ADDR");
+    unsetenv("ARK_LISTEN_PORT");
+    unsetenv("ARK_MAX_SESSIONS");
+    unsetenv("ARK_MAX_FRAME_MIB");
+
+    const BatchServerConfig defaults = serveConfigFromEnv();
+    EXPECT_EQ(defaults.listen_addr, "127.0.0.1");
+    EXPECT_EQ(defaults.listen_port, 0);
+    EXPECT_EQ(defaults.max_sessions, 8u);
+    EXPECT_EQ(defaults.max_frame_bytes, 256ull * 1024 * 1024);
+
+    setenv("ARK_LISTEN_ADDR", "0.0.0.0", 1);
+    setenv("ARK_LISTEN_PORT", "19184", 1);
+    setenv("ARK_MAX_SESSIONS", "3", 1);
+    setenv("ARK_MAX_FRAME_MIB", "64", 1);
+    const BatchServerConfig cfg = serveConfigFromEnv();
+    EXPECT_EQ(cfg.listen_addr, "0.0.0.0");
+    EXPECT_EQ(cfg.listen_port, 19184);
+    EXPECT_EQ(cfg.max_sessions, 3u);
+    EXPECT_EQ(cfg.max_frame_bytes, 64ull * 1024 * 1024);
+    unsetenv("ARK_LISTEN_ADDR");
+    unsetenv("ARK_LISTEN_PORT");
+    unsetenv("ARK_MAX_SESSIONS");
+    unsetenv("ARK_MAX_FRAME_MIB");
+}
+
+TEST(EnvConfigDeathTest, JunkListenPortExitsWithClearError)
+{
+    setenv("ARK_LISTEN_PORT", "70000", 1);
+    EXPECT_EXIT((void)serveConfigFromEnv(),
+                ::testing::ExitedWithCode(1),
+                "invalid ARK_LISTEN_PORT '70000'");
+    setenv("ARK_LISTEN_PORT", "-1", 1);
+    EXPECT_EXIT((void)serveConfigFromEnv(),
+                ::testing::ExitedWithCode(1),
+                "invalid ARK_LISTEN_PORT '-1'");
+    unsetenv("ARK_LISTEN_PORT");
+}
+
+TEST(EnvConfigDeathTest, JunkMaxSessionsExitsWithClearError)
+{
+    setenv("ARK_MAX_SESSIONS", "0", 1);
+    EXPECT_EXIT((void)serveConfigFromEnv(),
+                ::testing::ExitedWithCode(1),
+                "invalid ARK_MAX_SESSIONS '0'");
+    setenv("ARK_MAX_SESSIONS", "lots", 1);
+    EXPECT_EXIT((void)serveConfigFromEnv(),
+                ::testing::ExitedWithCode(1),
+                "invalid ARK_MAX_SESSIONS 'lots'");
+    unsetenv("ARK_MAX_SESSIONS");
+}
+
+TEST(EnvConfigDeathTest, JunkMaxFrameMibExitsWithClearError)
+{
+    setenv("ARK_MAX_FRAME_MIB", "1.5", 1);
+    EXPECT_EXIT((void)serveConfigFromEnv(),
+                ::testing::ExitedWithCode(1),
+                "invalid ARK_MAX_FRAME_MIB '1.5'");
+    unsetenv("ARK_MAX_FRAME_MIB");
+}
+
+TEST(EnvConfig, EmptyServeEnvValuesCountAsUnset)
+{
+    // Matches the ARK_BACKEND convention: FOO= is the same as no FOO.
+    setenv("ARK_LISTEN_ADDR", "", 1);
+    setenv("ARK_LISTEN_PORT", "", 1);
+    setenv("ARK_MAX_SESSIONS", "", 1);
+    setenv("ARK_MAX_FRAME_MIB", "", 1);
+    const BatchServerConfig cfg = serveConfigFromEnv();
+    EXPECT_EQ(cfg.listen_addr, "127.0.0.1");
+    EXPECT_EQ(cfg.listen_port, 0);
+    EXPECT_EQ(cfg.max_sessions, 8u);
+    EXPECT_EQ(cfg.max_frame_bytes, 256ull * 1024 * 1024);
+    unsetenv("ARK_LISTEN_ADDR");
+    unsetenv("ARK_LISTEN_PORT");
+    unsetenv("ARK_MAX_SESSIONS");
+    unsetenv("ARK_MAX_FRAME_MIB");
 }
 
 } // namespace

@@ -1,0 +1,547 @@
+/**
+ * @file
+ * Wire-format tests against docs/wire_format.md: golden header bytes
+ * (the §9 worked example, locked so any encoding change is a loud
+ * wire-format break), envelope rejection (bad magic / future version /
+ * unknown type / oversized body), body-level malformation (truncated,
+ * trailing, corrupted shape fields), round-trips of every payload
+ * type across the functional parameter presets, params hashing across
+ * ALL presets including the paper's Table-III-scale sets, and the §6
+ * seed-compression contract (bit-identical re-expansion, >= 1.9x
+ * smaller evk and public-key frames).
+ */
+
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "ckks/encoder.h"
+#include "ckks/encryptor.h"
+#include "ckks/keygen.h"
+#include "wire/serializer.h"
+
+namespace ark {
+namespace {
+
+bool
+polyEq(const RnsPoly &x, const RnsPoly &y)
+{
+    if (!x.sameShape(y) || x.rep() != y.rep())
+        return false;
+    for (size_t l = 0; l < x.numLimbs(); ++l) {
+        for (size_t i = 0; i < x.degree(); ++i) {
+            if (x.limb(l)[i] != y.limb(l)[i])
+                return false;
+        }
+    }
+    return true;
+}
+
+bool
+evalKeyEq(const EvalKey &x, const EvalKey &y)
+{
+    if (x.numDigits() != y.numDigits())
+        return false;
+    for (size_t d = 0; d < x.numDigits(); ++d) {
+        if (!polyEq(x.b[d], y.b[d]) || !polyEq(x.a[d], y.a[d]))
+            return false;
+    }
+    return true;
+}
+
+// ---------------------------------------------------------------- §2/§9
+
+TEST(WireEnvelope, GoldenHeaderBytes)
+{
+    // The §9 worked example of docs/wire_format.md, byte for byte. If
+    // this test breaks, the wire format changed and BOTH the spec's
+    // §9 hex dump and kWireVersion must be revisited.
+    const std::vector<u8> body = {0xAA, 0xBB};
+    const std::vector<u8> frame =
+        encodeFrame(FrameType::Ciphertext, 0x0123456789ABCDEFull, body);
+    const std::vector<u8> expected = {
+        0x41, 0x52, 0x4B, 0x57,                         // "ARKW"
+        0x01, 0x00,                                     // version 1
+        0x0B, 0x00,                                     // CIPHERTEXT
+        0x02, 0x00, 0x00, 0x00, 0x00, 0x00, 0x00, 0x00, // body_len 2
+        0xEF, 0xCD, 0xAB, 0x89, 0x67, 0x45, 0x23, 0x01, // params hash
+        0xAA, 0xBB,                                     // body
+    };
+    EXPECT_EQ(frame, expected);
+
+    const FrameHeader h =
+        decodeFrameHeader(frame.data(), kDefaultMaxFrameBytes);
+    EXPECT_EQ(h.version, kWireVersion);
+    EXPECT_EQ(h.type, FrameType::Ciphertext);
+    EXPECT_EQ(h.body_len, 2u);
+    EXPECT_EQ(h.params_hash, 0x0123456789ABCDEFull);
+}
+
+TEST(WireEnvelope, RejectsBadMagic)
+{
+    std::vector<u8> frame = encodeFrame(FrameType::ClientHello, 0, {});
+    frame[0] ^= 0xFF;
+    try {
+        decodeFrameHeader(frame.data(), kDefaultMaxFrameBytes);
+        FAIL() << "bad magic accepted";
+    } catch (const WireError &e) {
+        EXPECT_EQ(e.code(), WireCode::BadMagic);
+    }
+}
+
+TEST(WireEnvelope, RejectsFutureVersion)
+{
+    // A v2 frame from a future peer: magic passes, version does not —
+    // and the version check fires BEFORE the type check, so a future
+    // frame with an unknown type still reports UnsupportedVersion.
+    std::vector<u8> frame = encodeFrame(FrameType::ClientHello, 0, {});
+    frame[4] = 2;
+    frame[6] = 0x7F; // unknown type too
+    try {
+        decodeFrameHeader(frame.data(), kDefaultMaxFrameBytes);
+        FAIL() << "future version accepted";
+    } catch (const WireError &e) {
+        EXPECT_EQ(e.code(), WireCode::UnsupportedVersion);
+    }
+}
+
+TEST(WireEnvelope, RejectsUnknownFrameType)
+{
+    for (const u16 bad : {u16{0x00}, u16{0x10}, u16{0xFFFF}}) {
+        std::vector<u8> frame =
+            encodeFrame(FrameType::ClientHello, 0, {});
+        frame[6] = static_cast<u8>(bad);
+        frame[7] = static_cast<u8>(bad >> 8);
+        try {
+            decodeFrameHeader(frame.data(), kDefaultMaxFrameBytes);
+            FAIL() << "unknown type " << bad << " accepted";
+        } catch (const WireError &e) {
+            EXPECT_EQ(e.code(), WireCode::BadFrameType);
+        }
+    }
+}
+
+TEST(WireEnvelope, RejectsOversizedFrame)
+{
+    // body_len is validated against the receive-side limit before any
+    // body byte would be read (§2).
+    const std::vector<u8> body(128, 0);
+    const std::vector<u8> frame =
+        encodeFrame(FrameType::Ciphertext, 0, body);
+    try {
+        decodeFrameHeader(frame.data(), /*max_frame_bytes=*/64);
+        FAIL() << "oversized frame accepted";
+    } catch (const WireError &e) {
+        EXPECT_EQ(e.code(), WireCode::FrameTooLarge);
+    }
+    // The same frame passes under a sufficient limit.
+    EXPECT_EQ(decodeFrameHeader(frame.data(), 128).body_len, 128u);
+}
+
+// ------------------------------------------------------------------- §4
+
+TEST(WirePrimitives, TruncationAndTrailingBytesAreTyped)
+{
+    ByteWriter w;
+    w.putU32(7);
+    w.putString("ark");
+    const std::vector<u8> &buf = w.bytes();
+
+    {
+        // Cut mid-string: every read is bounds-checked.
+        ByteReader r(buf.data(), buf.size() - 2);
+        EXPECT_EQ(r.getU32(), 7u);
+        try {
+            r.getString();
+            FAIL() << "truncated read succeeded";
+        } catch (const WireError &e) {
+            EXPECT_EQ(e.code(), WireCode::TruncatedFrame);
+        }
+    }
+    {
+        // Unconsumed bytes: finish() rejects.
+        ByteReader r(buf);
+        EXPECT_EQ(r.getU32(), 7u);
+        try {
+            r.finish();
+            FAIL() << "trailing bytes accepted";
+        } catch (const WireError &e) {
+            EXPECT_EQ(e.code(), WireCode::TrailingBytes);
+        }
+        EXPECT_EQ(r.getString(), "ark");
+        r.finish(); // now fully consumed
+    }
+}
+
+TEST(WirePrimitives, RoundTripsEveryScalarType)
+{
+    ByteWriter w;
+    w.putU8(0xFE);
+    w.putU16(0xBEEF);
+    w.putU32(0xDEADBEEFu);
+    w.putU64(0x0123456789ABCDEFull);
+    w.putI64(-42);
+    w.putI32(-7);
+    w.putF64(2.718281828459045);
+    w.putString("");
+    w.putString("tenant-a");
+
+    ByteReader r(w.bytes());
+    EXPECT_EQ(r.getU8(), 0xFE);
+    EXPECT_EQ(r.getU16(), 0xBEEF);
+    EXPECT_EQ(r.getU32(), 0xDEADBEEFu);
+    EXPECT_EQ(r.getU64(), 0x0123456789ABCDEFull);
+    EXPECT_EQ(r.getI64(), -42);
+    EXPECT_EQ(r.getI32(), -7);
+    EXPECT_EQ(r.getF64(), 2.718281828459045);
+    EXPECT_EQ(r.getString(), "");
+    EXPECT_EQ(r.getString(), "tenant-a");
+    r.finish();
+}
+
+// ------------------------------------------------------------------- §3
+
+TEST(WireParams, RoundTripAndHashAcrossAllPresets)
+{
+    // Every preset in the repo, including the accelerator-scale
+    // Table III sets (params round-trip needs no context, so the big
+    // sets cost nothing here).
+    const std::vector<CkksParams> presets = {
+        CkksParams::ark(),      CkksParams::lattigo(),
+        CkksParams::hundredX(), CkksParams::f1(),
+        CkksParams::testTiny(), CkksParams::testSmall(),
+        CkksParams::testBoot(),
+    };
+    std::vector<u64> hashes;
+    for (const CkksParams &p : presets) {
+        ByteWriter w;
+        writeParams(w, p);
+        ByteReader r(w.bytes());
+        const CkksParams q = readParams(r);
+        r.finish();
+        EXPECT_EQ(q.name, p.name);
+        EXPECT_EQ(q.degree, p.degree);
+        EXPECT_EQ(q.num_slots, p.num_slots);
+        EXPECT_EQ(q.max_level, p.max_level);
+        EXPECT_EQ(q.dnum, p.dnum);
+        EXPECT_EQ(q.log_q0, p.log_q0);
+        EXPECT_EQ(q.log_scale, p.log_scale);
+        EXPECT_EQ(q.log_special, p.log_special);
+        EXPECT_EQ(q.word_bytes, p.word_bytes);
+        EXPECT_EQ(q.hamming_weight, p.hamming_weight);
+        EXPECT_EQ(q.boot_levels, p.boot_levels);
+        EXPECT_EQ(paramsHash(q), paramsHash(p));
+        hashes.push_back(paramsHash(p));
+    }
+    // All presets hash distinctly.
+    for (size_t i = 0; i < hashes.size(); ++i) {
+        for (size_t j = i + 1; j < hashes.size(); ++j)
+            EXPECT_NE(hashes[i], hashes[j])
+                << presets[i].name << " vs " << presets[j].name;
+    }
+}
+
+TEST(WireParams, HashIgnoresHostLocalKnobs)
+{
+    // §3: the hash binds the SCHEME, not how a host executes it.
+    CkksParams p = CkksParams::testTiny();
+    const u64 h = paramsHash(p);
+    p.name = "renamed";
+    p.backend = BackendKind::Parallel;
+    p.backend_threads = 7;
+    EXPECT_EQ(paramsHash(p), h);
+    p.log_scale += 1;
+    EXPECT_NE(paramsHash(p), h);
+}
+
+TEST(WireParams, RejectsDegenerateShapes)
+{
+    CkksParams p = CkksParams::testTiny();
+    ByteWriter w;
+    writeParams(w, p);
+    std::vector<u8> body = w.bytes();
+    // degree is the first numeric field after the name
+    // (u32 len + bytes): corrupt it to a non-power-of-two.
+    const size_t degree_off = 4 + p.name.size();
+    body[degree_off] = 3;
+    ByteReader r(body);
+    try {
+        (void)readParams(r);
+        FAIL() << "degenerate degree accepted";
+    } catch (const WireError &e) {
+        EXPECT_EQ(e.code(), WireCode::BadField);
+    }
+}
+
+// --------------------------------------------------- §5.10/§5.11 payloads
+
+/** Round-trip every ciphertext/plaintext/key type at one preset. */
+void
+roundTripPayloads(CkksParams params)
+{
+    CkksContext ctx(params);
+    Rng rng(2026);
+    KeyGenerator keygen(ctx, rng);
+    const SecretKey sk = keygen.secretKey();
+    CkksEncoder encoder(ctx);
+    CkksEncryptor encryptor(ctx, rng);
+
+    std::vector<Complex> msg(params.num_slots);
+    for (size_t i = 0; i < msg.size(); ++i)
+        msg[i] = Complex(0.1 * static_cast<double>(i % 7), -0.05);
+    const Plaintext pt = encoder.encode(msg, ctx.maxLevel());
+    const Ciphertext ct = encryptor.encryptSymmetric(pt, sk);
+
+    {
+        ByteWriter w;
+        writePlaintext(w, pt);
+        ByteReader r(w.bytes());
+        const Plaintext back = readPlaintext(r, ctx);
+        r.finish();
+        EXPECT_EQ(back.scale, pt.scale);
+        EXPECT_EQ(back.level, pt.level);
+        EXPECT_TRUE(polyEq(back.poly, pt.poly));
+    }
+    {
+        ByteWriter w;
+        writeCiphertext(w, ct);
+        ByteReader r(w.bytes());
+        const Ciphertext back = readCiphertext(r, ctx);
+        r.finish();
+        EXPECT_EQ(back.scale, ct.scale);
+        EXPECT_EQ(back.slots, ct.slots);
+        EXPECT_TRUE(polyEq(back.b, ct.b));
+        EXPECT_TRUE(polyEq(back.a, ct.a));
+    }
+    {
+        // Unseeded evk round-trip.
+        const EvalKey evk = keygen.evkMult(sk);
+        ByteWriter w;
+        writeEvalKey(w, EvalKeyPurpose::Multiplication, 0, evk);
+        ByteReader r(w.bytes());
+        const WireEvalKey back = readEvalKey(r, ctx);
+        r.finish();
+        EXPECT_EQ(back.purpose, EvalKeyPurpose::Multiplication);
+        EXPECT_TRUE(evalKeyEq(back.key, evk));
+    }
+    {
+        // Unseeded public-key round-trip.
+        const PublicKey pk = keygen.publicKey(sk);
+        ByteWriter w;
+        writePublicKey(w, pk);
+        ByteReader r(w.bytes());
+        const PublicKey back = readPublicKey(r, ctx);
+        r.finish();
+        EXPECT_TRUE(polyEq(back.b, pk.b));
+        EXPECT_TRUE(polyEq(back.a, pk.a));
+    }
+}
+
+TEST(WirePayloads, RoundTripTestTiny)
+{
+    roundTripPayloads(CkksParams::testTiny());
+}
+
+TEST(WirePayloads, RoundTripTestSmall)
+{
+    roundTripPayloads(CkksParams::testSmall());
+}
+
+TEST(WirePayloads, RoundTripTestBoot)
+{
+    roundTripPayloads(CkksParams::testBoot());
+}
+
+TEST(WirePayloads, RejectsCorruptedShapeFields)
+{
+    CkksParams params = CkksParams::testTiny();
+    CkksContext ctx(params);
+    Rng rng(11);
+    KeyGenerator keygen(ctx, rng);
+    const SecretKey sk = keygen.secretKey();
+    CkksEncoder encoder(ctx);
+    CkksEncryptor encryptor(ctx, rng);
+    const Plaintext pt = encoder.encode(
+        std::vector<Complex>(params.num_slots, Complex(0.5, 0)),
+        ctx.maxLevel());
+    const Ciphertext ct = encryptor.encryptSymmetric(pt, sk);
+
+    ByteWriter w;
+    writeCiphertext(w, ct);
+    const std::vector<u8> good = w.bytes();
+
+    const auto expectBad = [&](std::vector<u8> body,
+                               const char *what) {
+        ByteReader r(body);
+        try {
+            (void)readCiphertext(r, ctx);
+            FAIL() << what << " accepted";
+        } catch (const WireError &e) {
+            EXPECT_EQ(e.code(), WireCode::BadField) << what;
+        }
+    };
+
+    // Body layout: f64 scale, u32 slots, then poly b whose first
+    // fields are u32 degree, u16 limbs, u8 rep.
+    std::vector<u8> bad = good;
+    bad[12] ^= 0xFF; // degree of poly b
+    expectBad(std::move(bad), "corrupted degree");
+
+    bad = good;
+    bad[16] = 0xFF; // limb count beyond max_level+1
+    expectBad(std::move(bad), "corrupted limb count");
+
+    bad = good;
+    bad[18] = 2; // rep flag outside {0, 1}
+    expectBad(std::move(bad), "corrupted rep flag");
+
+    bad = good;
+    bad[8] = 0;
+    bad[9] = 0;
+    bad[10] = 0;
+    bad[11] = 0; // zero slots
+    expectBad(std::move(bad), "zero slot count");
+
+    // Truncated body: the poly word reads are bounds-checked.
+    ByteReader r(good.data(), good.size() - 8);
+    try {
+        (void)readCiphertext(r, ctx);
+        FAIL() << "truncated ciphertext accepted";
+    } catch (const WireError &e) {
+        EXPECT_EQ(e.code(), WireCode::TruncatedFrame);
+    }
+
+    // Trailing garbage after a valid body.
+    std::vector<u8> padded = good;
+    padded.push_back(0x00);
+    ByteReader r2(padded);
+    (void)readCiphertext(r2, ctx);
+    try {
+        r2.finish();
+        FAIL() << "trailing bytes accepted";
+    } catch (const WireError &e) {
+        EXPECT_EQ(e.code(), WireCode::TrailingBytes);
+    }
+}
+
+// ------------------------------------------------------------------- §6
+
+TEST(WireSeedCompression, EvkReExpandsBitIdentical)
+{
+    CkksParams params = CkksParams::testTiny();
+    CkksContext ctx(params);
+    Rng rng(404);
+    KeyGenerator keygen(ctx, rng);
+    const SecretKey sk = keygen.secretKey();
+
+    const u64 seed = 0xA5EED5EEDull;
+    const EvalKey evk = keygen.evkMultSeeded(sk, seed);
+    ASSERT_TRUE(evk.seeded);
+
+    // The seeded generator's a halves ARE the canonical expansion —
+    // the normative §6 contract both keygen and the wire reader share.
+    const std::vector<RnsPoly> expanded = expandSeededEvkA(ctx, seed);
+    ASSERT_EQ(expanded.size(), evk.numDigits());
+    for (size_t d = 0; d < expanded.size(); ++d)
+        EXPECT_TRUE(polyEq(expanded[d], evk.a[d]));
+
+    // Seed-compressed round-trip reconstructs the full key.
+    ByteWriter w;
+    writeEvalKey(w, EvalKeyPurpose::Multiplication, 0, evk);
+    ByteReader r(w.bytes());
+    const WireEvalKey back = readEvalKey(r, ctx);
+    r.finish();
+    EXPECT_TRUE(back.key.seeded);
+    EXPECT_EQ(back.key.a_seed, seed);
+    EXPECT_TRUE(evalKeyEq(back.key, evk));
+}
+
+TEST(WireSeedCompression, SeededFramesAreAtLeastHalfSmaller)
+{
+    // The acceptance bar: seed-compressed key frames >= 1.9x smaller
+    // than their unseeded serialization.
+    CkksParams params = CkksParams::testTiny();
+    CkksContext ctx(params);
+    Rng rng(505);
+    KeyGenerator keygen(ctx, rng);
+    const SecretKey sk = keygen.secretKey();
+
+    const EvalKey evk_plain = keygen.evkMult(sk);
+    const EvalKey evk_seeded = keygen.evkMultSeeded(sk, 99);
+    ByteWriter wp, ws;
+    writeEvalKey(wp, EvalKeyPurpose::Multiplication, 0, evk_plain);
+    writeEvalKey(ws, EvalKeyPurpose::Multiplication, 0, evk_seeded);
+    EXPECT_GE(static_cast<double>(wp.size()),
+              1.9 * static_cast<double>(ws.size()))
+        << "unseeded evk " << wp.size() << " B vs seeded "
+        << ws.size() << " B";
+
+    const PublicKey pk_plain = keygen.publicKey(sk);
+    const PublicKey pk_seeded = keygen.publicKeySeeded(sk, 100);
+    ByteWriter pp, ps;
+    writePublicKey(pp, pk_plain);
+    writePublicKey(ps, pk_seeded);
+    EXPECT_GE(static_cast<double>(pp.size()),
+              1.9 * static_cast<double>(ps.size()))
+        << "unseeded pk " << pp.size() << " B vs seeded " << ps.size()
+        << " B";
+}
+
+TEST(WireSeedCompression, SeededPublicKeyStillEncrypts)
+{
+    // End-to-end sanity for §6 on the public-key side: encrypt under
+    // a seeded pk that went through the wire, decrypt with the secret
+    // key, recover the message.
+    CkksParams params = CkksParams::testTiny();
+    CkksContext ctx(params);
+    Rng rng(606);
+    KeyGenerator keygen(ctx, rng);
+    const SecretKey sk = keygen.secretKey();
+    const PublicKey pk = keygen.publicKeySeeded(sk, 0xFACADE);
+
+    ByteWriter w;
+    writePublicKey(w, pk);
+    ByteReader r(w.bytes());
+    const PublicKey back = readPublicKey(r, ctx);
+    r.finish();
+
+    CkksEncoder encoder(ctx);
+    CkksEncryptor encryptor(ctx, rng);
+    CkksDecryptor decryptor(ctx, sk);
+    std::vector<Complex> msg(params.num_slots);
+    for (size_t i = 0; i < msg.size(); ++i)
+        msg[i] = Complex(0.25 + 0.01 * static_cast<double>(i % 5), 0);
+    const Plaintext pt = encoder.encode(msg, ctx.maxLevel());
+    const Ciphertext ct = encryptor.encryptPublic(pt, back);
+    const std::vector<Complex> out =
+        encoder.decode(decryptor.decrypt(ct), params.num_slots);
+    for (size_t i = 0; i < msg.size(); ++i)
+        EXPECT_NEAR(out[i].real(), msg[i].real(), 1e-2);
+}
+
+TEST(WireSeedCompression, RejectsWrongDigitCount)
+{
+    CkksParams params = CkksParams::testTiny();
+    CkksContext ctx(params);
+    Rng rng(707);
+    KeyGenerator keygen(ctx, rng);
+    const SecretKey sk = keygen.secretKey();
+    const EvalKey evk = keygen.evkMultSeeded(sk, 1);
+
+    ByteWriter w;
+    writeEvalKey(w, EvalKeyPurpose::Multiplication, 0, evk);
+    std::vector<u8> body = w.bytes();
+    // Body layout: u8 purpose, u64 galois_elt, u8 flags, u64 seed,
+    // u16 dnum at offset 18.
+    body[18] = static_cast<u8>(ctx.dnum() + 1);
+    ByteReader r(body);
+    try {
+        (void)readEvalKey(r, ctx);
+        FAIL() << "wrong digit count accepted";
+    } catch (const WireError &e) {
+        EXPECT_EQ(e.code(), WireCode::BadField);
+    }
+}
+
+} // namespace
+} // namespace ark
