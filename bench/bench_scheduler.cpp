@@ -47,10 +47,13 @@ constexpr SchedulePolicy kPolicies[] = {
 const char *kUsage =
     "bench_scheduler — scheduler policy comparison (src/graph/)\n"
     "\n"
-    "Usage: bench_scheduler [--smoke] [--help]\n"
+    "Usage: bench_scheduler [--smoke] [--json PATH] [--help]\n"
     "  --smoke   CI subset: bootstrap + ResNet traces at the 384 MiB\n"
     "            pressure point only. The gate below runs in every\n"
     "            mode.\n"
+    "  --json PATH  also write the policy rows as JSON for\n"
+    "            scripts/check_bench_regression.py (committed\n"
+    "            baseline: bench/baselines/bench_scheduler.json).\n"
     "  --help    this text.\n"
     "\n"
     "Gate (nonzero exit on failure): EvkCluster must strictly reduce\n"
@@ -76,9 +79,10 @@ int
 main(int argc, char **argv)
 {
     bool smoke = false;
+    std::string json_path;
     int exit_code = 0;
     if (!parseBenchArgs(argc, argv, "bench_scheduler", kUsage, smoke,
-                        exit_code))
+                        json_path, exit_code))
         return exit_code;
 
     const CkksParams p = CkksParams::ark();
@@ -100,6 +104,12 @@ main(int argc, char **argv)
     const std::vector<double> spads =
         smoke ? std::vector<double>{384}
               : std::vector<double>{384, 512, 768};
+
+    // --json rows: one per trace x policy x scratchpad. n = scratchpad
+    // MiB, limbs = evk slots, baseline_ms = scheduled sim ms,
+    // optimized_ms = evk GB streamed, speedup = source-order seconds /
+    // scheduled seconds (the compared metric).
+    std::vector<BenchJsonRow> json_rows;
 
     bool gate_ok = true;
     for (double spad : spads) {
@@ -139,6 +149,12 @@ main(int argc, char **argv)
                               r.scheduled.hbm_bytes / 1e9, 2),
                           fmtMs(r.scheduled.seconds, 1),
                           TablePrinter::fmt(r.speedup, 2)});
+                json_rows.push_back(
+                    {std::string("sched_") + tr.label + "_" +
+                         schedulePolicyName(pol),
+                     static_cast<size_t>(spad), slots,
+                     r.scheduled.seconds * 1e3,
+                     r.scheduled.evk_bytes / 1e9, r.speedup});
 
                 // The acceptance gate: under pressure, schedule-time
                 // key clustering must beat the emission order on the
@@ -187,6 +203,11 @@ main(int argc, char **argv)
         }
         t.print();
     }
+
+    if (!json_path.empty() &&
+        !writeBenchJson(json_path, "bench_scheduler", smoke, gate_ok,
+                        json_rows))
+        return 1;
 
     if (!gate_ok) {
         std::fprintf(stderr,

@@ -84,35 +84,13 @@ rowName(const SweepPoint &pt)
 bool
 writeJson(const std::string &path, bool smoke)
 {
-    std::FILE *f = std::fopen(path.c_str(), "w");
-    if (f == nullptr) {
-        std::fprintf(stderr, "cannot open %s for writing\n",
-                     path.c_str());
-        return false;
-    }
-    std::fprintf(f, "{\n  \"bench\": \"bench_serving\",\n");
-    std::fprintf(f, "  \"mode\": \"%s\",\n", smoke ? "smoke" : "full");
-    std::fprintf(f, "  \"simd_tier\": \"%s\",\n",
-                 simdTierName(SimdBackend().tier()));
-    std::fprintf(f, "  \"cpu_features\": \"%s\",\n",
-                 cpuFeatureString().c_str());
-    std::fprintf(f, "  \"parity_ok\": %s,\n",
-                 g_all_ok ? "true" : "false");
-    std::fprintf(f, "  \"results\": [\n");
-    for (size_t i = 0; i < g_rows.size(); ++i) {
-        const Row &r = g_rows[i];
-        std::fprintf(f,
-                     "    {\"name\": \"%s\", \"n\": %zu, \"limbs\": "
-                     "%zu, \"baseline_ms\": %.6f, \"optimized_ms\": "
-                     "%.6f, \"speedup\": %.3f}%s\n",
-                     r.name.c_str(), r.n, r.limbs, r.p50_ms, r.p99_ms,
-                     r.req_per_sec,
-                     i + 1 < g_rows.size() ? "," : "");
-    }
-    std::fprintf(f, "  ]\n}\n");
-    std::fclose(f);
-    std::printf("wrote %s\n", path.c_str());
-    return true;
+    std::vector<BenchJsonRow> rows;
+    rows.reserve(g_rows.size());
+    for (const Row &r : g_rows)
+        rows.push_back({r.name, r.n, r.limbs, r.p50_ms, r.p99_ms,
+                        r.req_per_sec});
+    return writeBenchJson(path, "bench_serving", smoke, g_all_ok,
+                          rows);
 }
 
 /** Build the full serving stack for one config and run one batch. */

@@ -57,10 +57,13 @@ namespace {
 const char *kUsage =
     "bench_sharding — multi-accelerator sharding tables (src/shard/)\n"
     "\n"
-    "Usage: bench_sharding [--smoke] [--help]\n"
+    "Usage: bench_sharding [--smoke] [--json PATH] [--help]\n"
     "  --smoke   CI subset: bootstrap + ResNet traces, N in {1,2},\n"
     "            a small host batch. The acceptance gate below runs\n"
     "            in every mode.\n"
+    "  --json PATH  also write the shard + host rows as JSON for\n"
+    "            scripts/check_bench_regression.py (committed\n"
+    "            baseline: bench/baselines/bench_sharding.json).\n"
     "  --help    this text.\n"
     "\n"
     "Gate (nonzero exit on failure): at 2 shards on the bootstrap and\n"
@@ -77,8 +80,10 @@ const char *kUsage =
     "  speedup          single-chip EvkCluster seconds / makespan\n"
     "Columns, table 2 (fleet serving): aggregate req/s of N chips\n"
     "draining the 4-workload mix, requests routed by program.\n"
-    "Columns, table 3 (host serving): measured BatchServer req/s and\n"
-    "the per-shard request split under evk-affinity routing.\n"
+    "Columns, table 3 (host serving): measured BatchServer req/s,\n"
+    "the per-shard request split under evk-affinity routing, and the\n"
+    "peak per-shard queue depth over the batch (how deep the backlog\n"
+    "got before workers caught up).\n"
     "Columns, table 4 (tenant evk pressure): resident evk MiB on the\n"
     "host and seeded-vs-raw upload wire MB as remote tenants\n"
     "(docs/serving.md) each bring their own key set.\n";
@@ -102,7 +107,7 @@ assignRequests(const std::vector<double> &service_s, size_t chips)
 }
 
 bool
-dagShardingTable(bool smoke)
+dagShardingTable(bool smoke, std::vector<BenchJsonRow> &json_rows)
 {
     const CkksParams p = CkksParams::ark();
     struct Entry
@@ -160,6 +165,13 @@ dagShardingTable(bool smoke)
                       TablePrinter::fmt(r.link_bytes / 1e9, 2),
                       fmtMs(r.seconds, 1),
                       TablePrinter::fmt(r.speedup, 2)});
+            // --json row: n = shards, limbs = evk slots, baseline_ms
+            // = makespan ms, optimized_ms = max per-shard evk GB,
+            // speedup = single-chip seconds / makespan (compared).
+            json_rows.push_back({std::string("shard_") + tr.label, n,
+                                 slots, r.seconds * 1e3,
+                                 r.max_shard_evk_bytes / 1e9,
+                                 r.speedup});
             if (tr.gated && n == 2 &&
                 !(r.max_shard_evk_bytes < single.evk_bytes)) {
                 std::fprintf(stderr,
@@ -231,7 +243,7 @@ fleetServingTable(bool smoke)
 }
 
 bool
-hostServingTable(bool smoke)
+hostServingTable(bool smoke, std::vector<BenchJsonRow> &json_rows)
 {
     header("host BatchServer: sharded mode vs single queue");
     unsetenv("ARK_BACKEND");
@@ -267,7 +279,7 @@ hostServingTable(bool smoke)
     bool all_ok = true;
 
     TablePrinter t({"shards", "workers", "req/s", "p99 ms",
-                    "per-shard requests"});
+                    "per-shard requests", "peak queue depth"});
     for (size_t shards : smoke ? std::vector<size_t>{1, 2}
                                : std::vector<size_t>{1, 2, 4}) {
         BatchServerConfig cfg;
@@ -284,16 +296,28 @@ hostServingTable(bool smoke)
                 all_ok = false;
         }
         const ServeReport rep = server.drain();
-        std::string split;
+        std::string split, peaks;
         for (size_t s = 0; s < rep.shard_requests.size(); ++s) {
             if (s)
                 split += "/";
             split += std::to_string(rep.shard_requests[s]);
         }
+        for (size_t s = 0; s < rep.shard_queue_peak.size(); ++s) {
+            if (s)
+                peaks += "/";
+            peaks += std::to_string(rep.shard_queue_peak[s]);
+        }
         t.addRow({std::to_string(shards),
                   std::to_string(cfg.workers),
                   TablePrinter::fmt(rep.requests_per_sec, 1),
-                  TablePrinter::fmt(rep.latency.p99_ms, 2), split});
+                  TablePrinter::fmt(rep.latency.p99_ms, 2), split,
+                  peaks});
+        // --json row: n = request batch, limbs = workers, baseline_ms
+        // = p50, optimized_ms = p99, speedup = req/s (compared).
+        json_rows.push_back(
+            {"host_serve_s" + std::to_string(shards), batch,
+             cfg.workers, rep.latency.p50_ms, rep.latency.p99_ms,
+             rep.requests_per_sec});
     }
     t.print();
     return all_ok;
@@ -403,15 +427,22 @@ int
 main(int argc, char **argv)
 {
     bool smoke = false;
+    std::string json_path;
     int exit_code = 0;
     if (!parseBenchArgs(argc, argv, "bench_sharding", kUsage, smoke,
-                        exit_code))
+                        json_path, exit_code))
         return exit_code;
 
-    const bool gate_ok = dagShardingTable(smoke);
+    std::vector<BenchJsonRow> json_rows;
+    const bool gate_ok = dagShardingTable(smoke, json_rows);
     fleetServingTable(smoke);
-    const bool serve_ok = hostServingTable(smoke);
+    const bool serve_ok = hostServingTable(smoke, json_rows);
     tenantPressureTable(smoke);
+
+    if (!json_path.empty() &&
+        !writeBenchJson(json_path, "bench_sharding", smoke,
+                        gate_ok && serve_ok, json_rows))
+        return 1;
 
     if (!gate_ok) {
         std::fprintf(stderr, "bench_sharding: sharding gate failed\n");

@@ -13,8 +13,11 @@
 #include <cstdio>
 #include <cstring>
 #include <string>
+#include <vector>
 
 #include "common/table_printer.h"
+#include "rns/backend.h"
+#include "rns/cpu_features.h"
 #include "sim/simulator.h"
 #include "workloads/programs.h"
 
@@ -47,6 +50,97 @@ parseBenchArgs(int argc, char **argv, const char *name,
             return false;
         }
     }
+    return true;
+}
+
+/**
+ * Variant of parseBenchArgs for benches that also take `--json PATH`
+ * (machine-readable rows for scripts/check_bench_regression.py).
+ */
+inline bool
+parseBenchArgs(int argc, char **argv, const char *name,
+               const char *usage, bool &smoke, std::string &json_path,
+               int &exit_code)
+{
+    smoke = false;
+    json_path.clear();
+    exit_code = 0;
+    for (int i = 1; i < argc; ++i) {
+        if (std::strcmp(argv[i], "--smoke") == 0) {
+            smoke = true;
+        } else if (std::strcmp(argv[i], "--json") == 0 &&
+                   i + 1 < argc) {
+            json_path = argv[++i];
+        } else if (std::strcmp(argv[i], "--help") == 0 ||
+                   std::strcmp(argv[i], "-h") == 0) {
+            std::fputs(usage, stdout);
+            return false;
+        } else {
+            std::fprintf(stderr, "%s: unknown flag '%s'\n\n%s", name,
+                         argv[i], usage);
+            exit_code = 2;
+            return false;
+        }
+    }
+    return true;
+}
+
+/**
+ * One machine-readable row of a --json emission. The field names
+ * deliberately match bench_micro_kernels' schema so one
+ * check_bench_regression.py diffs every bench: `speedup` is always
+ * the compared metric (higher = better); what n / limbs /
+ * baseline_ms / optimized_ms mean is per-bench and documented where
+ * the rows are filled.
+ */
+struct BenchJsonRow
+{
+    std::string name;
+    size_t n = 0;
+    size_t limbs = 0;
+    double baseline_ms = 0;
+    double optimized_ms = 0;
+    double speedup = 0;
+};
+
+/**
+ * Write @p rows in the shared bench JSON schema:
+ * {"bench","mode","simd_tier","cpu_features","parity_ok","results"}.
+ * Returns false (with a message on stderr) if the file can't be
+ * written.
+ */
+inline bool
+writeBenchJson(const std::string &path, const char *bench, bool smoke,
+               bool parity_ok, const std::vector<BenchJsonRow> &rows)
+{
+    std::FILE *f = std::fopen(path.c_str(), "w");
+    if (f == nullptr) {
+        std::fprintf(stderr, "cannot open %s for writing\n",
+                     path.c_str());
+        return false;
+    }
+    std::fprintf(f, "{\n  \"bench\": \"%s\",\n", bench);
+    std::fprintf(f, "  \"mode\": \"%s\",\n", smoke ? "smoke" : "full");
+    std::fprintf(f, "  \"simd_tier\": \"%s\",\n",
+                 simdTierName(SimdBackend().tier()));
+    std::fprintf(f, "  \"cpu_features\": \"%s\",\n",
+                 cpuFeatureString().c_str());
+    std::fprintf(f, "  \"parity_ok\": %s,\n",
+                 parity_ok ? "true" : "false");
+    std::fprintf(f, "  \"results\": [\n");
+    for (size_t i = 0; i < rows.size(); ++i) {
+        const BenchJsonRow &r = rows[i];
+        std::fprintf(f,
+                     "    {\"name\": \"%s\", \"n\": %zu, \"limbs\": "
+                     "%zu, \"baseline_ms\": %.6f, \"optimized_ms\": "
+                     "%.6f, \"speedup\": %.3f}%s\n",
+                     r.name.c_str(), r.n, r.limbs, r.baseline_ms,
+                     r.optimized_ms, r.speedup,
+                     i + 1 < rows.size() ? "," : "");
+    }
+    std::fprintf(f, "  ]\n}\n");
+    std::fclose(f);
+    std::printf("wrote %s\n", path.c_str());
     return true;
 }
 

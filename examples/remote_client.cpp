@@ -20,6 +20,14 @@
  *                        (BatchServer::trySubmitRemote) and exits
  *                        nonzero unless the two results are
  *                        bit-identical. CI runs this.
+ *   --stats ADDR PORT    poll a live server's §5.16 STATS frame and
+ *                        print the live queue/session/phase readout
+ *                        (docs/observability.md).
+ *
+ * `--smoke --trace PATH` additionally forces span tracing on for the
+ * run and writes the Chrome trace-event JSON to PATH — load it in
+ * chrome://tracing or https://ui.perfetto.dev. CI validates the file
+ * with scripts/check_trace_json.py.
  */
 
 #include <chrono>
@@ -36,6 +44,8 @@
 #include "ckks/keygen.h"
 #include "net/wire_client.h"
 #include "net/wire_server.h"
+#include "obs/obs.h"
+#include "obs/trace.h"
 
 using namespace ark;
 
@@ -205,10 +215,14 @@ runClientFlow(const std::string &addr, u16 port)
     return art;
 }
 
-/** --smoke: loopback round trip plus the in-process bit-parity gate. */
+/** --smoke: loopback round trip plus the in-process bit-parity gate.
+ *  When @p trace_path is set, span tracing is forced on for the run
+ *  and the Chrome trace-event JSON lands there. */
 int
-runSmoke()
+runSmoke(const char *trace_path)
 {
+    if (trace_path != nullptr)
+        obs::setTraceEnabled(true);
     ServerStack s(/*port=*/0);
     std::printf("loopback server on %s:%u\n", s.net->addr().c_str(),
                 static_cast<unsigned>(s.net->port()));
@@ -255,6 +269,30 @@ runSmoke()
     std::printf("parity: remote result bit-identical to in-process "
                 "execution (checksum %016" PRIx64 ")\n",
                 art.remote.checksum);
+
+    if (trace_path != nullptr) {
+        if (!obs::TraceSession::global().writeJson(trace_path)) {
+            std::fprintf(stderr,
+                         "remote_client: failed to write trace to "
+                         "'%s'\n",
+                         trace_path);
+            return 1;
+        }
+        std::printf("trace: %zu spans written to %s (load in "
+                    "chrome://tracing)\n",
+                    obs::TraceSession::global().eventCount(),
+                    trace_path);
+    }
+    return 0;
+}
+
+/** --stats: poll a live server's §5.16 STATS frame once. */
+int
+runStats(const std::string &addr, u16 port)
+{
+    WireClient client(addr, port, "remote-client-stats");
+    const RemoteStats s = client.stats();
+    std::fputs(s.toString().c_str(), stdout);
     return 0;
 }
 
@@ -281,7 +319,8 @@ const char *kUsage =
     "\n"
     "usage: remote_client --serve [--port N]\n"
     "       remote_client --connect ADDR PORT\n"
-    "       remote_client --smoke\n"
+    "       remote_client --smoke [--trace PATH]\n"
+    "       remote_client --stats ADDR PORT\n"
     "\n"
     "  --serve     stand up BatchServer + WireServer on the standard\n"
     "              workload mix and serve until killed. Binds\n"
@@ -294,15 +333,38 @@ const char *kUsage =
     "              encrypt -> submit -> decrypt.\n"
     "  --smoke     both halves in one process on a loopback port,\n"
     "              plus an in-process replay that must be\n"
-    "              bit-identical (nonzero exit otherwise). CI mode.\n";
+    "              bit-identical (nonzero exit otherwise). CI mode.\n"
+    "              --trace PATH forces span tracing on and writes\n"
+    "              Chrome trace-event JSON to PATH\n"
+    "              (docs/observability.md).\n"
+    "  --stats     poll a live server's STATS frame (§5.16) and\n"
+    "              print queue depths, in-flight counts, and\n"
+    "              per-phase latency.\n";
 
 } // namespace
 
 int
 main(int argc, char **argv)
 {
-    if (argc >= 2 && std::strcmp(argv[1], "--smoke") == 0)
-        return runSmoke();
+    if (argc >= 2 && std::strcmp(argv[1], "--smoke") == 0) {
+        const char *trace_path = nullptr;
+        if (argc >= 4 && std::strcmp(argv[2], "--trace") == 0)
+            trace_path = argv[3];
+        else if (argc >= 3) {
+            std::fprintf(stderr, "bad --smoke argument '%s'\n",
+                         argv[2]);
+            return 2;
+        }
+        return runSmoke(trace_path);
+    }
+    if (argc == 4 && std::strcmp(argv[1], "--stats") == 0) {
+        const long v = std::strtol(argv[3], nullptr, 10);
+        if (v <= 0 || v > 65535) {
+            std::fprintf(stderr, "bad port '%s'\n", argv[3]);
+            return 2;
+        }
+        return runStats(argv[2], static_cast<u16>(v));
+    }
     if (argc >= 2 && std::strcmp(argv[1], "--serve") == 0) {
         u16 port = 0;
         if (argc >= 4 && std::strcmp(argv[2], "--port") == 0) {

@@ -1,0 +1,146 @@
+#!/usr/bin/env python3
+"""Validate a Chrome trace-event JSON file written by the ARK tracer.
+
+CI runs `remote_client --smoke --trace /tmp/trace.json` and then this
+script (stdlib only) to gate that the span tracer's export is
+well-formed and that the serving pipeline's phases actually nest the
+way docs/observability.md documents:
+
+  * the file parses and has a `traceEvents` list of complete
+    (`"ph": "X"`) events with a name, non-negative `ts`/`dur`, and
+    integer pid/tid;
+  * every request that has a `recv` span (i.e. arrived over the wire)
+    also has all six serving phases — recv, admit, queue_wait,
+    dispatch, execute, respond — and their start timestamps are in
+    that order;
+  * every request with an `admit` span (in-process submissions have no
+    wire phases) runs admit -> queue_wait -> dispatch -> execute in
+    start order.
+
+Requests are correlated by the `args.req` id the tracer stamps on
+serving-phase spans; kernel-level spans carry req 0 and are only
+checked for shape. Exits nonzero with a message per violation.
+
+Usage:
+    scripts/check_trace_json.py TRACE.json [--min-requests N]
+"""
+
+import argparse
+import json
+import sys
+
+SERVING_PHASES = ["recv", "admit", "queue_wait", "dispatch",
+                  "execute", "respond"]
+IN_PROCESS_PHASES = ["admit", "queue_wait", "dispatch", "execute"]
+
+
+def shape_errors(events):
+    """Per-event well-formedness; yields messages."""
+    for i, ev in enumerate(events):
+        where = f"traceEvents[{i}]"
+        if not isinstance(ev, dict):
+            yield f"{where}: not an object"
+            continue
+        name = ev.get("name")
+        if not isinstance(name, str) or not name:
+            yield f"{where}: missing/empty name"
+        if ev.get("ph") != "X":
+            yield f"{where} ({name}): ph is {ev.get('ph')!r}, " \
+                  "expected complete event 'X'"
+        for field in ("ts", "dur"):
+            v = ev.get(field)
+            if not isinstance(v, (int, float)) or v < 0:
+                yield f"{where} ({name}): bad {field} {v!r}"
+        for field in ("pid", "tid"):
+            if not isinstance(ev.get(field), int):
+                yield f"{where} ({name}): bad {field} " \
+                      f"{ev.get(field)!r}"
+
+
+def phase_errors(events):
+    """Per-request phase presence + ordering; yields messages."""
+    by_req = {}
+    for ev in events:
+        if not isinstance(ev, dict):
+            continue
+        req = ev.get("args", {}).get("req", 0)
+        if not isinstance(req, int) or req == 0:
+            continue  # kernel spans and unstamped events
+        if ev.get("name") in SERVING_PHASES:
+            by_req.setdefault(req, {}).setdefault(
+                ev["name"], []).append(ev)
+
+    for req in sorted(by_req):
+        spans = by_req[req]
+        expected = (SERVING_PHASES if "recv" in spans
+                    else IN_PROCESS_PHASES if "admit" in spans
+                    else [])
+        if not expected:
+            continue
+        missing = [p for p in expected if p not in spans]
+        if missing:
+            yield f"request {req}: missing phase(s) " \
+                  f"{', '.join(missing)}"
+            continue
+        starts = [min(s["ts"] for s in spans[p]) for p in expected]
+        for a in range(len(expected) - 1):
+            if starts[a] > starts[a + 1]:
+                yield (f"request {req}: {expected[a]} starts at "
+                       f"{starts[a]:.3f}us, after "
+                       f"{expected[a + 1]} at {starts[a + 1]:.3f}us")
+
+
+def count_requests(events):
+    reqs = set()
+    for ev in events:
+        if isinstance(ev, dict) and ev.get("name") in SERVING_PHASES:
+            req = ev.get("args", {}).get("req", 0)
+            if isinstance(req, int) and req != 0:
+                reqs.add(req)
+    return len(reqs)
+
+
+def main():
+    ap = argparse.ArgumentParser(description=__doc__)
+    ap.add_argument("trace", help="Chrome trace-event JSON to check")
+    ap.add_argument(
+        "--min-requests",
+        type=int,
+        default=1,
+        help="fail unless at least N distinct request ids carry "
+        "serving-phase spans (default: %(default)s)",
+    )
+    args = ap.parse_args()
+
+    try:
+        with open(args.trace) as f:
+            doc = json.load(f)
+    except (OSError, json.JSONDecodeError) as e:
+        print(f"ERROR: cannot load {args.trace}: {e}")
+        return 1
+
+    events = doc.get("traceEvents")
+    if not isinstance(events, list):
+        print("ERROR: no traceEvents list")
+        return 1
+
+    errors = list(shape_errors(events))
+    errors += list(phase_errors(events))
+    n_req = count_requests(events)
+    if n_req < args.min_requests:
+        errors.append(
+            f"only {n_req} request(s) carry serving-phase spans "
+            f"(need {args.min_requests})")
+
+    if errors:
+        print(f"{args.trace}: {len(errors)} violation(s):")
+        for e in errors:
+            print(f"  ERROR: {e}")
+        return 1
+    print(f"{args.trace}: ok — {len(events)} events, {n_req} "
+          "traced request(s), phases well-ordered")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -31,6 +31,7 @@
 #include <vector>
 
 #include "ckks/keygen.h"
+#include "obs/metrics.h"
 
 namespace ark {
 
@@ -106,10 +107,13 @@ class KeyCache
     {
         std::lock_guard<std::mutex> lk(m_);
         if (!mult_) {
+            obs::count(obs::Counter::EvkMiss);
             if (keygen_ == nullptr)
                 throw MissingKeyError(
                     "no multiplication evk uploaded");
             mult_ = std::make_unique<EvalKey>(keygen_->evkMult(*sk_));
+        } else {
+            obs::count(obs::Counter::EvkHit);
         }
         return *mult_;
     }
@@ -162,6 +166,7 @@ class KeyCache
         std::lock_guard<std::mutex> lk(m_);
         auto it = keys_.find(galois_elt);
         if (it == keys_.end()) {
+            obs::count(obs::Counter::EvkMiss);
             if (keygen_ == nullptr)
                 throw MissingKeyError(
                     "no evk uploaded for galois element " +
@@ -169,6 +174,8 @@ class KeyCache
             it = keys_.emplace(galois_elt,
                                keygen_->evkGalois(*sk_, galois_elt))
                      .first;
+        } else {
+            obs::count(obs::Counter::EvkHit);
         }
         return it->second;
     }

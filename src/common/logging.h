@@ -7,12 +7,20 @@
  * for user-caused conditions such as invalid parameters (clean exit);
  * ARK_ASSERT is a checked invariant that stays on in release builds
  * because the FHE math silently corrupts data when invariants break.
+ *
+ * ARK_LOG(level, fmt, ...) is leveled diagnostic output to stderr.
+ * The threshold comes from ARK_LOG_LEVEL (error|warn|info|debug;
+ * empty = unset, junk is fatal — the ARK_BACKEND discipline) and
+ * defaults to warn, so info/debug chatter is silent unless asked for.
+ * The macro evaluates its arguments only when the level is enabled.
  */
 
 #pragma once
 
+#include <cstdarg>
 #include <cstdio>
 #include <cstdlib>
+#include <cstring>
 
 namespace ark {
 
@@ -30,7 +38,104 @@ fatalImpl(const char *file, int line, const char *msg)
     std::exit(1);
 }
 
+/** Diagnostic severities, most to least severe. */
+enum class LogLevel : int
+{
+    Error = 0,
+    Warn = 1,
+    Info = 2,
+    Debug = 3,
+};
+
+inline const char *
+logLevelName(LogLevel lvl)
+{
+    switch (lvl) {
+    case LogLevel::Error: return "error";
+    case LogLevel::Warn: return "warn";
+    case LogLevel::Info: return "info";
+    case LogLevel::Debug: return "debug";
+    }
+    return "?";
+}
+
+/** Parse a log-level name; false on anything unrecognized. */
+inline bool
+parseLogLevel(const char *s, LogLevel &out)
+{
+    if (std::strcmp(s, "error") == 0) {
+        out = LogLevel::Error;
+        return true;
+    }
+    if (std::strcmp(s, "warn") == 0) {
+        out = LogLevel::Warn;
+        return true;
+    }
+    if (std::strcmp(s, "info") == 0) {
+        out = LogLevel::Info;
+        return true;
+    }
+    if (std::strcmp(s, "debug") == 0) {
+        out = LogLevel::Debug;
+        return true;
+    }
+    return false;
+}
+
+/** ARK_LOG_LEVEL threshold, parsed once. Empty counts as unset
+ *  (warn); an unrecognized value is fatal, naming it. */
+inline LogLevel
+logThreshold()
+{
+    static const LogLevel threshold = [] {
+        const char *env = std::getenv("ARK_LOG_LEVEL");
+        if (env == nullptr || *env == '\0')
+            return LogLevel::Warn;
+        LogLevel lvl = LogLevel::Warn;
+        if (!parseLogLevel(env, lvl)) {
+            char msg[128];
+            std::snprintf(
+                msg, sizeof msg,
+                "invalid ARK_LOG_LEVEL '%s' (expected "
+                "error|warn|info|debug)",
+                env);
+            fatalImpl(__FILE__, __LINE__, msg);
+        }
+        return lvl;
+    }();
+    return threshold;
+}
+
+inline bool
+logEnabled(LogLevel lvl)
+{
+    return static_cast<int>(lvl) <= static_cast<int>(logThreshold());
+}
+
+inline void
+logImpl(LogLevel lvl, const char *file, int line, const char *fmt,
+        ...)
+{
+    char msg[512];
+    std::va_list ap;
+    va_start(ap, fmt);
+    std::vsnprintf(msg, sizeof msg, fmt, ap);
+    va_end(ap);
+    std::fprintf(stderr, "ark[%s] %s:%d: %s\n", logLevelName(lvl),
+                 file, line, msg);
+}
+
 } // namespace ark
+
+/** Leveled diagnostic: ARK_LOG(Info, "session %u opened", id).
+ *  Arguments are not evaluated when the level is below threshold. */
+#define ARK_LOG(level, ...)                                                 \
+    do {                                                                    \
+        if (::ark::logEnabled(::ark::LogLevel::level)) {                    \
+            ::ark::logImpl(::ark::LogLevel::level, __FILE__, __LINE__,      \
+                           __VA_ARGS__);                                    \
+        }                                                                   \
+    } while (0)
 
 #define ARK_PANIC(msg) ::ark::panicImpl(__FILE__, __LINE__, (msg))
 #define ARK_FATAL(msg) ::ark::fatalImpl(__FILE__, __LINE__, (msg))

@@ -237,6 +237,22 @@ WireClient::submit(size_t workload_index, const Ciphertext &input)
     return out;
 }
 
+RemoteStats
+WireClient::stats()
+{
+    TcpStream::Frame f = roundTrip(FrameType::Stats, {});
+    if (f.header.type == FrameType::Error)
+        throw decodeError(f.body);
+    if (f.header.type != FrameType::Stats)
+        throw WireError(WireCode::Protocol,
+                        std::string("expected STATS, got ") +
+                            frameTypeName(f.header.type));
+    ByteReader r(f.body);
+    RemoteStats s = readStats(r);
+    r.finish();
+    return s;
+}
+
 void
 WireClient::closeSession()
 {

@@ -27,6 +27,7 @@
 #include "ckks/context.h"
 #include "net/socket.h"
 #include "wire/serializer.h"
+#include "wire/stats_frame.h"
 
 namespace ark {
 
@@ -106,6 +107,10 @@ class WireClient
      *  the RESPONSE (synchronous, one request in flight per client). */
     SubmitOutcome submit(size_t workload_index,
                          const Ciphertext &input);
+
+    /** §5.16: poll the server's live stats (no session needed —
+     *  works right after the hello). */
+    RemoteStats stats();
 
     /** §5.14: close the session (waits for the server's echo). */
     void closeSession();

@@ -1,6 +1,12 @@
 #include "net/wire_server.h"
 
+#include <cerrno>
+#include <cstdio>
+#include <cstdlib>
+
 #include "common/logging.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 
 namespace ark {
 
@@ -42,6 +48,38 @@ struct FatalWireError
     std::string message;
 };
 
+/** ARK_STATS_INTERVAL_MS: periodic live-stats emission interval.
+ *  Empty = unset (no emitter); junk or out-of-range is fatal. */
+u64
+statsIntervalMsFromEnv()
+{
+    const char *env = std::getenv("ARK_STATS_INTERVAL_MS");
+    if (env == nullptr || *env == '\0')
+        return 0;
+    for (const char *p = env; *p; ++p) {
+        if (*p < '0' || *p > '9') {
+            char msg[160];
+            std::snprintf(msg, sizeof msg,
+                          "invalid ARK_STATS_INTERVAL_MS '%s' "
+                          "(expected an integer in [1, 3600000])",
+                          env);
+            ARK_FATAL(msg);
+        }
+    }
+    errno = 0;
+    char *end = nullptr;
+    const unsigned long long v = std::strtoull(env, &end, 10);
+    if (errno == ERANGE || v < 1 || v > 3600000ull) {
+        char msg[160];
+        std::snprintf(msg, sizeof msg,
+                      "invalid ARK_STATS_INTERVAL_MS '%s' (expected "
+                      "an integer in [1, 3600000])",
+                      env);
+        ARK_FATAL(msg);
+    }
+    return static_cast<u64>(v);
+}
+
 } // namespace
 
 WireServer::WireServer(BatchServer &server)
@@ -52,6 +90,13 @@ WireServer::WireServer(BatchServer &server)
       listener_(server.config().listen_addr, server.config().listen_port)
 {
     port_ = listener_.port();
+    ARK_LOG(Info, "wire server listening on %s:%u", addr_.c_str(),
+            static_cast<unsigned>(port_));
+    if (const u64 interval_ms = statsIntervalMsFromEnv()) {
+        emitter_ = std::make_unique<obs::StatsEmitter>(
+            std::chrono::milliseconds(interval_ms),
+            [this] { return collectStats().toString(); });
+    }
     accept_thread_ = std::thread([this] { acceptLoop(); });
 }
 
@@ -65,6 +110,8 @@ WireServer::stop()
 {
     if (stop_.exchange(true))
         return;
+    if (emitter_)
+        emitter_->stop();
     if (accept_thread_.joinable())
         accept_thread_.join();
     listener_.close();
@@ -92,6 +139,54 @@ WireServer::acceptLoop()
         conn.thread =
             std::thread([this, &conn] { serveConnection(conn); });
     }
+}
+
+RemoteStats
+WireServer::collectStats() const
+{
+    RemoteStats st;
+    st.uptime_ms = static_cast<u64>(
+        std::chrono::duration_cast<std::chrono::milliseconds>(
+            std::chrono::steady_clock::now() - start_tp_)
+            .count());
+    st.active_sessions = active_sessions_.load();
+    st.sessions_opened = sessions_opened_.load();
+
+    const ServerLiveStats live = server_.liveStats();
+    st.outstanding = live.outstanding;
+    st.shards.reserve(live.shards.size());
+    for (const ShardLiveStats &s : live.shards) {
+        StatsShardEntry e;
+        e.queue_depth = s.queue_depth;
+        e.queue_capacity = s.queue_capacity;
+        e.in_flight = s.in_flight;
+        e.total_done = s.total_done;
+        st.shards.push_back(e);
+    }
+
+    // The registry merges to zeros when ARK_METRICS is off — the
+    // frame shape is identical either way (the client need not know
+    // the server's recording state).
+    const obs::MetricsSnapshot snap =
+        obs::MetricsRegistry::global().snapshot();
+    for (size_t i = 0; i < obs::kCounterCount; ++i) {
+        StatsCounterEntry e;
+        e.name = obs::counterName(static_cast<obs::Counter>(i));
+        e.value = snap.counters[i];
+        st.counters.push_back(std::move(e));
+    }
+    for (size_t i = 0; i < obs::kPhaseCount; ++i) {
+        const obs::Histogram &h = snap.phases[i];
+        StatsPhaseEntry e;
+        e.name = obs::phaseName(static_cast<obs::Phase>(i));
+        e.count = h.count;
+        e.mean_ms = h.meanMs();
+        e.p50_ms = h.quantileMs(0.50);
+        e.p99_ms = h.quantileMs(0.99);
+        e.max_ms = h.max_ms;
+        st.phases.push_back(std::move(e));
+    }
+    return st;
 }
 
 void
@@ -216,6 +311,12 @@ WireServer::serveConnection(Connection &conn)
                 session_open = true;
                 session_id = next_session_id_.fetch_add(1);
                 sessions_opened_.fetch_add(1);
+                ARK_LOG(Info, "session %llu opened (%zu active)",
+                        static_cast<unsigned long long>(session_id),
+                        active_sessions_.load());
+                obs::gaugeSet(
+                    obs::Gauge::ActiveSessions,
+                    static_cast<i64>(active_sessions_.load()));
                 tenant_keys =
                     std::make_unique<KeyCache>(ctx.degree());
                 tenant_pk.reset();
@@ -266,6 +367,12 @@ WireServer::serveConnection(Connection &conn)
                     throw FatalWireError{
                         WireCode::UnknownSession,
                         "SUBMIT before OPEN_SESSION"};
+                // Reserve the request id up front so the spans
+                // recorded on this thread (recv, respond) correlate
+                // with the worker's spans and the RESPONSE's
+                // request_id. The span clock starts *after*
+                // recvFrame: client idle time is not recv time.
+                const u64 rid = server_.reserveRequestId();
                 const u32 widx = r.getU32();
                 if (widx >= server_.workloads().size()) {
                     // Non-fatal: the client mis-indexed the catalog,
@@ -278,12 +385,35 @@ WireServer::serveConnection(Connection &conn)
                                       " out of range"));
                     break;
                 }
-                auto input = std::make_shared<Ciphertext>(
-                    readCiphertext(r, ctx));
-                r.finish();
+                std::shared_ptr<Ciphertext> input;
+                {
+                    const auto recv_t0 =
+                        obs::traceEnabled() || obs::metricsEnabled()
+                            ? std::chrono::steady_clock::now()
+                            : std::chrono::steady_clock::
+                                  time_point{};
+                    input = std::make_shared<Ciphertext>(
+                        readCiphertext(r, ctx));
+                    r.finish();
+                    if (recv_t0 !=
+                        std::chrono::steady_clock::time_point{}) {
+                        const auto recv_t1 =
+                            std::chrono::steady_clock::now();
+                        if (obs::traceEnabled())
+                            obs::TraceSession::global().record(
+                                "recv", rid, recv_t0, recv_t1);
+                        obs::observe(
+                            obs::Phase::Recv,
+                            std::chrono::duration<double,
+                                                  std::milli>(
+                                recv_t1 - recv_t0)
+                                .count());
+                    }
+                }
                 std::future<ServeResult> fut;
                 const AdmitResult admitted = server_.trySubmitRemote(
-                    widx, std::move(input), tenant_keys.get(), fut);
+                    widx, std::move(input), tenant_keys.get(), fut,
+                    rid);
                 if (admitted == AdmitResult::Full) {
                     // §7: QUEUE_FULL is the retryable refusal — the
                     // typed surface of RequestQueue admission.
@@ -299,6 +429,10 @@ WireServer::serveConnection(Connection &conn)
                 const ServeResult res = fut.get();
                 // §5.13 RESPONSE (execution failures ride here, with
                 // the §7 code of their ServeErrorKind).
+                const auto respond_t0 =
+                    obs::traceEnabled() || obs::metricsEnabled()
+                        ? std::chrono::steady_clock::now()
+                        : std::chrono::steady_clock::time_point{};
                 ByteWriter w;
                 w.putU64(res.id);
                 w.putU8(res.ok ? 1 : 0);
@@ -313,6 +447,31 @@ WireServer::serveConnection(Connection &conn)
                     writeCiphertext(w, *res.output);
                 stream.sendFrame(FrameType::Response, params_hash_,
                                  w.take());
+                if (respond_t0 !=
+                    std::chrono::steady_clock::time_point{}) {
+                    const auto respond_t1 =
+                        std::chrono::steady_clock::now();
+                    if (obs::traceEnabled())
+                        obs::TraceSession::global().record(
+                            "respond", rid, respond_t0, respond_t1);
+                    obs::observe(
+                        obs::Phase::Respond,
+                        std::chrono::duration<double, std::milli>(
+                            respond_t1 - respond_t0)
+                            .count());
+                }
+                break;
+              }
+
+              case FrameType::Stats: {
+                // §5.16: allowed any time after the hello — a stats
+                // poller need not open a tenant session.
+                r.finish();
+                obs::count(obs::Counter::StatsPolls);
+                ByteWriter w;
+                writeStats(w, collectStats());
+                stream.sendFrame(FrameType::Stats, params_hash_,
+                                 w.take());
                 break;
               }
 
@@ -326,6 +485,8 @@ WireServer::serveConnection(Connection &conn)
                             std::to_string(id)};
                 closeSession();
                 tenant_keys.reset();
+                ARK_LOG(Info, "session %llu closed",
+                        static_cast<unsigned long long>(id));
                 ByteWriter w;
                 w.putU64(id);
                 stream.sendFrame(FrameType::CloseSession,
@@ -342,7 +503,12 @@ WireServer::serveConnection(Connection &conn)
         }
     } catch (const NetClosed &) {
         // Peer disconnected: normal end of a session.
+        ARK_LOG(Debug, "peer disconnected (session %llu)",
+                static_cast<unsigned long long>(session_id));
     } catch (const FatalWireError &e) {
+        ARK_LOG(Warn, "session %llu fatal: %s (%s)",
+                static_cast<unsigned long long>(session_id),
+                e.message.c_str(), wireCodeName(e.code));
         try {
             stream.sendFrame(FrameType::Error, params_hash_,
                              errorBody(e.code, true, e.message));
@@ -351,16 +517,26 @@ WireServer::serveConnection(Connection &conn)
     } catch (const WireError &e) {
         // Malformed frame from the peer (truncated body, bad field,
         // oversized frame, ...): report its own code, then close (§8).
+        ARK_LOG(Warn, "session %llu malformed frame: %s (%s)",
+                static_cast<unsigned long long>(session_id), e.what(),
+                wireCodeName(e.code()));
         try {
             stream.sendFrame(FrameType::Error, params_hash_,
                              errorBody(e.code(), true, e.what()));
         } catch (const NetError &) {
         }
-    } catch (const NetError &) {
-        // Transport died mid-write; nothing to report to anyone.
+    } catch (const NetError &e) {
+        // Transport died mid-write; nothing to report to anyone —
+        // but worth a diagnostic: this path used to be silent.
+        ARK_LOG(Debug, "session %llu transport error: %s",
+                static_cast<unsigned long long>(session_id),
+                e.what());
     } catch (const std::exception &e) {
         // Anything else (a broken promise during teardown, ...) is an
         // execution failure as far as the peer is concerned.
+        ARK_LOG(Warn, "session %llu execution error: %s",
+                static_cast<unsigned long long>(session_id),
+                e.what());
         try {
             stream.sendFrame(
                 FrameType::Error, params_hash_,
@@ -369,6 +545,8 @@ WireServer::serveConnection(Connection &conn)
         }
     }
     closeSession();
+    obs::gaugeSet(obs::Gauge::ActiveSessions,
+                  static_cast<i64>(active_sessions_.load()));
     stream.shutdownBoth();
 }
 

@@ -28,14 +28,17 @@
 #pragma once
 
 #include <atomic>
+#include <chrono>
 #include <memory>
 #include <mutex>
 #include <thread>
 #include <vector>
 
 #include "net/socket.h"
+#include "obs/stats_emitter.h"
 #include "serve/batch_server.h"
 #include "wire/serializer.h"
+#include "wire/stats_frame.h"
 
 namespace ark {
 
@@ -63,6 +66,10 @@ class WireServer
     size_t activeSessions() const { return active_sessions_.load(); }
     /** Total sessions accepted over the server's lifetime. */
     size_t sessionsOpened() const { return sessions_opened_.load(); }
+
+    /** The live-stats sample a §5.16 STATS frame answers with (also
+     *  what the periodic emitter renders). */
+    RemoteStats collectStats() const;
 
     /** Stop accepting, unblock and join every connection thread.
      *  Idempotent; the destructor calls it. */
@@ -96,6 +103,13 @@ class WireServer
     std::atomic<size_t> active_sessions_{0};
     std::atomic<size_t> sessions_opened_{0};
     std::atomic<u64> next_session_id_{1};
+
+    /** Uptime epoch for STATS frames. */
+    const std::chrono::steady_clock::time_point start_tp_ =
+        std::chrono::steady_clock::now();
+    /** Live when ARK_STATS_INTERVAL_MS is set: prints collectStats()
+     *  to stderr every interval. */
+    std::unique_ptr<obs::StatsEmitter> emitter_;
 };
 
 } // namespace ark

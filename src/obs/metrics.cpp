@@ -1,0 +1,267 @@
+#include "obs/metrics.h"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+#include <limits>
+#include <thread>
+
+namespace ark {
+namespace obs {
+
+const char *
+counterName(Counter c)
+{
+    switch (c) {
+    case Counter::AdmitAccepted: return "admit_accepted";
+    case Counter::AdmitRefused: return "admit_refused";
+    case Counter::RequestsDone: return "requests_done";
+    case Counter::RequestsFailed: return "requests_failed";
+    case Counter::EvkHit: return "evk_hit";
+    case Counter::EvkMiss: return "evk_miss";
+    case Counter::StatsPolls: return "stats_polls";
+    }
+    return "?";
+}
+
+const char *
+phaseName(Phase p)
+{
+    switch (p) {
+    case Phase::Recv: return "recv";
+    case Phase::Admit: return "admit";
+    case Phase::QueueWait: return "queue_wait";
+    case Phase::Dispatch: return "dispatch";
+    case Phase::Execute: return "execute";
+    case Phase::Respond: return "respond";
+    }
+    return "?";
+}
+
+const char *
+gaugeName(Gauge g)
+{
+    switch (g) {
+    case Gauge::QueueDepth: return "queue_depth";
+    case Gauge::InFlight: return "in_flight";
+    case Gauge::ActiveSessions: return "active_sessions";
+    }
+    return "?";
+}
+
+double
+Histogram::upperMs(size_t i)
+{
+    if (i + 1 >= kBuckets)
+        return std::numeric_limits<double>::infinity();
+    return 0.001 * static_cast<double>(u64{1} << i);
+}
+
+size_t
+Histogram::bucketIndex(double ms)
+{
+    for (size_t i = 0; i + 1 < kBuckets; ++i) {
+        if (ms <= upperMs(i))
+            return i;
+    }
+    return kBuckets - 1;
+}
+
+void
+Histogram::record(double ms)
+{
+    if (ms < 0 || std::isnan(ms))
+        ms = 0;
+    count += 1;
+    sum_ms += ms;
+    max_ms = std::max(max_ms, ms);
+    buckets[bucketIndex(ms)] += 1;
+}
+
+void
+Histogram::merge(const Histogram &other)
+{
+    count += other.count;
+    sum_ms += other.sum_ms;
+    max_ms = std::max(max_ms, other.max_ms);
+    for (size_t i = 0; i < kBuckets; ++i)
+        buckets[i] += other.buckets[i];
+}
+
+double
+Histogram::quantileMs(double q) const
+{
+    if (count == 0)
+        return 0;
+    q = std::min(1.0, std::max(0.0, q));
+    const u64 rank =
+        static_cast<u64>(std::ceil(q * static_cast<double>(count)));
+    u64 seen = 0;
+    for (size_t i = 0; i < kBuckets; ++i) {
+        seen += buckets[i];
+        if (seen >= rank && seen > 0) {
+            // The unbounded bucket has no upper edge to report; the
+            // observed max is the tightest true statement.
+            if (i + 1 >= kBuckets)
+                return max_ms;
+            return upperMs(i);
+        }
+    }
+    return max_ms;
+}
+
+std::string
+MetricsSnapshot::toString() const
+{
+    std::string out;
+    char buf[192];
+    out += "metrics:\n";
+    for (size_t i = 0; i < kCounterCount; ++i) {
+        std::snprintf(buf, sizeof buf, "  %-16s %llu\n",
+                      counterName(static_cast<Counter>(i)),
+                      static_cast<unsigned long long>(counters[i]));
+        out += buf;
+    }
+    for (size_t i = 0; i < kGaugeCount; ++i) {
+        std::snprintf(buf, sizeof buf, "  %-16s %lld\n",
+                      gaugeName(static_cast<Gauge>(i)),
+                      static_cast<long long>(gauges[i]));
+        out += buf;
+    }
+    for (size_t i = 0; i < kPhaseCount; ++i) {
+        const Histogram &h = phases[i];
+        if (h.count == 0)
+            continue;
+        std::snprintf(
+            buf, sizeof buf,
+            "  %-10s n=%llu mean=%.3fms p50=%.3fms p99=%.3fms "
+            "max=%.3fms\n",
+            phaseName(static_cast<Phase>(i)),
+            static_cast<unsigned long long>(h.count), h.meanMs(),
+            h.quantileMs(0.50), h.quantileMs(0.99), h.max_ms);
+        out += buf;
+    }
+    return out;
+}
+
+/** One thread's private slice of the counters and histograms. */
+struct MetricsRegistry::Shard
+{
+    std::thread::id owner;
+    mutable std::mutex m;
+    std::array<u64, kCounterCount> counters{};
+    std::array<Histogram, kPhaseCount> phases{};
+};
+
+MetricsRegistry::MetricsRegistry()
+    : instance_id_([] {
+          static std::atomic<u64> next{1};
+          return next.fetch_add(1);
+      }())
+{
+}
+
+MetricsRegistry::~MetricsRegistry() = default;
+
+MetricsRegistry &
+MetricsRegistry::global()
+{
+    static MetricsRegistry registry;
+    return registry;
+}
+
+MetricsRegistry::Shard &
+MetricsRegistry::shard() const
+{
+    struct CacheEntry
+    {
+        u64 id;
+        Shard *shard;
+    };
+    thread_local std::vector<CacheEntry> cache;
+    for (const auto &e : cache) {
+        if (e.id == instance_id_)
+            return *e.shard;
+    }
+    std::lock_guard<std::mutex> lk(shards_m_);
+    Shard *s = nullptr;
+    const std::thread::id self = std::this_thread::get_id();
+    for (const auto &existing : shards_) {
+        if (existing->owner == self) {
+            s = existing.get();
+            break;
+        }
+    }
+    if (s == nullptr) {
+        shards_.push_back(std::make_unique<Shard>());
+        s = shards_.back().get();
+        s->owner = self;
+    }
+    if (cache.size() >= 256)
+        cache.clear();
+    cache.push_back({instance_id_, s});
+    return *s;
+}
+
+void
+MetricsRegistry::count(Counter c, u64 n)
+{
+    Shard &s = shard();
+    std::lock_guard<std::mutex> lk(s.m);
+    s.counters[static_cast<size_t>(c)] += n;
+}
+
+void
+MetricsRegistry::observe(Phase p, double ms)
+{
+    Shard &s = shard();
+    std::lock_guard<std::mutex> lk(s.m);
+    s.phases[static_cast<size_t>(p)].record(ms);
+}
+
+void
+MetricsRegistry::gaugeSet(Gauge g, i64 v)
+{
+    gauges_[static_cast<size_t>(g)].store(v,
+                                          std::memory_order_relaxed);
+}
+
+void
+MetricsRegistry::gaugeAdd(Gauge g, i64 delta)
+{
+    gauges_[static_cast<size_t>(g)].fetch_add(
+        delta, std::memory_order_relaxed);
+}
+
+MetricsSnapshot
+MetricsRegistry::snapshot() const
+{
+    MetricsSnapshot snap;
+    std::lock_guard<std::mutex> lk(shards_m_);
+    for (const auto &s : shards_) {
+        std::lock_guard<std::mutex> sk(s->m);
+        for (size_t i = 0; i < kCounterCount; ++i)
+            snap.counters[i] += s->counters[i];
+        for (size_t i = 0; i < kPhaseCount; ++i)
+            snap.phases[i].merge(s->phases[i]);
+    }
+    for (size_t i = 0; i < kGaugeCount; ++i)
+        snap.gauges[i] = gauges_[i].load(std::memory_order_relaxed);
+    return snap;
+}
+
+void
+MetricsRegistry::reset()
+{
+    std::lock_guard<std::mutex> lk(shards_m_);
+    for (const auto &s : shards_) {
+        std::lock_guard<std::mutex> sk(s->m);
+        s->counters.fill(0);
+        s->phases.fill(Histogram{});
+    }
+    for (auto &g : gauges_)
+        g.store(0, std::memory_order_relaxed);
+}
+
+} // namespace obs
+} // namespace ark

@@ -1,0 +1,182 @@
+/**
+ * @file
+ * Runtime metrics registry: sharded counters, gauges, and fixed-bucket
+ * latency histograms.
+ *
+ * Counters and histograms are recorded into per-thread shards and
+ * merged on read (the KernelStats scheme), so the hot path touches
+ * only thread-local memory and never contends. Gauges are single
+ * atomics — they represent "current level" values (queue depth,
+ * in-flight requests) that are written from one place at a time and
+ * read rarely.
+ *
+ * The catalog is a fixed set of enums rather than string-keyed
+ * registration: every metric this codebase emits is known at compile
+ * time, the enum keeps recording to an array index, and the STATS
+ * wire frame can ship names from one table (docs/observability.md
+ * lists the catalog).
+ *
+ * Every record call is gated on obs::metricsEnabled() — use the
+ * count()/observe()/gauge*() wrappers below, which compile to nothing
+ * when ARK_OBS_ENABLED=0.
+ */
+
+#pragma once
+
+#include <array>
+#include <atomic>
+#include <cstddef>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "common/types.h"
+#include "obs/obs.h"
+
+namespace ark {
+namespace obs {
+
+/** Monotonic event counts. */
+enum class Counter : size_t
+{
+    AdmitAccepted = 0, ///< requests admitted into the queue
+    AdmitRefused,      ///< requests refused at admission
+    RequestsDone,      ///< requests completing successfully
+    RequestsFailed,    ///< requests completing with an error
+    EvkHit,            ///< evaluation-key cache hits (KeyCache)
+    EvkMiss,           ///< evaluation-key cache misses
+    StatsPolls,        ///< STATS wire frames served
+};
+constexpr size_t kCounterCount = 7;
+const char *counterName(Counter c);
+
+/** Per-phase latency histograms (one per request phase span). */
+enum class Phase : size_t
+{
+    Recv = 0,  ///< SUBMIT body deserialization
+    Admit,     ///< admission decision
+    QueueWait, ///< enqueue -> worker pop
+    Dispatch,  ///< pop -> execution start (schedule/setup)
+    Execute,   ///< homomorphic evaluation
+    Respond,   ///< RESPONSE serialization + send
+};
+constexpr size_t kPhaseCount = 6;
+const char *phaseName(Phase p);
+
+/** Current-level values (set/adjusted, not accumulated). */
+enum class Gauge : size_t
+{
+    QueueDepth = 0, ///< sampled total queued jobs across shards
+    InFlight,       ///< jobs admitted but not yet completed
+    ActiveSessions, ///< open wire sessions
+};
+constexpr size_t kGaugeCount = 3;
+const char *gaugeName(Gauge g);
+
+/**
+ * Fixed-bucket latency histogram. Bucket upper bounds are geometric:
+ * bucket i holds values <= 0.001 * 2^i ms (1 us, 2 us, ... ~4.2 s);
+ * the last bucket is unbounded. Fixed buckets make merge a plain
+ * element-wise add and keep record() allocation-free.
+ */
+struct Histogram
+{
+    static constexpr size_t kBuckets = 24;
+
+    /** Upper bound of bucket @p i in ms (+inf for the last bucket). */
+    static double upperMs(size_t i);
+    /** Bucket index a value of @p ms lands in. */
+    static size_t bucketIndex(double ms);
+
+    u64 count = 0;
+    double sum_ms = 0;
+    double max_ms = 0;
+    std::array<u64, kBuckets> buckets{};
+
+    void record(double ms);
+    void merge(const Histogram &other);
+    /** Quantile estimate (q in [0,1]): the upper bound of the bucket
+     *  where the cumulative count crosses q. 0 when empty. */
+    double quantileMs(double q) const;
+    double meanMs() const { return count ? sum_ms / count : 0.0; }
+};
+
+/** Merged point-in-time view of every metric. */
+struct MetricsSnapshot
+{
+    std::array<u64, kCounterCount> counters{};
+    std::array<Histogram, kPhaseCount> phases{};
+    std::array<i64, kGaugeCount> gauges{};
+
+    /** Human-readable multi-line block (the periodic emitter's and
+     *  `remote_client --stats`'s output format). */
+    std::string toString() const;
+};
+
+/** Process-wide registry; record via the free wrappers below. */
+class MetricsRegistry
+{
+  public:
+    MetricsRegistry();
+    ~MetricsRegistry();
+
+    MetricsRegistry(const MetricsRegistry &) = delete;
+    MetricsRegistry &operator=(const MetricsRegistry &) = delete;
+
+    static MetricsRegistry &global();
+
+    void count(Counter c, u64 n);
+    void observe(Phase p, double ms);
+    void gaugeSet(Gauge g, i64 v);
+    void gaugeAdd(Gauge g, i64 delta);
+
+    /** Merge every shard into one snapshot. */
+    MetricsSnapshot snapshot() const;
+    /** Zero all shards and gauges (tests). */
+    void reset();
+
+  private:
+    struct Shard;
+    Shard &shard() const;
+
+    const u64 instance_id_;
+    mutable std::mutex shards_m_;
+    mutable std::vector<std::unique_ptr<Shard>> shards_;
+    std::array<std::atomic<i64>, kGaugeCount> gauges_{};
+};
+
+/** Increment @p c by @p n iff metrics are enabled. */
+inline void
+count(Counter c, u64 n = 1)
+{
+    if (metricsEnabled())
+        MetricsRegistry::global().count(c, n);
+}
+
+/** Record @p ms into phase @p p's histogram iff enabled. */
+inline void
+observe(Phase p, double ms)
+{
+    if (metricsEnabled())
+        MetricsRegistry::global().observe(p, ms);
+}
+
+/** Set gauge @p g to @p v iff enabled. */
+inline void
+gaugeSet(Gauge g, i64 v)
+{
+    if (metricsEnabled())
+        MetricsRegistry::global().gaugeSet(g, v);
+}
+
+/** Adjust gauge @p g by @p delta iff enabled. */
+inline void
+gaugeAdd(Gauge g, i64 delta)
+{
+    if (metricsEnabled())
+        MetricsRegistry::global().gaugeAdd(g, delta);
+}
+
+} // namespace obs
+} // namespace ark

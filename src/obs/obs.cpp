@@ -1,0 +1,96 @@
+#include "obs/obs.h"
+
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+
+#include "common/logging.h"
+
+namespace ark {
+namespace obs {
+
+bool
+parseOnOff(const char *s, bool &out)
+{
+    if (std::strcmp(s, "on") == 0 || std::strcmp(s, "1") == 0) {
+        out = true;
+        return true;
+    }
+    if (std::strcmp(s, "off") == 0 || std::strcmp(s, "0") == 0) {
+        out = false;
+        return true;
+    }
+    return false;
+}
+
+#if ARK_OBS_ENABLED
+
+namespace detail {
+
+std::atomic<int> trace_override{-1};
+std::atomic<int> metrics_override{-1};
+
+namespace {
+
+/** Parse one switch variable once; junk is fatal, naming the value —
+ *  the ARK_BACKEND discipline. Empty counts as unset (off). */
+bool
+envSwitch(const char *var)
+{
+    const char *env = std::getenv(var);
+    if (env == nullptr || *env == '\0')
+        return false;
+    bool on = false;
+    if (!parseOnOff(env, on)) {
+        char msg[128];
+        std::snprintf(msg, sizeof msg,
+                      "invalid %s '%s' (expected on|off|1|0)", var,
+                      env);
+        ARK_FATAL(msg);
+    }
+    return on;
+}
+
+} // namespace
+
+bool
+envTraceEnabled()
+{
+    static const bool on = envSwitch("ARK_TRACE");
+    return on;
+}
+
+bool
+envMetricsEnabled()
+{
+    static const bool on = envSwitch("ARK_METRICS");
+    return on;
+}
+
+} // namespace detail
+
+void
+setTraceEnabled(bool on)
+{
+    detail::trace_override.store(on ? 1 : 0,
+                                 std::memory_order_relaxed);
+}
+
+void
+setMetricsEnabled(bool on)
+{
+    detail::metrics_override.store(on ? 1 : 0,
+                                   std::memory_order_relaxed);
+}
+
+void
+resetObsOverrides()
+{
+    detail::trace_override.store(-1, std::memory_order_relaxed);
+    detail::metrics_override.store(-1, std::memory_order_relaxed);
+}
+
+#endif // ARK_OBS_ENABLED
+
+} // namespace obs
+} // namespace ark

@@ -1,0 +1,61 @@
+#include "obs/stats_emitter.h"
+
+#include <cstdio>
+
+namespace ark {
+namespace obs {
+
+StatsEmitter::StatsEmitter(std::chrono::milliseconds interval,
+                           Render render, Sink sink)
+    : render_(std::move(render)), sink_(std::move(sink))
+{
+    if (!sink_) {
+        sink_ = [](const std::string &text) {
+            std::fputs(text.c_str(), stderr);
+        };
+    }
+    thread_ = std::thread([this, interval] { run(interval); });
+}
+
+StatsEmitter::~StatsEmitter() { stop(); }
+
+void
+StatsEmitter::stop()
+{
+    {
+        std::lock_guard<std::mutex> lk(m_);
+        if (stop_)
+            return;
+        stop_ = true;
+    }
+    cv_.notify_all();
+    if (thread_.joinable())
+        thread_.join();
+}
+
+size_t
+StatsEmitter::emissions() const
+{
+    std::lock_guard<std::mutex> lk(m_);
+    return emissions_;
+}
+
+void
+StatsEmitter::run(std::chrono::milliseconds interval)
+{
+    std::unique_lock<std::mutex> lk(m_);
+    while (!stop_) {
+        if (cv_.wait_for(lk, interval, [this] { return stop_; }))
+            break;
+        // Render without the lock so a slow sink never blocks stop().
+        lk.unlock();
+        const std::string text = render_ ? render_() : std::string();
+        if (!text.empty())
+            sink_(text);
+        lk.lock();
+        emissions_ += 1;
+    }
+}
+
+} // namespace obs
+} // namespace ark

@@ -1,0 +1,234 @@
+#include "obs/trace.h"
+
+#include <algorithm>
+#include <array>
+#include <atomic>
+#include <cstdio>
+#include <thread>
+
+namespace ark {
+namespace obs {
+
+/**
+ * One thread's span ring. Only the owning thread records into it; the
+ * per-ring mutex is therefore uncontended on the hot path and exists
+ * so a concurrent export (another thread's toJson) reads a consistent
+ * event, never a torn one.
+ */
+struct TraceSession::Ring
+{
+    std::thread::id owner;
+    /** Small dense tid for the JSON (registration order). */
+    u32 tid = 0;
+    mutable std::mutex m;
+    std::array<TraceEvent, kRingCapacity> ev;
+    /** Total events ever recorded; min(total, capacity) retained. */
+    u64 total = 0;
+};
+
+TraceSession::TraceSession()
+    : instance_id_([] {
+          static std::atomic<u64> next{1};
+          return next.fetch_add(1);
+      }()),
+      epoch_(std::chrono::steady_clock::now())
+{
+}
+
+TraceSession::~TraceSession() = default;
+
+TraceSession &
+TraceSession::global()
+{
+    static TraceSession session;
+    return session;
+}
+
+TraceSession::Ring &
+TraceSession::ring() const
+{
+    struct CacheEntry
+    {
+        u64 id;
+        Ring *ring;
+    };
+    // Per-thread cache of (session instance id -> ring) — the
+    // KernelBackend::shard() scheme: stale entries for destroyed
+    // sessions are never matched again, and an evicted entry only
+    // costs a re-lookup that re-adopts this thread's ring.
+    thread_local std::vector<CacheEntry> cache;
+    for (const auto &e : cache) {
+        if (e.id == instance_id_)
+            return *e.ring;
+    }
+    std::lock_guard<std::mutex> lk(rings_m_);
+    Ring *r = nullptr;
+    const std::thread::id self = std::this_thread::get_id();
+    for (const auto &existing : rings_) {
+        if (existing->owner == self) {
+            r = existing.get();
+            break;
+        }
+    }
+    if (r == nullptr) {
+        rings_.push_back(std::make_unique<Ring>());
+        r = rings_.back().get();
+        r->owner = self;
+        r->tid = static_cast<u32>(rings_.size());
+    }
+    if (cache.size() >= 256)
+        cache.clear();
+    cache.push_back({instance_id_, r});
+    return *r;
+}
+
+void
+TraceSession::record(const char *name, u64 request_id,
+                     std::chrono::steady_clock::time_point start,
+                     std::chrono::steady_clock::time_point end)
+{
+    // Clamp a clock hiccup rather than emitting a negative duration
+    // (the exported format's dur is unsigned anyway).
+    if (end < start)
+        end = start;
+    TraceEvent e;
+    e.name = name;
+    e.request_id = request_id;
+    e.start_ns = static_cast<u64>(
+        std::chrono::duration_cast<std::chrono::nanoseconds>(start -
+                                                             epoch_)
+            .count());
+    e.dur_ns = static_cast<u64>(
+        std::chrono::duration_cast<std::chrono::nanoseconds>(end -
+                                                             start)
+            .count());
+    Ring &r = ring();
+    std::lock_guard<std::mutex> lk(r.m);
+    r.ev[r.total % kRingCapacity] = e;
+    r.total += 1;
+}
+
+size_t
+TraceSession::eventCount() const
+{
+    std::lock_guard<std::mutex> lk(rings_m_);
+    size_t n = 0;
+    for (const auto &r : rings_) {
+        std::lock_guard<std::mutex> rk(r->m);
+        n += static_cast<size_t>(
+            std::min<u64>(r->total, kRingCapacity));
+    }
+    return n;
+}
+
+u64
+TraceSession::droppedCount() const
+{
+    std::lock_guard<std::mutex> lk(rings_m_);
+    u64 n = 0;
+    for (const auto &r : rings_) {
+        std::lock_guard<std::mutex> rk(r->m);
+        n += r->total > kRingCapacity ? r->total - kRingCapacity : 0;
+    }
+    return n;
+}
+
+void
+TraceSession::clear()
+{
+    std::lock_guard<std::mutex> lk(rings_m_);
+    for (const auto &r : rings_) {
+        std::lock_guard<std::mutex> rk(r->m);
+        r->total = 0;
+    }
+}
+
+std::vector<TraceEvent>
+TraceSession::events() const
+{
+    struct Tagged
+    {
+        TraceEvent e;
+        u32 tid;
+    };
+    std::vector<Tagged> tagged;
+    {
+        std::lock_guard<std::mutex> lk(rings_m_);
+        for (const auto &r : rings_) {
+            std::lock_guard<std::mutex> rk(r->m);
+            const u64 kept = std::min<u64>(r->total, kRingCapacity);
+            for (u64 i = 0; i < kept; ++i)
+                tagged.push_back({r->ev[i], r->tid});
+        }
+    }
+    std::stable_sort(tagged.begin(), tagged.end(),
+                     [](const Tagged &a, const Tagged &b) {
+                         return a.e.start_ns < b.e.start_ns;
+                     });
+    std::vector<TraceEvent> out;
+    out.reserve(tagged.size());
+    for (const Tagged &t : tagged)
+        out.push_back(t.e);
+    return out;
+}
+
+std::string
+TraceSession::toJson() const
+{
+    // Re-collect with tids (events() drops them); duplicating the
+    // merge keeps the public snapshot type free of export details.
+    struct Tagged
+    {
+        TraceEvent e;
+        u32 tid;
+    };
+    std::vector<Tagged> tagged;
+    {
+        std::lock_guard<std::mutex> lk(rings_m_);
+        for (const auto &r : rings_) {
+            std::lock_guard<std::mutex> rk(r->m);
+            const u64 kept = std::min<u64>(r->total, kRingCapacity);
+            for (u64 i = 0; i < kept; ++i)
+                tagged.push_back({r->ev[i], r->tid});
+        }
+    }
+    std::stable_sort(tagged.begin(), tagged.end(),
+                     [](const Tagged &a, const Tagged &b) {
+                         return a.e.start_ns < b.e.start_ns;
+                     });
+
+    std::string out = "{\"traceEvents\":[\n";
+    char buf[256];
+    for (size_t i = 0; i < tagged.size(); ++i) {
+        const TraceEvent &e = tagged[i].e;
+        // Span names are static identifiers (phase / kernel-op
+        // names), so no JSON string escaping is needed.
+        std::snprintf(
+            buf, sizeof buf,
+            "{\"name\":\"%s\",\"cat\":\"ark\",\"ph\":\"X\","
+            "\"ts\":%.3f,\"dur\":%.3f,\"pid\":1,\"tid\":%u,"
+            "\"args\":{\"req\":%llu}}%s\n",
+            e.name, static_cast<double>(e.start_ns) / 1e3,
+            static_cast<double>(e.dur_ns) / 1e3, tagged[i].tid,
+            static_cast<unsigned long long>(e.request_id),
+            i + 1 < tagged.size() ? "," : "");
+        out += buf;
+    }
+    out += "],\"displayTimeUnit\":\"ms\"}\n";
+    return out;
+}
+
+bool
+TraceSession::writeJson(const std::string &path) const
+{
+    std::FILE *f = std::fopen(path.c_str(), "w");
+    if (f == nullptr)
+        return false;
+    const std::string json = toJson();
+    const bool ok =
+        std::fwrite(json.data(), 1, json.size(), f) == json.size();
+    return std::fclose(f) == 0 && ok;
+}
+
+} // namespace obs
+} // namespace ark

@@ -9,6 +9,7 @@
 
 #include "common/logging.h"
 #include "common/thread_pool.h"
+#include "obs/trace.h"
 #include "rns/simd_kernels.h"
 
 namespace ark {
@@ -296,6 +297,7 @@ KernelBackend::evkMulAcc(const RnsPoly &digit, const RnsPoly &evk_b,
     ARK_ASSERT(evk_b.numLimbs() == full_nq + (limbs - nq) &&
                    evk_b.sameShape(evk_a),
                "evk polys must span the full key basis");
+    obs::ScopedSpan span("evk_mul_acc");
     recordStats(KernelOp::EvkMulAcc, limbs, 7 * limbs * n,
                   2 * limbs * n);
     noteEvkWords(2 * limbs * n); // evk operand stream
@@ -357,6 +359,7 @@ KernelBackend::nttForward(RnsPoly &p,
     ARK_ASSERT(p.rep() == Rep::Coeff, "forward NTT needs Coeff rep");
     ARK_ASSERT(tables.size() >= p.numLimbs(), "not enough NTT tables");
     const size_t n = p.degree();
+    obs::ScopedSpan span("ntt_fwd");
     recordStats(KernelOp::NttForward, p.numLimbs(),
                   2 * p.numLimbs() * n, p.numLimbs() * nttMults(n));
     run(p.numLimbs(), [&](size_t l) {
@@ -372,6 +375,7 @@ KernelBackend::nttInverse(RnsPoly &p,
     ARK_ASSERT(p.rep() == Rep::Eval, "inverse NTT needs Eval rep");
     ARK_ASSERT(tables.size() >= p.numLimbs(), "not enough NTT tables");
     const size_t n = p.degree();
+    obs::ScopedSpan span("ntt_inv");
     recordStats(KernelOp::NttInverse, p.numLimbs(),
                   2 * p.numLimbs() * n,
                   p.numLimbs() * (nttMults(n) + n));
@@ -428,6 +432,7 @@ KernelBackend::bconv(const BaseConverter &bc, const RnsPoly &in)
     const size_t nb = bc.inBase().size();
     const size_t nc = bc.outBase().size();
     const size_t n = in.degree();
+    obs::ScopedSpan span("bconv");
     recordStats(KernelOp::BConv, nb + nc, (nb + nc) * n,
                   nb * n + nb * nc * n);
 
@@ -452,6 +457,7 @@ KernelBackend::automorphism(const Automorphism &am, const RnsPoly &p,
                             const std::vector<Modulus> &moduli)
 {
     const size_t n = p.degree();
+    obs::ScopedSpan span("automorphism");
     recordStats(KernelOp::Automorphism, p.numLimbs(),
                   2 * p.numLimbs() * n, 0);
     // Pooled: apply{Coeff,Eval} write every output position (the index
@@ -482,6 +488,7 @@ KernelBackend::nttBconvNtt(const RnsPoly &digit,
                "not enough NTT tables");
     // Tally the fused call itself, then credit the component counters
     // so FU-level consumers (simulator) see the right per-FU split.
+    obs::ScopedSpan span("ntt_bconv_ntt");
     recordStats(KernelOp::NttBconvNtt, nb + nc, 0, 0);
     recordStats(KernelOp::NttInverse, nb, 2 * nb * n,
                   nb * (nttMults(n) + n));

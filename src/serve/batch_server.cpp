@@ -8,6 +8,8 @@
 #include <stdexcept>
 
 #include "common/logging.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 
 namespace ark {
 
@@ -191,6 +193,8 @@ BatchServer::BatchServer(const CkksContext &ctx, KeyCache &keys,
     for (size_t s = 0; s < cfg_.shards; ++s)
         queues_.push_back(std::make_unique<RequestQueue>(caps[s]));
     shard_done_.assign(cfg_.shards, 0);
+    shard_inflight_.assign(cfg_.shards, 0);
+    shard_total_done_.assign(cfg_.shards, 0);
 
     // Prewarm every evk the workload set references while still
     // single-threaded: key generation draws from the keygen Rng, so
@@ -226,12 +230,19 @@ BatchServer::~BatchServer()
 AdmitResult
 BatchServer::admitJob(ServeJob &&job, bool blocking)
 {
+    const bool observed = obs::traceEnabled() || obs::metricsEnabled();
+    obs::ScopedSpan admit_span("admit", job.request.id);
     const size_t workload_index = job.request.workload_index;
 
     // Evk-affinity routing: the request joins the queue of the worker
     // group that owns its workload's rotation-evk signature.
     RequestQueue &queue =
         *queues_[shard_plan_.shard_of_workload[workload_index]];
+    // Stamp only when someone will read it: the disabled path takes
+    // no extra clock read (the overhead gate's contract).
+    if (observed)
+        job.enqueue_tp = std::chrono::steady_clock::now();
+    const auto admit_t0 = job.enqueue_tp;
 
     // Count the attempt *before* opening the window: a concurrent
     // drain() waits for outstanding_ == 0, so it can never close a
@@ -274,6 +285,26 @@ BatchServer::admitJob(ServeJob &&job, bool blocking)
         if (window_open_ && done_ == 0 && outstanding_.load() == 0)
             window_open_ = false;
     }
+    if (observed && obs::metricsEnabled()) {
+        if (admitted == AdmitResult::Admitted) {
+            obs::count(obs::Counter::AdmitAccepted);
+            obs::gaugeAdd(obs::Gauge::InFlight, 1);
+        } else {
+            obs::count(obs::Counter::AdmitRefused);
+        }
+        obs::observe(
+            obs::Phase::Admit,
+            std::chrono::duration<double, std::milli>(
+                std::chrono::steady_clock::now() - admit_t0)
+                .count());
+        // Sampled depth gauge: one sample per admission attempt is
+        // plenty for a "what does the queue look like" readout.
+        size_t depth = 0;
+        for (const auto &q : queues_)
+            depth += q->depth();
+        obs::gaugeSet(obs::Gauge::QueueDepth,
+                      static_cast<i64>(depth));
+    }
     return admitted;
 }
 
@@ -304,7 +335,8 @@ AdmitResult
 BatchServer::trySubmitRemote(size_t workload_index,
                              std::shared_ptr<Ciphertext> input,
                              KeyCache *tenant_keys,
-                             std::future<ServeResult> &out)
+                             std::future<ServeResult> &out,
+                             u64 reserved_id)
 {
     ARK_ASSERT(workload_index < workloads_.size(),
                "workload index out of range");
@@ -312,7 +344,8 @@ BatchServer::trySubmitRemote(size_t workload_index,
         return AdmitResult::Closed;
 
     ServeJob job;
-    job.request.id = next_id_.fetch_add(1);
+    job.request.id =
+        reserved_id != 0 ? reserved_id : next_id_.fetch_add(1);
     job.request.workload_index = workload_index;
     job.request.input = std::move(input);
     job.request.tenant_keys = tenant_keys;
@@ -441,7 +474,52 @@ BatchServer::workerLoop(size_t group)
 {
     ServeJob job;
     while (queues_[group]->pop(job)) {
-        ServeResult r = execute(job.request);
+        const u64 rid = job.request.id;
+        const bool observed =
+            obs::traceEnabled() || obs::metricsEnabled();
+        const bool stamped =
+            job.enqueue_tp != std::chrono::steady_clock::time_point{};
+        std::chrono::steady_clock::time_point pop_tp{};
+        if (observed && stamped) {
+            // queue_wait: admission stamp -> this pop.
+            pop_tp = std::chrono::steady_clock::now();
+            if (obs::traceEnabled())
+                obs::TraceSession::global().record(
+                    "queue_wait", rid, job.enqueue_tp, pop_tp);
+            obs::observe(obs::Phase::QueueWait,
+                         std::chrono::duration<double, std::milli>(
+                             pop_tp - job.enqueue_tp)
+                             .count());
+        }
+        {
+            std::lock_guard<std::mutex> lk(metrics_m_);
+            shard_inflight_[group] += 1;
+        }
+        ServeResult r;
+        {
+            // dispatch: pop -> execution start (bookkeeping between
+            // the two; tiny unless the metrics lock contends).
+            std::chrono::steady_clock::time_point exec_tp{};
+            if (observed && stamped) {
+                exec_tp = std::chrono::steady_clock::now();
+                if (obs::traceEnabled())
+                    obs::TraceSession::global().record(
+                        "dispatch", rid, pop_tp, exec_tp);
+                obs::observe(
+                    obs::Phase::Dispatch,
+                    std::chrono::duration<double, std::milli>(
+                        exec_tp - pop_tp)
+                        .count());
+            }
+            obs::ScopedSpan execute_span("execute", rid);
+            r = execute(job.request);
+        }
+        if (observed) {
+            obs::observe(obs::Phase::Execute, r.latency_ms);
+            obs::count(r.ok ? obs::Counter::RequestsDone
+                            : obs::Counter::RequestsFailed);
+            obs::gaugeAdd(obs::Gauge::InFlight, -1);
+        }
         {
             std::lock_guard<std::mutex> lk(metrics_m_);
             latencies_ms_.push_back(r.latency_ms);
@@ -449,6 +527,8 @@ BatchServer::workerLoop(size_t group)
             failed_ += r.ok ? 0 : 1;
             ops_done_ += r.he_ops;
             shard_done_[group] += 1;
+            shard_inflight_[group] -= 1;
+            shard_total_done_[group] += 1;
         }
         job.promise.set_value(std::move(r));
         // Decrement-then-notify under the idle mutex so drain() can
@@ -459,6 +539,26 @@ BatchServer::workerLoop(size_t group)
         }
         idle_cv_.notify_all();
     }
+}
+
+ServerLiveStats
+BatchServer::liveStats() const
+{
+    ServerLiveStats s;
+    s.shards.resize(queues_.size());
+    {
+        std::lock_guard<std::mutex> lk(metrics_m_);
+        for (size_t i = 0; i < queues_.size(); ++i) {
+            s.shards[i].in_flight = shard_inflight_[i];
+            s.shards[i].total_done = shard_total_done_[i];
+        }
+    }
+    for (size_t i = 0; i < queues_.size(); ++i) {
+        s.shards[i].queue_depth = queues_[i]->depth();
+        s.shards[i].queue_capacity = queues_[i]->capacity();
+    }
+    s.outstanding = outstanding_.load();
+    return s;
 }
 
 ServeReport
@@ -476,6 +576,11 @@ BatchServer::drain()
     ServeReport rep;
     rep.schedule = schedulePolicyName(cfg_.schedule);
     rep.shard_requests = shard_done_;
+    rep.shard_queue_peak.reserve(queues_.size());
+    for (const auto &q : queues_) {
+        rep.shard_queue_peak.push_back(q->peakDepth());
+        q->resetPeak();
+    }
     rep.requests = done_;
     rep.failed = failed_;
     rep.he_ops = ops_done_;

@@ -108,6 +108,25 @@ struct BatchServerConfig
  */
 BatchServerConfig serveConfigFromEnv(BatchServerConfig cfg = {});
 
+/** One worker group's live state (see BatchServer::liveStats). */
+struct ShardLiveStats
+{
+    size_t queue_depth = 0;    ///< queued (admitted, unstarted) jobs
+    size_t queue_capacity = 0; ///< this shard's admission budget
+    size_t in_flight = 0;      ///< popped and currently executing
+    u64 total_done = 0;        ///< completions since server start
+};
+
+/** Point-in-time server state for the live stats surface (the STATS
+ *  wire frame and the periodic emitter). Unlike drain()'s ServeReport
+ *  this does not wait for quiescence — it is a racy-but-consistent
+ *  sample of a running server. */
+struct ServerLiveStats
+{
+    std::vector<ShardLiveStats> shards;
+    size_t outstanding = 0; ///< admitted but not yet completed
+};
+
 /** Multi-threaded request executor over shared CKKS state. */
 class BatchServer
 {
@@ -165,11 +184,26 @@ class BatchServer
      * unchanged. Returns the typed admission outcome; @p out is set
      * only on Admitted. Never throws on shutdown (returns Closed):
      * the wire layer turns Closed into a SERVER_SHUTDOWN error frame.
+     *
+     * @p reserved_id (from reserveRequestId()) lets the caller know
+     * the request id *before* admission, so spans recorded around the
+     * submit (recv, respond) correlate with the worker's spans and
+     * the RESPONSE frame's request_id. 0 = assign one here.
      */
     AdmitResult trySubmitRemote(size_t workload_index,
                                 std::shared_ptr<Ciphertext> input,
                                 KeyCache *tenant_keys,
-                                std::future<ServeResult> &out);
+                                std::future<ServeResult> &out,
+                                u64 reserved_id = 0);
+
+    /** Draw the next request id without submitting anything — the
+     *  wire layer tags its pre-admission trace spans with it, then
+     *  passes it back through trySubmitRemote. */
+    u64 reserveRequestId() { return next_id_.fetch_add(1); }
+
+    /** Sample the running server's per-shard queue depth / in-flight
+     *  counts (no quiescence wait; see ServerLiveStats). */
+    ServerLiveStats liveStats() const;
 
     /**
      * Admit a whole batch. In schedule-aware mode the admission order
@@ -225,6 +259,10 @@ class BatchServer
     mutable std::mutex metrics_m_;
     std::vector<double> latencies_ms_;
     std::vector<size_t> shard_done_; ///< completions per worker group
+    /** Live-stats state (also guarded by metrics_m_): unlike the
+     *  window counters above these survive drain(). */
+    std::vector<size_t> shard_inflight_;
+    std::vector<u64> shard_total_done_;
     size_t done_ = 0;
     size_t failed_ = 0;
     size_t ops_done_ = 0;

@@ -51,6 +51,15 @@ ServeReport::toString() const
         }
         out += " requests";
     }
+    if (shard_queue_peak.size() > 1) {
+        out += "\nqueue peaks:";
+        for (size_t s = 0; s < shard_queue_peak.size(); ++s) {
+            std::snprintf(buf, sizeof buf, " [%zu] %zu", s,
+                          shard_queue_peak[s]);
+            out += buf;
+        }
+        out += " queued max";
+    }
     return out;
 }
 

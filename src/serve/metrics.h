@@ -40,6 +40,10 @@ struct ServeReport
      *  server's shard count; a single-queue server reports one
      *  entry). Sums to `requests`. */
     std::vector<size_t> shard_requests;
+    /** Highest queued-job count each shard's queue reached during the
+     *  window (RequestQueue::peakDepth, reset at drain) — the
+     *  congestion signal the future rebalancer will read. */
+    std::vector<size_t> shard_queue_peak;
     size_t requests = 0;
     size_t failed = 0;
     size_t he_ops = 0; ///< primitive HE ops executed across requests

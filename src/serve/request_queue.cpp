@@ -1,5 +1,7 @@
 #include "serve/request_queue.h"
 
+#include <algorithm>
+
 #include "common/logging.h"
 
 namespace ark {
@@ -18,6 +20,7 @@ RequestQueue::push(ServeJob &&job)
     if (closed_)
         return false;
     q_.push_back(std::move(job));
+    peak_ = std::max(peak_, q_.size());
     lk.unlock();
     not_empty_.notify_one();
     return true;
@@ -39,6 +42,7 @@ RequestQueue::tryPushResult(ServeJob &&job)
         if (q_.size() >= capacity_)
             return AdmitResult::Full;
         q_.push_back(std::move(job));
+        peak_ = std::max(peak_, q_.size());
     }
     not_empty_.notify_one();
     return AdmitResult::Admitted;
@@ -81,6 +85,20 @@ RequestQueue::closed() const
 {
     std::lock_guard<std::mutex> lk(m_);
     return closed_;
+}
+
+size_t
+RequestQueue::peakDepth() const
+{
+    std::lock_guard<std::mutex> lk(m_);
+    return peak_;
+}
+
+void
+RequestQueue::resetPeak()
+{
+    std::lock_guard<std::mutex> lk(m_);
+    peak_ = q_.size();
 }
 
 } // namespace ark

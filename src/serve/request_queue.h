@@ -13,6 +13,7 @@
 
 #pragma once
 
+#include <chrono>
 #include <condition_variable>
 #include <cstddef>
 #include <deque>
@@ -28,6 +29,9 @@ struct ServeJob
 {
     ServeRequest request;
     std::promise<ServeResult> promise;
+    /** Set at enqueue; the worker derives the queue_wait span and
+     *  histogram from it (zero-initialized = not stamped, skip). */
+    std::chrono::steady_clock::time_point enqueue_tp{};
 };
 
 /**
@@ -85,6 +89,15 @@ class RequestQueue
     size_t capacity() const { return capacity_; }
     bool closed() const;
 
+    /** Current queued-job count — size() under its observability
+     *  name: the sampled gauge the stats surface and the future
+     *  rebalancer read. */
+    size_t depth() const { return size(); }
+    /** Highest depth seen since construction / the last resetPeak()
+     *  — what ServeReport::shard_queue_peak carries. */
+    size_t peakDepth() const;
+    void resetPeak();
+
   private:
     const size_t capacity_;
     mutable std::mutex m_;
@@ -92,6 +105,7 @@ class RequestQueue
     std::condition_variable not_empty_;
     std::deque<ServeJob> q_;
     bool closed_ = false;
+    size_t peak_ = 0;
 };
 
 } // namespace ark

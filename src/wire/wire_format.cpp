@@ -38,6 +38,8 @@ frameTypeName(FrameType t)
         return "CLOSE_SESSION";
       case FrameType::Error:
         return "ERROR";
+      case FrameType::Stats:
+        return "STATS";
     }
     return "UNKNOWN";
 }
@@ -247,7 +249,7 @@ decodeFrameHeader(const u8 *data, u64 max_frame_bytes)
                             std::to_string(h.version));
     const u16 type = r.getU16();
     if (type < static_cast<u16>(FrameType::ClientHello) ||
-        type > static_cast<u16>(FrameType::Error))
+        type > static_cast<u16>(FrameType::Stats))
         throw WireError(WireCode::BadFrameType,
                         "unknown frame type " + std::to_string(type));
     h.type = static_cast<FrameType>(type);

@@ -58,6 +58,7 @@ enum class FrameType : u16 {
     Response = 0x0D,     ///< §5.13
     CloseSession = 0x0E, ///< §5.14
     Error = 0x0F,        ///< §5.15
+    Stats = 0x10,        ///< §5.16 (appended within v1, §8)
 };
 
 const char *frameTypeName(FrameType t);

@@ -24,6 +24,8 @@
 #include "ckks/keygen.h"
 #include "net/wire_client.h"
 #include "net/wire_server.h"
+#include "obs/metrics.h"
+#include "obs/obs.h"
 
 namespace ark {
 namespace {
@@ -399,6 +401,77 @@ TEST(NetServing, WrongParamsHashIsFatalMismatch)
     EXPECT_EQ(static_cast<WireCode>(r.getU16()),
               WireCode::ParamsMismatch);
     EXPECT_EQ(r.getU8(), 1); // fatal
+}
+
+TEST(NetServing, StatsFramePollsLiveServer)
+{
+    obs::setMetricsEnabled(true);
+    obs::MetricsRegistry::global().reset();
+    ServerStack s(BackendKind::Scalar);
+    WireClient client("127.0.0.1", s.net->port());
+
+    // §5.16: STATS needs no open session — post-hello polling works
+    // for dashboards that never submit.
+    RemoteStats st = client.stats();
+    EXPECT_EQ(st.active_sessions, 0u);
+    ASSERT_EQ(st.shards.size(), 1u);
+    EXPECT_EQ(st.shards[0].total_done, 0u);
+    EXPECT_GT(st.shards[0].queue_capacity, 0u);
+    // The catalog ships every counter and phase by name, always.
+    ASSERT_EQ(st.counters.size(), obs::kCounterCount);
+    ASSERT_EQ(st.phases.size(), obs::kPhaseCount);
+    EXPECT_EQ(st.counters[0].name,
+              obs::counterName(obs::Counter::AdmitAccepted));
+
+    // Run one real request; the next poll must reflect it.
+    client.openSession("tenant-stats");
+    const RemoteWorkload &wl = client.workloads()[0];
+    Rng rng(6);
+    TenantKeys tk(client.context(), rng, wl.rotations, 8100);
+    uploadKeys(client, tk);
+    CkksEncoder encoder(client.context());
+    CkksEncryptor encryptor(client.context(), rng);
+    const Ciphertext input = encryptor.encryptSymmetric(
+        encoder.encode(std::vector<Complex>(
+                           client.params().num_slots,
+                           Complex(0.25, 0)),
+                       client.context().maxLevel()),
+        tk.sk);
+    const WireClient::SubmitOutcome out = client.submit(0, input);
+    ASSERT_TRUE(out.ok) << out.error;
+
+    st = client.stats();
+    EXPECT_EQ(st.active_sessions, 1u);
+    EXPECT_EQ(st.sessions_opened, 1u);
+    ASSERT_EQ(st.shards.size(), 1u);
+    EXPECT_EQ(st.shards[0].total_done, 1u);
+    u64 done = 0, polls = 0;
+    double execute_count = 0;
+    for (const StatsCounterEntry &c : st.counters) {
+        if (c.name == obs::counterName(obs::Counter::RequestsDone))
+            done = c.value;
+        if (c.name == obs::counterName(obs::Counter::StatsPolls))
+            polls = c.value;
+    }
+    for (const StatsPhaseEntry &p : st.phases) {
+        if (p.name == obs::phaseName(obs::Phase::Execute)) {
+            execute_count = static_cast<double>(p.count);
+            EXPECT_GE(p.max_ms, 0.0);
+            EXPECT_GE(p.p99_ms, p.p50_ms);
+        }
+    }
+    EXPECT_EQ(done, 1u);
+    EXPECT_GE(polls, 1u); // the first poll counted itself
+    EXPECT_EQ(execute_count, 1.0);
+
+    // The human rendering names the load-bearing numbers.
+    const std::string text = st.toString();
+    EXPECT_NE(text.find("shard[0]"), std::string::npos);
+    EXPECT_NE(text.find("requests_done"), std::string::npos);
+
+    client.closeSession();
+    obs::resetObsOverrides();
+    obs::MetricsRegistry::global().reset();
 }
 
 TEST(NetServing, QueueAdmissionIsTypedFullVsClosed)

@@ -19,6 +19,7 @@
 #include "ckks/encryptor.h"
 #include "ckks/keygen.h"
 #include "wire/serializer.h"
+#include "wire/stats_frame.h"
 
 namespace ark {
 namespace {
@@ -107,7 +108,9 @@ TEST(WireEnvelope, RejectsFutureVersion)
 
 TEST(WireEnvelope, RejectsUnknownFrameType)
 {
-    for (const u16 bad : {u16{0x00}, u16{0x10}, u16{0xFFFF}}) {
+    // 0x10 was the first unknown value until STATS claimed it (§5.16,
+    // appended within v1 per §8); 0x11 is now the first unknown.
+    for (const u16 bad : {u16{0x00}, u16{0x11}, u16{0xFFFF}}) {
         std::vector<u8> frame =
             encodeFrame(FrameType::ClientHello, 0, {});
         frame[6] = static_cast<u8>(bad);
@@ -119,6 +122,72 @@ TEST(WireEnvelope, RejectsUnknownFrameType)
             EXPECT_EQ(e.code(), WireCode::BadFrameType);
         }
     }
+}
+
+// ------------------------------------------------------------------ §5.16
+
+TEST(WireStats, GoldenStatsHeader)
+{
+    // A STATS request frame (empty body), byte for byte: type 0x10
+    // rides the unchanged v1 envelope.
+    const std::vector<u8> frame =
+        encodeFrame(FrameType::Stats, 0x0123456789ABCDEFull, {});
+    const std::vector<u8> expected = {
+        0x41, 0x52, 0x4B, 0x57,                         // "ARKW"
+        0x01, 0x00,                                     // version 1
+        0x10, 0x00,                                     // STATS
+        0x00, 0x00, 0x00, 0x00, 0x00, 0x00, 0x00, 0x00, // body_len 0
+        0xEF, 0xCD, 0xAB, 0x89, 0x67, 0x45, 0x23, 0x01, // params hash
+    };
+    EXPECT_EQ(frame, expected);
+
+    const FrameHeader h =
+        decodeFrameHeader(frame.data(), kDefaultMaxFrameBytes);
+    EXPECT_EQ(h.type, FrameType::Stats);
+    EXPECT_EQ(h.body_len, 0u);
+    EXPECT_STREQ(frameTypeName(h.type), "STATS");
+}
+
+TEST(WireStats, StatsBodyRoundTrip)
+{
+    RemoteStats s;
+    s.uptime_ms = 123456;
+    s.active_sessions = 2;
+    s.sessions_opened = 17;
+    s.outstanding = 5;
+    s.shards = {{3, 16, 1, 901}, {0, 8, 2, 77}};
+    s.counters = {{"admit_accepted", 978}, {"evk_hit", 12345}};
+    s.phases = {{"execute", 978, 4.25, 4.0, 9.5, 22.75},
+                {"queue_wait", 978, 0.5, 0.25, 2.0, 3.5}};
+
+    ByteWriter w;
+    writeStats(w, s);
+    ByteReader r(w.bytes());
+    const RemoteStats d = readStats(r);
+    r.finish();
+
+    EXPECT_EQ(d.uptime_ms, s.uptime_ms);
+    EXPECT_EQ(d.active_sessions, s.active_sessions);
+    EXPECT_EQ(d.sessions_opened, s.sessions_opened);
+    EXPECT_EQ(d.outstanding, s.outstanding);
+    ASSERT_EQ(d.shards.size(), 2u);
+    EXPECT_EQ(d.shards[0].queue_depth, 3u);
+    EXPECT_EQ(d.shards[0].queue_capacity, 16u);
+    EXPECT_EQ(d.shards[1].in_flight, 2u);
+    EXPECT_EQ(d.shards[1].total_done, 77u);
+    ASSERT_EQ(d.counters.size(), 2u);
+    EXPECT_EQ(d.counters[0].name, "admit_accepted");
+    EXPECT_EQ(d.counters[1].value, 12345u);
+    ASSERT_EQ(d.phases.size(), 2u);
+    EXPECT_EQ(d.phases[0].name, "execute");
+    EXPECT_EQ(d.phases[0].count, 978u);
+    EXPECT_DOUBLE_EQ(d.phases[0].p99_ms, 9.5);
+    EXPECT_DOUBLE_EQ(d.phases[1].max_ms, 3.5);
+
+    // A truncated body is rejected with the §8 typed error.
+    std::vector<u8> cut(w.bytes().begin(), w.bytes().end() - 3);
+    ByteReader rc(cut);
+    EXPECT_THROW(readStats(rc), WireError);
 }
 
 TEST(WireEnvelope, RejectsOversizedFrame)
