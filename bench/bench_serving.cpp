@@ -14,9 +14,20 @@
  * over a loopback socket to the WireServer in the same process
  * (encrypt -> SUBMIT -> RESPONSE round trips, docs/wire_format.md).
  *
+ * The last table leaves the closed loop: an open-loop arrival trace
+ * (serve/arrival.h) over-saturates the server at ~3x its calibrated
+ * capacity and compares goodput-under-SLO — completions inside the
+ * class p99 budget per second — with admission control off (deep
+ * queue, everyone eventually served, almost everyone late) vs on
+ * (SLO-aware shedding, serve/admission.h). In every mode the adaptive
+ * row must beat the no-admission baseline or the bench exits nonzero:
+ * that comparison is the PR's acceptance gate and CI runs it via
+ * `--smoke`.
+ *
  * `--smoke` shrinks the sweep for CI (a handful of requests per
  * config, small op caps); any failed request exits nonzero so CI can
- * gate on it. `--json PATH` emits the rows machine-readably for
+ * gate on it. `--requests N` overrides the per-config batch size.
+ * `--json PATH` emits the rows machine-readably for
  * scripts/check_bench_regression.py (baseline:
  * bench/baselines/bench_serving.json).
  */
@@ -37,6 +48,7 @@
 #include "rns/backend_kind.h"
 #include "rns/cpu_features.h"
 #include "serve/batch_server.h"
+#include "serve/open_loop.h"
 
 using namespace ark;
 
@@ -246,16 +258,158 @@ runRemoteLoopback(const CkksParams &base, size_t requests)
     g_rows.push_back({"remote_loopback", requests, 1, p50, p99, rps});
 }
 
+/**
+ * Open-loop over-saturation: goodput under the SLO with admission
+ * control off vs on, against the same generated arrival trace
+ * (serve/arrival.h + serve/open_loop.h).
+ *
+ * Calibration first: a few closed-loop sequential requests measure
+ * the mean service time, which sets the class p99 budget (8x mean —
+ * generous enough that a bounded queue meets it, hopeless once the
+ * queue runs deep), the admission prior, and the offered rate (3x the
+ * measured capacity, so the server is genuinely over-saturated and
+ * the no-admission queue grows without bound until the trace ends).
+ *
+ * Returns false — the bench exits nonzero — unless the adaptive row's
+ * goodput beats the no-admission baseline: the headline the open-loop
+ * machinery exists to move, gated in --smoke by CI.
+ */
+bool
+openLoopTable(const CkksParams &base, bool smoke)
+{
+    CkksParams p = base;
+    p.backend = BackendKind::Scalar;
+    CkksContext ctx(p);
+    Rng rng(20220618);
+    KeyGenerator keygen(ctx, rng);
+    SecretKey sk = keygen.secretKey();
+    KeyCache keys(keygen, sk, ctx.degree());
+    CkksEncoder encoder(ctx);
+    CkksEncryptor encryptor(ctx, rng);
+
+    PlaintextStore store(ctx, PlaintextMode::OFLimb);
+    std::vector<Complex> m(p.num_slots, Complex(0.55, 0.02));
+    store.insert(encoder.encode(m, ctx.maxLevel()));
+
+    LowerOptions opt;
+    opt.max_ops = smoke ? 16 : 32;
+    auto workloads = standardServingMix(p, opt);
+    std::vector<Ciphertext> inputs;
+    Ciphertext ct = encryptor.encryptSymmetric(
+        encoder.encode(m, ctx.maxLevel()), sk);
+    ct.slots = p.num_slots;
+    inputs.push_back(std::move(ct));
+
+    const size_t workers = 2;
+
+    // Closed-loop calibration: one request at a time, so the measured
+    // latency IS the service time (no queueing component).
+    double mean_service_ms = 0;
+    {
+        BatchServerConfig cfg;
+        cfg.workers = workers;
+        BatchServer server(ctx, keys, store, workloads, inputs, cfg);
+        const size_t warm = smoke ? 6 : 12;
+        for (size_t i = 0; i < warm; ++i) {
+            if (!server.submit(i % workloads.size()).get().ok)
+                g_all_ok = false;
+        }
+        mean_service_ms = server.drain().latency.mean_ms;
+    }
+    if (mean_service_ms < 0.01)
+        mean_service_ms = 0.01; // degenerate calibration; keep going
+
+    const double target_p99_ms = 8.0 * mean_service_ms;
+    const double capacity_rps = 1000.0 * workers / mean_service_ms;
+
+    ArrivalConfig acfg;
+    acfg.rate_per_sec = 3.0 * capacity_rps;
+    acfg.duration_s = smoke ? 0.4 : 1.5;
+    acfg.seed = 20220618;
+    // A 2x flash crowd mid-trace: the rebalance/shedding pressure is
+    // not uniform in production either.
+    acfg.bursts = {{acfg.duration_s * 0.5, acfg.duration_s * 0.2, 2.0}};
+    acfg = arrivalConfigFromEnv(acfg); // ARK_ARRIVAL_* overrides
+    const auto events = generateArrivals(acfg, workloads.size());
+
+    header("open-loop SLO goodput: no-admission baseline vs adaptive");
+    std::printf("calibrated mean service %.2f ms -> capacity ~%.0f "
+                "req/s; offered ~%.0f req/s for %.2f s (2x burst "
+                "mid-trace), p99 budget %.1f ms\n",
+                mean_service_ms, capacity_rps, acfg.rate_per_sec,
+                acfg.duration_s, target_p99_ms);
+
+    TablePrinter t({"admission", "offered", "admitted", "shed", "ok",
+                    "goodput/s", "SLO hit %", "e2e p99 ms"});
+    double baseline_good = -1, adaptive_good = -1;
+    for (int adaptive = 0; adaptive <= 1; ++adaptive) {
+        BatchServerConfig cfg;
+        cfg.workers = workers;
+        // Deep queue: admission (not capacity) decides who waits, so
+        // the baseline really does serve everyone — late.
+        cfg.queue_capacity = events.size() + 1;
+        cfg.admission.enabled = adaptive != 0;
+        cfg.admission.classes = {{"standard", 0, 0, target_p99_ms}};
+        cfg.admission.expected_service_ms = mean_service_ms;
+        cfg.admission.min_samples = 32;
+        BatchServer server(ctx, keys, store, workloads, inputs, cfg);
+
+        const OpenLoopStats s = runOpenLoop(server, events);
+        if (s.failed > 0 || s.refused > 0)
+            g_all_ok = false;
+        const double good = s.report.goodput_per_sec;
+        const double hit =
+            s.report.requests > 0
+                ? 100.0 * static_cast<double>(s.report.slo_good) /
+                      static_cast<double>(s.report.requests)
+                : 0;
+        t.addRow({adaptive ? "slo-adaptive" : "off (baseline)",
+                  std::to_string(s.offered),
+                  std::to_string(s.admitted),
+                  std::to_string(s.shed + s.evicted),
+                  std::to_string(s.ok), TablePrinter::fmt(good, 1),
+                  TablePrinter::fmt(hit, 1),
+                  TablePrinter::fmt(s.report.e2e.p99_ms, 2)});
+        // --json row: n = the over-saturation factor (fixed so the
+        // key matches across machines), limbs = workers, baseline_ms
+        // / optimized_ms = e2e p50/p99, speedup = goodput (compared).
+        g_rows.push_back({adaptive ? "openloop_adaptive"
+                                   : "openloop_baseline",
+                          3, workers, s.report.e2e.p50_ms,
+                          s.report.e2e.p99_ms, good});
+        (adaptive != 0 ? adaptive_good : baseline_good) = good;
+    }
+    t.print();
+    std::printf("(goodput = completions inside the %.1f ms p99 budget "
+                "per second of drain window; shed = admission refusals "
+                "+ queue evictions, wire code SHED)\n",
+                target_p99_ms);
+
+    if (!(adaptive_good > baseline_good)) {
+        std::fprintf(stderr,
+                     "bench_serving: open-loop gate failed: adaptive "
+                     "goodput %.1f/s must beat the no-admission "
+                     "baseline %.1f/s\n",
+                     adaptive_good, baseline_good);
+        return false;
+    }
+    return true;
+}
+
 const char *kUsage =
     "bench_serving — batch-serving throughput sweep (src/serve/)\n"
     "\n"
-    "Usage: bench_serving [--smoke] [--json PATH] [--help]\n"
+    "Usage: bench_serving [--smoke] [--json PATH] [--requests N]\n"
+    "                     [--help]\n"
     "  --smoke   CI subset: 7 sweep points, 8 requests each, smaller\n"
-    "            per-request op caps. Any failed request still exits\n"
-    "            nonzero.\n"
+    "            per-request op caps, a 0.4 s open-loop trace. Any\n"
+    "            failed request or a failed open-loop goodput gate\n"
+    "            still exits nonzero.\n"
     "  --json PATH  also write the sweep rows as JSON for\n"
     "            scripts/check_bench_regression.py (committed\n"
     "            baseline: bench/baselines/bench_serving.json).\n"
+    "  --requests N  requests per sweep config (default: 8 in smoke\n"
+    "            mode, 32 otherwise; also sizes the loopback table).\n"
     "  --help    this text.\n"
     "\n"
     "Columns (host sweep):\n"
@@ -271,7 +425,11 @@ const char *kUsage =
     "The second table puts the best host config next to the simulated\n"
     "single-chip ARK accelerator draining the same mix FCFS\n"
     "(ArkSimulator::runBatch) — different parameter sets, so compare\n"
-    "shapes, not absolute req/s.\n";
+    "shapes, not absolute req/s.\n"
+    "The final table over-saturates the server with an open-loop\n"
+    "arrival trace (serve/arrival.h; ARK_ARRIVAL_* override the\n"
+    "trace) and gates on SLO goodput: admission control on must beat\n"
+    "the no-admission baseline, every mode, nonzero exit otherwise.\n";
 
 } // namespace
 
@@ -280,23 +438,11 @@ main(int argc, char **argv)
 {
     bool smoke = false;
     std::string json_path;
-    for (int i = 1; i < argc; ++i) {
-        if (std::strcmp(argv[i], "--smoke") == 0) {
-            smoke = true;
-        } else if (std::strcmp(argv[i], "--json") == 0 &&
-                   i + 1 < argc) {
-            json_path = argv[++i];
-        } else if (std::strcmp(argv[i], "--help") == 0 ||
-                   std::strcmp(argv[i], "-h") == 0) {
-            std::fputs(kUsage, stdout);
-            return 0;
-        } else {
-            std::fprintf(stderr,
-                         "bench_serving: unknown flag '%s'\n\n%s",
-                         argv[i], kUsage);
-            return 2;
-        }
-    }
+    size_t requests = 0;
+    int exit_code = 0;
+    if (!parseBenchArgs(argc, argv, "bench_serving", kUsage, smoke,
+                        json_path, requests, exit_code))
+        return exit_code;
 
     // This binary sweeps backends explicitly; drop any env override so
     // every row measures what its label says.
@@ -305,7 +451,7 @@ main(int argc, char **argv)
     unsetenv("ARK_SIMD_TIER");
 
     const CkksParams base = CkksParams::testTiny();
-    const size_t batch = smoke ? 8 : 32;
+    const size_t batch = requests > 0 ? requests : (smoke ? 8 : 32);
     const size_t max_ops = smoke ? 16 : 32;
 
     const std::vector<SweepPoint> sweep =
@@ -401,9 +547,13 @@ main(int argc, char **argv)
 
     // The same requests once more, but over a real socket: the wire
     // protocol's per-request cost measured end to end.
-    runRemoteLoopback(base, smoke ? 8 : 32);
+    runRemoteLoopback(base, batch);
 
-    g_all_ok = g_all_ok && all_ok;
+    // Leave the closed loop: over-saturating arrival trace, goodput
+    // under the SLO with and without admission control. Gated.
+    const bool open_loop_ok = openLoopTable(base, smoke);
+
+    g_all_ok = g_all_ok && all_ok && open_loop_ok;
     if (!json_path.empty() && !writeJson(json_path, smoke))
         return 1;
 

@@ -47,6 +47,7 @@
 #include "graph/builder.h"
 #include "rns/automorphism.h"
 #include "serve/batch_server.h"
+#include "serve/open_loop.h"
 #include "shard/shard_plan.h"
 #include "wire/serializer.h"
 
@@ -57,13 +58,16 @@ namespace {
 const char *kUsage =
     "bench_sharding — multi-accelerator sharding tables (src/shard/)\n"
     "\n"
-    "Usage: bench_sharding [--smoke] [--json PATH] [--help]\n"
+    "Usage: bench_sharding [--smoke] [--json PATH] [--requests N]\n"
+    "                      [--help]\n"
     "  --smoke   CI subset: bootstrap + ResNet traces, N in {1,2},\n"
-    "            a small host batch. The acceptance gate below runs\n"
-    "            in every mode.\n"
+    "            a small host batch, a 0.3 s open-loop trace. The\n"
+    "            acceptance gate below runs in every mode.\n"
     "  --json PATH  also write the shard + host rows as JSON for\n"
     "            scripts/check_bench_regression.py (committed\n"
     "            baseline: bench/baselines/bench_sharding.json).\n"
+    "  --requests N  host-serving batch size (default: 8 in smoke\n"
+    "            mode, 32 otherwise).\n"
     "  --help    this text.\n"
     "\n"
     "Gate (nonzero exit on failure): at 2 shards on the bootstrap and\n"
@@ -86,7 +90,11 @@ const char *kUsage =
     "got before workers caught up).\n"
     "Columns, table 4 (tenant evk pressure): resident evk MiB on the\n"
     "host and seeded-vs-raw upload wire MB as remote tenants\n"
-    "(docs/serving.md) each bring their own key set.\n";
+    "(docs/serving.md) each bring their own key set.\n"
+    "Table 5 (open-loop sharded serving): a skewed arrival trace\n"
+    "(serve/arrival.h; ARK_ARRIVAL_* override it) hammers one shard's\n"
+    "evk-signature groups; online rebalance off vs on, with the\n"
+    "routing-plan swap count and per-shard completion split.\n";
 
 /** Greedy balance of whole requests onto chips by service time. */
 std::vector<size_t>
@@ -243,7 +251,8 @@ fleetServingTable(bool smoke)
 }
 
 bool
-hostServingTable(bool smoke, std::vector<BenchJsonRow> &json_rows)
+hostServingTable(bool smoke, size_t requests,
+                 std::vector<BenchJsonRow> &json_rows)
 {
     header("host BatchServer: sharded mode vs single queue");
     unsetenv("ARK_BACKEND");
@@ -274,7 +283,7 @@ hostServingTable(bool smoke, std::vector<BenchJsonRow> &json_rows)
     ct.slots = slots;
     inputs.push_back(std::move(ct));
 
-    const size_t batch = smoke ? 8 : 32;
+    const size_t batch = requests > 0 ? requests : (smoke ? 8 : 32);
     const size_t workers = smoke ? 2 : 4;
     bool all_ok = true;
 
@@ -421,6 +430,140 @@ tenantPressureTable(bool smoke)
                 "bytes, seed-compressed vs raw)\n");
 }
 
+/**
+ * Open-loop sharded serving with a deliberately skewed traffic mix:
+ * every workload routed to one shard is weighted 8x the rest, so that
+ * shard's queue runs hot while its siblings idle. Run twice against
+ * the identical trace — online rebalance off, then on (a 20 ms period
+ * against the system clock) — reporting the routing-plan swap count
+ * and the per-shard completion split the swaps produced. Results are
+ * bit-identical either way (the rebalancer only moves routing), so
+ * the table is about where the work ran, not what it computed.
+ */
+bool
+openLoopShardedTable(bool smoke, std::vector<BenchJsonRow> &json_rows)
+{
+    header("open-loop sharded serving: online rebalance off vs on");
+    unsetenv("ARK_BACKEND");
+    unsetenv("ARK_THREADS");
+    const CkksParams p = CkksParams::testTiny();
+    CkksContext ctx(p);
+    Rng rng(20220618);
+    KeyGenerator keygen(ctx, rng);
+    SecretKey sk = keygen.secretKey();
+    KeyCache keys(keygen, sk, ctx.degree());
+    CkksEncoder encoder(ctx);
+    CkksEncryptor encryptor(ctx, rng);
+
+    PlaintextStore store(ctx, PlaintextMode::OFLimb);
+    std::vector<Complex> msg(p.num_slots, Complex(0.45, 0.02));
+    store.insert(encoder.encode(msg, ctx.maxLevel()));
+
+    LowerOptions opt;
+    opt.max_ops = smoke ? 16 : 32;
+    auto workloads = standardServingMix(p, opt);
+    std::vector<Ciphertext> inputs;
+    Ciphertext ct = encryptor.encryptSymmetric(
+        encoder.encode(msg, ctx.maxLevel()), sk);
+    ct.slots = p.num_slots;
+    inputs.push_back(std::move(ct));
+
+    const size_t shards = 2;
+    const size_t workers = 4;
+
+    // Calibrate mean service closed-loop (one request at a time), and
+    // read the routing table to learn which workloads share workload
+    // 0's shard — those get the 8x weight.
+    double mean_service_ms = 0;
+    std::vector<double> weights(workloads.size(), 1.0);
+    {
+        BatchServerConfig cfg;
+        cfg.workers = workers;
+        cfg.shards = shards;
+        BatchServer server(ctx, keys, store, workloads, inputs, cfg);
+        const size_t warm = smoke ? 6 : 12;
+        bool ok = true;
+        for (size_t i = 0; i < warm; ++i)
+            ok = server.submit(i % workloads.size()).get().ok && ok;
+        if (!ok)
+            return false;
+        mean_service_ms = server.drain().latency.mean_ms;
+        // Hot shard = one owning >= 2 evk-signature groups, so the
+        // rebalancer has a legal move when the skew bites (it never
+        // strands a shard's last group). Workload 0's shard otherwise.
+        const ServeShardPlan plan = server.shardPlan();
+        size_t hot = plan.shard_of_workload[0];
+        std::vector<size_t> groups_of(plan.shards, 0);
+        for (const auto &members : groupByEvkSignature(workloads))
+            groups_of[plan.shard_of_workload[members.front()]] += 1;
+        for (size_t s = 0; s < plan.shards; ++s) {
+            if (groups_of[s] >= 2) {
+                hot = s;
+                break;
+            }
+        }
+        for (size_t w = 0; w < workloads.size(); ++w) {
+            if (plan.shard_of_workload[w] == hot)
+                weights[w] = 8.0;
+        }
+    }
+    if (mean_service_ms < 0.01)
+        mean_service_ms = 0.01;
+
+    ArrivalConfig acfg;
+    // ~1.5x aggregate capacity: enough pressure that the hot shard
+    // (seeing ~8/9 of it) backs up hard while the cold shard starves.
+    acfg.rate_per_sec = 1.5 * 1000.0 * workers / mean_service_ms;
+    acfg.duration_s = smoke ? 0.3 : 1.0;
+    acfg.seed = 20220618;
+    acfg.workload_weights = weights;
+    acfg = arrivalConfigFromEnv(acfg); // ARK_ARRIVAL_* overrides
+    const auto events = generateArrivals(acfg, workloads.size());
+
+    bool all_ok = true;
+    TablePrinter t({"rebalance", "offered", "ok", "req/s",
+                    "e2e p99 ms", "plan swaps", "per-shard done"});
+    for (int rebal = 0; rebal <= 1; ++rebal) {
+        BatchServerConfig cfg;
+        cfg.workers = workers;
+        cfg.shards = shards;
+        // Deep queues: capacity splits across shards by plan weight,
+        // and the 8x-skewed trace can put nearly every arrival on one
+        // shard — 4x total keeps even that shard's share above the
+        // whole trace, so nothing is refused for capacity.
+        cfg.queue_capacity = 4 * events.size();
+        cfg.admission.rebalance_interval_ms = rebal != 0 ? 20 : 0;
+        BatchServer server(ctx, keys, store, workloads, inputs, cfg);
+
+        const OpenLoopStats s = runOpenLoop(server, events);
+        if (s.failed > 0 || s.refused > 0 || s.shed > 0)
+            all_ok = false;
+        std::string split;
+        for (size_t i = 0; i < s.report.shard_requests.size(); ++i) {
+            if (i)
+                split += "/";
+            split += std::to_string(s.report.shard_requests[i]);
+        }
+        t.addRow({rebal != 0 ? "on (20 ms)" : "off",
+                  std::to_string(s.offered), std::to_string(s.ok),
+                  TablePrinter::fmt(s.report.requests_per_sec, 1),
+                  TablePrinter::fmt(s.report.e2e.p99_ms, 2),
+                  std::to_string(server.rebalances()), split});
+        // --json row: n = shards, limbs = workers, baseline_ms /
+        // optimized_ms = e2e p50/p99, speedup = req/s (compared).
+        json_rows.push_back({rebal != 0 ? "openloop_shard_rebal"
+                                        : "openloop_shard_norebal",
+                             shards, workers, s.report.e2e.p50_ms,
+                             s.report.e2e.p99_ms,
+                             s.report.requests_per_sec});
+    }
+    t.print();
+    std::printf("(identical 8x-skewed trace both runs; swaps move "
+                "whole evk-signature groups, queued and in-flight "
+                "work finishes where it was routed)\n");
+    return all_ok;
+}
+
 } // namespace
 
 int
@@ -428,20 +571,22 @@ main(int argc, char **argv)
 {
     bool smoke = false;
     std::string json_path;
+    size_t requests = 0;
     int exit_code = 0;
     if (!parseBenchArgs(argc, argv, "bench_sharding", kUsage, smoke,
-                        json_path, exit_code))
+                        json_path, requests, exit_code))
         return exit_code;
 
     std::vector<BenchJsonRow> json_rows;
     const bool gate_ok = dagShardingTable(smoke, json_rows);
     fleetServingTable(smoke);
-    const bool serve_ok = hostServingTable(smoke, json_rows);
+    const bool serve_ok = hostServingTable(smoke, requests, json_rows);
     tenantPressureTable(smoke);
+    const bool open_ok = openLoopShardedTable(smoke, json_rows);
 
     if (!json_path.empty() &&
         !writeBenchJson(json_path, "bench_sharding", smoke,
-                        gate_ok && serve_ok, json_rows))
+                        gate_ok && serve_ok && open_ok, json_rows))
         return 1;
 
     if (!gate_ok) {
@@ -451,6 +596,11 @@ main(int argc, char **argv)
     if (!serve_ok) {
         std::fprintf(stderr,
                      "bench_sharding: some host requests failed\n");
+        return 1;
+    }
+    if (!open_ok) {
+        std::fprintf(stderr,
+                     "bench_sharding: open-loop sharded run failed\n");
         return 1;
     }
     return 0;

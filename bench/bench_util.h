@@ -11,6 +11,7 @@
 #pragma once
 
 #include <cstdio>
+#include <cstdlib>
 #include <cstring>
 #include <string>
 #include <vector>
@@ -71,6 +72,54 @@ parseBenchArgs(int argc, char **argv, const char *name,
         } else if (std::strcmp(argv[i], "--json") == 0 &&
                    i + 1 < argc) {
             json_path = argv[++i];
+        } else if (std::strcmp(argv[i], "--help") == 0 ||
+                   std::strcmp(argv[i], "-h") == 0) {
+            std::fputs(usage, stdout);
+            return false;
+        } else {
+            std::fprintf(stderr, "%s: unknown flag '%s'\n\n%s", name,
+                         argv[i], usage);
+            exit_code = 2;
+            return false;
+        }
+    }
+    return true;
+}
+
+/**
+ * Variant of parseBenchArgs for benches whose request-batch size is
+ * tunable via `--requests N` (N >= 1). @p requests is left at 0 when
+ * the flag is absent — "use the mode default", which each bench's
+ * --help documents next to its smoke value.
+ */
+inline bool
+parseBenchArgs(int argc, char **argv, const char *name,
+               const char *usage, bool &smoke, std::string &json_path,
+               size_t &requests, int &exit_code)
+{
+    smoke = false;
+    json_path.clear();
+    requests = 0;
+    exit_code = 0;
+    for (int i = 1; i < argc; ++i) {
+        if (std::strcmp(argv[i], "--smoke") == 0) {
+            smoke = true;
+        } else if (std::strcmp(argv[i], "--json") == 0 &&
+                   i + 1 < argc) {
+            json_path = argv[++i];
+        } else if (std::strcmp(argv[i], "--requests") == 0 &&
+                   i + 1 < argc) {
+            char *end = nullptr;
+            const unsigned long v = std::strtoul(argv[++i], &end, 10);
+            if (end == argv[i] || *end != '\0' || v == 0) {
+                std::fprintf(stderr,
+                             "%s: --requests wants a positive "
+                             "integer, got '%s'\n\n%s",
+                             name, argv[i], usage);
+                exit_code = 2;
+                return false;
+            }
+            requests = static_cast<size_t>(v);
         } else if (std::strcmp(argv[i], "--help") == 0 ||
                    std::strcmp(argv[i], "-h") == 0) {
             std::fputs(usage, stdout);

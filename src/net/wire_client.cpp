@@ -210,7 +210,10 @@ WireClient::submit(size_t workload_index, const Ciphertext &input)
         WireError e = decodeError(f.body);
         // Retryable refusals surface as a failed outcome; anything
         // else means the session is dead and the caller must know.
+        // SHED joins QUEUE_FULL as retryable: the SLO admission
+        // controller asks this client to back off, not to hang up.
         if (e.code() != WireCode::QueueFull &&
+            e.code() != WireCode::Shed &&
             e.code() != WireCode::UnknownWorkload)
             throw e;
         out.code = e.code();

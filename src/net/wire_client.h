@@ -12,10 +12,11 @@
  * is bound to the negotiated parameter-set hash; a mismatch on either
  * side is a fatal PARAMS_MISMATCH (§7).
  *
- * Error handling: retryable refusals (QUEUE_FULL, UNKNOWN_WORKLOAD)
- * surface as a failed SubmitOutcome with the wire code; fatal ERROR
- * frames and malformed server frames throw WireError; transport
- * failures throw NetError. docs/serving.md §4 walks a full session.
+ * Error handling: retryable refusals (QUEUE_FULL, SHED,
+ * UNKNOWN_WORKLOAD) surface as a failed SubmitOutcome with the wire
+ * code; fatal ERROR frames and malformed server frames throw
+ * WireError; transport failures throw NetError. docs/serving.md §4
+ * walks a full session.
  */
 
 #pragma once
@@ -88,10 +89,13 @@ class WireClient
     struct SubmitOutcome
     {
         bool ok = false;
-        /** §7 code: Ok on success; QueueFull / UnknownWorkload on a
-         *  retryable refusal; the execution-failure codes
-         *  (MissingKey, LevelExhausted, ExecFailed) when the request
-         *  ran and failed. */
+        /** §7 code: Ok on success; QueueFull / Shed /
+         *  UnknownWorkload on a retryable refusal (Shed = the SLO
+         *  admission controller wants this client to back off); the
+         *  execution-failure codes (MissingKey, LevelExhausted,
+         *  ExecFailed) when the request ran and failed — and Shed
+         *  again when an admitted request was evicted for
+         *  higher-priority work before running. */
         WireCode code = WireCode::Ok;
         std::string error;
         u64 request_id = 0;

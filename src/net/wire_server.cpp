@@ -34,6 +34,10 @@ codeOf(ServeErrorKind kind)
         return WireCode::LevelExhausted;
       case ServeErrorKind::MissingKey:
         return WireCode::MissingKey;
+      case ServeErrorKind::Shed:
+        // A queued request evicted by SLO admission control after it
+        // was admitted: its RESPONSE carries the retryable SHED code.
+        return WireCode::Shed;
       case ServeErrorKind::Other:
         break;
     }
@@ -421,6 +425,18 @@ WireServer::serveConnection(Connection &conn)
                         FrameType::Error, params_hash_,
                         errorBody(WireCode::QueueFull, false,
                                   "admission queue full"));
+                    break;
+                }
+                if (admitted == AdmitResult::Shed) {
+                    // §7: SHED is the SLO admission controller's
+                    // retryable refusal — capacity exists, but
+                    // admitting now would blow the class's p99
+                    // target. Clients back off harder than on
+                    // QUEUE_FULL (docs/serving.md).
+                    stream.sendFrame(
+                        FrameType::Error, params_hash_,
+                        errorBody(WireCode::Shed, false,
+                                  "shed by SLO admission control"));
                     break;
                 }
                 if (admitted == AdmitResult::Closed)

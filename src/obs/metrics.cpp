@@ -15,6 +15,7 @@ counterName(Counter c)
     switch (c) {
     case Counter::AdmitAccepted: return "admit_accepted";
     case Counter::AdmitRefused: return "admit_refused";
+    case Counter::RequestsShed: return "requests_shed";
     case Counter::RequestsDone: return "requests_done";
     case Counter::RequestsFailed: return "requests_failed";
     case Counter::EvkHit: return "evk_hit";

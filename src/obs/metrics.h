@@ -42,13 +42,14 @@ enum class Counter : size_t
 {
     AdmitAccepted = 0, ///< requests admitted into the queue
     AdmitRefused,      ///< requests refused at admission
+    RequestsShed,      ///< requests shed by SLO admission control
     RequestsDone,      ///< requests completing successfully
     RequestsFailed,    ///< requests completing with an error
     EvkHit,            ///< evaluation-key cache hits (KeyCache)
     EvkMiss,           ///< evaluation-key cache misses
     StatsPolls,        ///< STATS wire frames served
 };
-constexpr size_t kCounterCount = 7;
+constexpr size_t kCounterCount = 8;
 const char *counterName(Counter c);
 
 /** Per-phase latency histograms (one per request phase span). */

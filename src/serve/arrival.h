@@ -1,0 +1,93 @@
+/**
+ * @file
+ * Open-loop arrival-process generator for the serving benches.
+ *
+ * Closed-loop saturation tables (submit a batch, drain, repeat) answer
+ * "how fast can the server go", but the ROADMAP's operative question
+ * is goodput under an SLO when traffic arrives on ITS schedule, not
+ * the server's. This generator materializes that schedule up front: a
+ * Poisson base rate, multiplied through configurable burst episodes
+ * (an inhomogeneous Poisson process, sampled by thinning), with each
+ * arrival assigned a workload by weighted draw — seeded, so the same
+ * config replays the identical trace on every run and machine.
+ *
+ * Generation is pure (no clocks, no sleeps): the output is a sorted
+ * vector of (time, workload) events. The open-loop driver
+ * (serve/open_loop.h) paces real submissions against it in the
+ * benches; tests consume the events directly with a virtual clock.
+ */
+
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "common/types.h"
+
+namespace ark {
+
+/** One burst: the base rate is multiplied by @p rate_multiplier for
+ *  t in [start_s, start_s + duration_s). Episodes may overlap; the
+ *  largest multiplier covering t wins (bursts model flash crowds, not
+ *  stacking integrals). */
+struct BurstEpisode
+{
+    double start_s = 0;
+    double duration_s = 0;
+    double rate_multiplier = 1.0;
+};
+
+/** Arrival-process knobs (see arrivalConfigFromEnv for the env
+ *  overrides, documented in docs/configuration.md). */
+struct ArrivalConfig
+{
+    /** Poisson base rate, arrivals per second. */
+    double rate_per_sec = 100.0;
+    /** Horizon: arrivals are generated for t in [0, duration_s). */
+    double duration_s = 1.0;
+    /** Burst episodes layered on the base rate. */
+    std::vector<BurstEpisode> bursts;
+    /** PRNG seed (xoshiro256**); same seed, same trace. */
+    u64 seed = 1;
+    /**
+     * Relative draw weight per workload index (the traffic mix).
+     * Empty = uniform across @p workload_count. Zero-weight entries
+     * are never drawn; at least one weight must be positive.
+     */
+    std::vector<double> workload_weights;
+};
+
+/** One arrival: submit workload @p workload_index at @p t_s seconds
+ *  after the run starts. */
+struct ArrivalEvent
+{
+    double t_s = 0;
+    size_t workload_index = 0;
+};
+
+/**
+ * Generate the arrival trace for @p cfg over @p workload_count
+ * workloads. Deterministic in (cfg, workload_count); events are
+ * returned in non-decreasing time order. The inhomogeneous rate is
+ * sampled by thinning: candidates are drawn at the peak rate and kept
+ * with probability rate(t)/peak — exact, and immune to episode edges.
+ */
+std::vector<ArrivalEvent> generateArrivals(const ArrivalConfig &cfg,
+                                           size_t workload_count);
+
+/** Instantaneous rate at time @p t_s under @p cfg (base rate times
+ *  the largest multiplier of any covering burst). */
+double arrivalRateAt(const ArrivalConfig &cfg, double t_s);
+
+/**
+ * Apply the ARK_ARRIVAL_* environment overrides to @p cfg and return
+ * it: ARK_ARRIVAL_RATE (arrivals/sec, 1..1000000), ARK_ARRIVAL_MS
+ * (horizon in ms, 1..3600000), ARK_ARRIVAL_SEED (u64), and
+ * ARK_ARRIVAL_BURST ("start_ms:duration_ms:multiplier", replacing the
+ * burst list with that single episode). Malformed values are fatal,
+ * naming the offending value; empty counts as unset — the same
+ * discipline as serveConfigFromEnv.
+ */
+ArrivalConfig arrivalConfigFromEnv(ArrivalConfig cfg = {});
+
+} // namespace ark

@@ -153,6 +153,25 @@ serveConfigFromEnv(BatchServerConfig cfg)
         }
         cfg.max_frame_bytes = v * 1024 * 1024;
     }
+    const char *slo_env = std::getenv("ARK_SLO_P99_MS");
+    if (slo_env != nullptr && *slo_env != '\0') {
+        u64 v = 0;
+        if (!parseEnvU64(slo_env, 1, 3600000, v)) {
+            char msg[160];
+            std::snprintf(msg, sizeof msg,
+                          "invalid ARK_SLO_P99_MS '%s' (expected an "
+                          "integer in [1, 3600000] milliseconds)",
+                          slo_env);
+            ARK_FATAL(msg);
+        }
+        cfg.admission.enabled = true;
+        if (cfg.admission.classes.empty())
+            cfg.admission.classes.push_back(SloClass{});
+        for (SloClass &cls : cfg.admission.classes) {
+            if (cls.p99_ms <= 0)
+                cls.p99_ms = static_cast<double>(v);
+        }
+    }
     return cfg;
 }
 
@@ -168,6 +187,9 @@ BatchServer::BatchServer(const CkksContext &ctx, KeyCache &keys,
       workloads_(applySchedule(std::move(workloads), cfg.schedule)),
       inputs_(std::move(inputs)),
       cfg_(cfg),
+      admission_(cfg.admission),
+      clock_(cfg.clock != nullptr ? *cfg.clock
+                                  : SystemServeClock::instance()),
       shard_plan_(planServeShards(workloads_, cfg.shards))
 {
     ARK_ASSERT(!workloads_.empty(), "server needs at least one workload");
@@ -195,6 +217,8 @@ BatchServer::BatchServer(const CkksContext &ctx, KeyCache &keys,
     shard_done_.assign(cfg_.shards, 0);
     shard_inflight_.assign(cfg_.shards, 0);
     shard_total_done_.assign(cfg_.shards, 0);
+    shard_evk_miss_.assign(cfg_.shards, 0);
+    last_rebalance_us_.store(clock_.nowMicros());
 
     // Prewarm every evk the workload set references while still
     // single-threaded: key generation draws from the keygen Rng, so
@@ -214,6 +238,7 @@ BatchServer::BatchServer(const CkksContext &ctx, KeyCache &keys,
     // queue has a consumer) — each group drains its own queue only.
     const std::vector<size_t> crew =
         apportion(cfg_.workers, shard_plan_.weight_of_shard);
+    shard_workers_ = crew;
     workers_.reserve(cfg_.workers);
     for (size_t group = 0; group < cfg_.shards; ++group) {
         for (size_t i = 0; i < crew[group]; ++i)
@@ -227,6 +252,35 @@ BatchServer::~BatchServer()
     shutdown();
 }
 
+void
+BatchServer::completeShed(ServeJob &&job, bool was_queued)
+{
+    ServeResult r;
+    r.id = job.request.id;
+    r.error = was_queued
+                  ? "shed by SLO admission control (evicted from "
+                    "queue for higher-priority work)"
+                  : "shed by SLO admission control (predicted p99 "
+                    "over target)";
+    r.error_kind = ServeErrorKind::Shed;
+    job.promise.set_value(std::move(r));
+    if (obs::metricsEnabled()) {
+        obs::count(obs::Counter::RequestsShed);
+        // Only queued victims passed the admission gauge increment.
+        if (was_queued)
+            obs::gaugeAdd(obs::Gauge::InFlight, -1);
+    }
+    {
+        std::lock_guard<std::mutex> lk(metrics_m_);
+        shed_ += 1;
+    }
+    {
+        std::lock_guard<std::mutex> lk(idle_m_);
+        outstanding_.fetch_sub(1);
+    }
+    idle_cv_.notify_all();
+}
+
 AdmitResult
 BatchServer::admitJob(ServeJob &&job, bool blocking)
 {
@@ -234,10 +288,27 @@ BatchServer::admitJob(ServeJob &&job, bool blocking)
     obs::ScopedSpan admit_span("admit", job.request.id);
     const size_t workload_index = job.request.workload_index;
 
+    // The SLO class rides with the job, so eviction decisions and the
+    // worker's goodput accounting never re-derive it.
+    job.class_id = admission_.classOf(workload_index);
+    job.priority = admission_.classAt(job.class_id).priority;
+    // End-to-end latency stamp (the quantity the SLO targets bound),
+    // from the injected clock so tests replay it deterministically.
+    job.submit_us = clock_.nowMicros();
+
+    // The periodic rebalance rides on admissions — no extra thread,
+    // and a server with no traffic has nothing to rebalance anyway.
+    maybeRebalance();
+
     // Evk-affinity routing: the request joins the queue of the worker
-    // group that owns its workload's rotation-evk signature.
-    RequestQueue &queue =
-        *queues_[shard_plan_.shard_of_workload[workload_index]];
+    // group that owns its workload's rotation-evk signature. Read
+    // under the plan lock — the rebalancer swaps the table live.
+    size_t shard;
+    {
+        std::lock_guard<std::mutex> lk(plan_m_);
+        shard = shard_plan_.shard_of_workload[workload_index];
+    }
+    RequestQueue &queue = *queues_[shard];
     // Stamp only when someone will read it: the disabled path takes
     // no extra clock read (the overhead gate's contract).
     if (observed)
@@ -259,21 +330,56 @@ BatchServer::admitJob(ServeJob &&job, bool blocking)
         }
     }
 
-    AdmitResult admitted;
-    if (blocking) {
-        // A blocking push only fails when the queue was closed.
-        admitted = queue.push(std::move(job)) ? AdmitResult::Admitted
-                                              : AdmitResult::Closed;
-    } else {
-        admitted = queue.tryPushResult(std::move(job));
-        // A Full refusal that raced a shutdown() past the caller's
-        // entry check must report Closed: "retry later" would be a
-        // lie once the queues stop admitting.
-        if (admitted == AdmitResult::Full &&
-            (shut_down_.load() || queue.closed()))
-            admitted = AdmitResult::Closed;
+    // SLO admission: while the predicted p99 for this class exceeds
+    // its target, make room from the BOTTOM of the priority order —
+    // evict queued strictly-lower-priority work (each victim's future
+    // resolves with the retryable Shed error), and only when nothing
+    // lower-priority is queued shed the newcomer itself. Bounded: a
+    // pass either admits, evicts one victim, or sheds the newcomer.
+    AdmitResult admitted = AdmitResult::Admitted;
+    for (size_t pass = 0; pass <= queue.capacity(); ++pass) {
+        u32 lowest = 0;
+        const bool nonempty = queue.lowestPriority(lowest);
+        const AdmissionVerdict verdict = admission_.decide(
+            job.class_id, queue.depth(), shard_workers_[shard],
+            nonempty, lowest);
+        if (verdict == AdmissionVerdict::Admit)
+            break;
+        if (verdict == AdmissionVerdict::EvictLower) {
+            ServeJob victim;
+            if (queue.evictLowestBelow(job.priority, victim))
+                completeShed(std::move(victim), /*was_queued=*/true);
+            continue; // re-decide against the reduced depth
+        }
+        admitted = AdmitResult::Shed;
+        break;
     }
-    if (admitted != AdmitResult::Admitted) {
+
+    if (admitted == AdmitResult::Admitted) {
+        if (blocking) {
+            // A blocking push only fails when the queue was closed.
+            admitted = queue.push(std::move(job))
+                           ? AdmitResult::Admitted
+                           : AdmitResult::Closed;
+        } else {
+            admitted = queue.tryPushResult(std::move(job));
+            // A Full refusal that raced a shutdown() past the
+            // caller's entry check must report Closed: "retry later"
+            // would be a lie once the queues stop admitting.
+            if (admitted == AdmitResult::Full &&
+                (shut_down_.load() || queue.closed()))
+                admitted = AdmitResult::Closed;
+        }
+    }
+
+    if (admitted == AdmitResult::Shed) {
+        // completeShed handles the promise, shed count, and the
+        // outstanding_ release; only the window probe check remains.
+        completeShed(std::move(job), /*was_queued=*/false);
+        std::lock_guard<std::mutex> lk(metrics_m_);
+        if (window_open_ && done_ == 0 && outstanding_.load() == 0)
+            window_open_ = false;
+    } else if (admitted != AdmitResult::Admitted) {
         {
             std::lock_guard<std::mutex> lk(idle_m_);
             outstanding_.fetch_sub(1);
@@ -289,7 +395,8 @@ BatchServer::admitJob(ServeJob &&job, bool blocking)
         if (admitted == AdmitResult::Admitted) {
             obs::count(obs::Counter::AdmitAccepted);
             obs::gaugeAdd(obs::Gauge::InFlight, 1);
-        } else {
+        } else if (admitted != AdmitResult::Shed) {
+            // Shed is counted as RequestsShed in completeShed.
             obs::count(obs::Counter::AdmitRefused);
         }
         obs::observe(
@@ -310,7 +417,7 @@ BatchServer::admitJob(ServeJob &&job, bool blocking)
 
 std::future<ServeResult>
 BatchServer::enqueue(size_t workload_index, bool blocking,
-                     bool &accepted)
+                     AdmitResult &admitted)
 {
     ARK_ASSERT(workload_index < workloads_.size(),
                "workload index out of range");
@@ -322,10 +429,10 @@ BatchServer::enqueue(size_t workload_index, bool blocking,
     job.request.workload_index = workload_index;
     std::future<ServeResult> fut = job.promise.get_future();
 
-    const AdmitResult admitted = admitJob(std::move(job), blocking);
-    accepted = admitted == AdmitResult::Admitted;
+    admitted = admitJob(std::move(job), blocking);
     // In-process contract: Full is the caller's load-shedding signal
     // (trySubmit returns false), Closed means stop retrying (throw).
+    // Shed resolves the future itself with the typed Shed result.
     if (admitted == AdmitResult::Closed)
         throw std::runtime_error("BatchServer is shut down");
     return fut;
@@ -361,19 +468,40 @@ BatchServer::trySubmitRemote(size_t workload_index,
 std::future<ServeResult>
 BatchServer::submit(size_t workload_index)
 {
-    bool accepted = false;
-    return enqueue(workload_index, /*blocking=*/true, accepted);
+    // Under SLO admission a blocking submit may still be shed: the
+    // returned future then resolves immediately with the typed Shed
+    // result (ServeErrorKind::Shed), never blocking the caller.
+    AdmitResult admitted = AdmitResult::Admitted;
+    return enqueue(workload_index, /*blocking=*/true, admitted);
 }
 
 bool
 BatchServer::trySubmit(size_t workload_index,
                        std::future<ServeResult> &out)
 {
-    bool accepted = false;
-    auto fut = enqueue(workload_index, /*blocking=*/false, accepted);
-    if (accepted)
+    AdmitResult admitted = AdmitResult::Admitted;
+    auto fut = enqueue(workload_index, /*blocking=*/false, admitted);
+    if (admitted == AdmitResult::Admitted)
         out = std::move(fut);
-    return accepted;
+    return admitted == AdmitResult::Admitted;
+}
+
+AdmitResult
+BatchServer::trySubmitResult(size_t workload_index,
+                             std::future<ServeResult> &out)
+{
+    if (shut_down_.load())
+        return AdmitResult::Closed;
+    AdmitResult admitted = AdmitResult::Admitted;
+    try {
+        auto fut =
+            enqueue(workload_index, /*blocking=*/false, admitted);
+        if (admitted == AdmitResult::Admitted)
+            out = std::move(fut);
+    } catch (const std::runtime_error &) {
+        return AdmitResult::Closed; // raced a shutdown()
+    }
+    return admitted;
 }
 
 std::vector<std::future<ServeResult>>
@@ -512,7 +640,18 @@ BatchServer::workerLoop(size_t group)
                         .count());
             }
             obs::ScopedSpan execute_span("execute", rid);
+            // Snapshot this thread's KeyCache tallies around the
+            // execution: the delta is EXACTLY this request's misses,
+            // attributed to this worker's group — the rebalancer's
+            // second congestion signal.
+            const u64 miss0 = KeyCache::threadStats().misses;
             r = execute(job.request);
+            const u64 miss_delta =
+                KeyCache::threadStats().misses - miss0;
+            if (miss_delta > 0) {
+                std::lock_guard<std::mutex> lk(metrics_m_);
+                shard_evk_miss_[group] += miss_delta;
+            }
         }
         if (observed) {
             obs::observe(obs::Phase::Execute, r.latency_ms);
@@ -520,9 +659,22 @@ BatchServer::workerLoop(size_t group)
                             : obs::Counter::RequestsFailed);
             obs::gaugeAdd(obs::Gauge::InFlight, -1);
         }
+        // Feed the admission controller's service model, and settle
+        // the request against its SLO class's end-to-end budget.
+        admission_.recordService(job.class_id, r.latency_ms);
+        const double target_ms =
+            admission_.classAt(job.class_id).p99_ms;
+        double e2e_ms = 0;
+        if (job.submit_us != 0)
+            e2e_ms = static_cast<double>(clock_.nowMicros() -
+                                         job.submit_us) /
+                     1000.0;
         {
             std::lock_guard<std::mutex> lk(metrics_m_);
             latencies_ms_.push_back(r.latency_ms);
+            e2e_ms_.push_back(e2e_ms);
+            if (r.ok && target_ms > 0 && e2e_ms <= target_ms)
+                slo_good_ += 1;
             done_ += 1;
             failed_ += r.ok ? 0 : 1;
             ops_done_ += r.he_ops;
@@ -539,6 +691,70 @@ BatchServer::workerLoop(size_t group)
         }
         idle_cv_.notify_all();
     }
+}
+
+ServeShardPlan
+BatchServer::shardPlan() const
+{
+    std::lock_guard<std::mutex> lk(plan_m_);
+    return shard_plan_;
+}
+
+void
+BatchServer::maybeRebalance()
+{
+    const u64 interval_ms = cfg_.admission.rebalance_interval_ms;
+    if (interval_ms == 0 || queues_.size() < 2)
+        return;
+    const u64 now_us = clock_.nowMicros();
+    u64 last_us = last_rebalance_us_.load();
+    if (now_us - last_us < interval_ms * 1000)
+        return;
+    // One admission wins the race to re-plan this interval; losers
+    // skip (the CAS moved the deadline) instead of dogpiling.
+    if (!last_rebalance_us_.compare_exchange_strong(last_us, now_us))
+        return;
+    rebalanceNow();
+}
+
+bool
+BatchServer::rebalanceNow()
+{
+    ServeShardSignal signal;
+    signal.peak_depth.reserve(queues_.size());
+    for (const auto &q : queues_)
+        signal.peak_depth.push_back(q->peakDepth());
+    {
+        std::lock_guard<std::mutex> lk(metrics_m_);
+        signal.evk_miss = shard_evk_miss_;
+    }
+    return rebalanceNow(signal);
+}
+
+bool
+BatchServer::rebalanceNow(const ServeShardSignal &signal)
+{
+    std::lock_guard<std::mutex> lk(plan_m_);
+    ServeShardPlan next =
+        replanServeShards(workloads_, shard_plan_, signal);
+    if (next.shard_of_workload == shard_plan_.shard_of_workload)
+        return false;
+    // Routing-only swap: requests already queued or executing finish
+    // on their old shard (nothing is dropped, nothing re-routes
+    // mid-flight); only FUTURE admissions follow the new table. The
+    // evk material every group might need was prewarmed at
+    // construction, so a migrated group's keys are already resident.
+    shard_plan_ = std::move(next);
+    rebalance_count_.fetch_add(1);
+    // The consumed signal is stale for the new table: start the next
+    // observation window clean.
+    for (const auto &q : queues_)
+        q->resetPeak();
+    {
+        std::lock_guard<std::mutex> mlk(metrics_m_);
+        shard_evk_miss_.assign(queues_.size(), 0);
+    }
+    return true;
 }
 
 ServerLiveStats
@@ -583,8 +799,11 @@ BatchServer::drain()
     }
     rep.requests = done_;
     rep.failed = failed_;
+    rep.shed = shed_;
+    rep.slo_good = slo_good_;
     rep.he_ops = ops_done_;
     rep.latency = summarizeLatencies(std::move(latencies_ms_));
+    rep.e2e = summarizeLatencies(std::move(e2e_ms_));
     if (window_open_) {
         rep.wall_seconds =
             std::chrono::duration<double>(now - window_start_).count();
@@ -599,13 +818,16 @@ BatchServer::drain()
         const double s = rep.wall_seconds;
         rep.requests_per_sec = static_cast<double>(rep.requests) / s;
         rep.he_ops_per_sec = static_cast<double>(rep.he_ops) / s;
+        rep.goodput_per_sec = static_cast<double>(rep.slo_good) / s;
         rep.words_per_sec = static_cast<double>(rep.kernel_words) / s;
         rep.mults_per_sec = static_cast<double>(rep.mod_mults) / s;
     }
 
     latencies_ms_ = {};
+    e2e_ms_ = {};
     shard_done_.assign(shard_done_.size(), 0);
     done_ = failed_ = ops_done_ = 0;
+    shed_ = slo_good_ = 0;
     // A submit may have slipped in after our idle wait: hand the new
     // window a sane start instead of orphaning that request's metrics
     // (its own window-open sees window_open_ already true and no-ops).

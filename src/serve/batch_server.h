@@ -40,6 +40,8 @@
 #include "boot/plaintext_store.h"
 #include "ckks/evaluator.h"
 #include "graph/serve_schedule.h"
+#include "serve/admission.h"
+#include "serve/clock.h"
 #include "serve/metrics.h"
 #include "serve/request_queue.h"
 #include "shard/serve_shard.h"
@@ -77,6 +79,23 @@ struct BatchServerConfig
      * pure function runs.
      */
     size_t shards = 1;
+    /**
+     * SLO-aware admission control (serve/admission.h): per-class
+     * latency targets, priority shedding, and the online-rebalance
+     * period. Disabled by default — the classic server admits
+     * everything up to queue capacity, byte for byte the previous
+     * behaviour. Targets are honored for goodput accounting even
+     * while `enabled` is false.
+     */
+    AdmissionConfig admission;
+    /**
+     * Time source for every admission/shedding/rebalance decision and
+     * for end-to-end latency. Null = SystemServeClock (production).
+     * Tests inject a ManualServeClock so the adaptive layer replays
+     * deterministically without sleeps (serve/clock.h). Borrowed,
+     * never owned; must outlive the server.
+     */
+    const ServeClock *clock = nullptr;
 
     // --- Network front-end knobs (net/wire_server.h; all four are
     // documented in docs/configuration.md and overridable via the
@@ -102,9 +121,11 @@ struct BatchServerConfig
  * Apply the serving environment overrides to @p cfg and return it:
  * ARK_LISTEN_ADDR (bind address), ARK_LISTEN_PORT (0..65535),
  * ARK_MAX_SESSIONS (1..4096), ARK_MAX_FRAME_MIB (1..16384, converted
- * to bytes). Malformed values are fatal, naming the offending value;
- * an empty value counts as unset — same discipline as ARK_BACKEND /
- * ARK_THREADS.
+ * to bytes), and ARK_SLO_P99_MS (1..3600000: enables SLO admission
+ * control with that p99 target on every class that lacks one —
+ * creating the default class when none are configured). Malformed
+ * values are fatal, naming the offending value; an empty value counts
+ * as unset — same discipline as ARK_BACKEND / ARK_THREADS.
  */
 BatchServerConfig serveConfigFromEnv(BatchServerConfig cfg = {});
 
@@ -158,8 +179,12 @@ class BatchServer
     size_t workers() const { return workers_.size(); }
     /** Worker groups (1 = the classic single-queue server). */
     size_t shards() const { return queues_.size(); }
-    /** The affinity routing table (trivial when shards() == 1). */
-    const ServeShardPlan &shardPlan() const { return shard_plan_; }
+    /** The affinity routing table (trivial when shards() == 1).
+     *  Returned by value: the online rebalancer may swap the live
+     *  table under its own lock at any admission. */
+    ServeShardPlan shardPlan() const;
+    /** The admission controller (class catalog + live predictions). */
+    const AdmissionController &admission() const { return admission_; }
 
     /**
      * Admit one request of @p workload_index, blocking while the queue
@@ -174,6 +199,16 @@ class BatchServer
      * refusal.
      */
     bool trySubmit(size_t workload_index, std::future<ServeResult> &out);
+
+    /**
+     * trySubmit() with the typed outcome: Full (capacity), Shed (SLO
+     * admission refused it — back off), or Closed. @p out is set only
+     * on Admitted. The open-loop driver keys its offered/admitted/
+     * shed/refused ledger on this (serve/open_loop.h). Unlike
+     * trySubmit()/submit() this never throws on shutdown.
+     */
+    AdmitResult trySubmitResult(size_t workload_index,
+                                std::future<ServeResult> &out);
 
     /**
      * Admission-controlled submit of a remote tenant's request: the
@@ -206,6 +241,24 @@ class BatchServer
     ServerLiveStats liveStats() const;
 
     /**
+     * Online shard rebalance (shard/serve_shard.h): measure the load
+     * signal accumulated since the last rebalance (per-shard queue
+     * peak depth + per-shard evk misses) and, on a clear imbalance,
+     * migrate one evk-signature group to the coldest shard. Only the
+     * routing table swaps — queued and in-flight requests finish
+     * where they are, so nothing is dropped and results stay
+     * bit-identical. Returns true when the plan changed. Also runs
+     * periodically from admissions when
+     * AdmissionConfig::rebalance_interval_ms > 0 (against the
+     * injected clock).
+     */
+    bool rebalanceNow();
+    /** Rebalance against an explicit signal (deterministic tests). */
+    bool rebalanceNow(const ServeShardSignal &signal);
+    /** Routing-table swaps since server start. */
+    size_t rebalances() const { return rebalance_count_.load(); }
+
+    /**
      * Admit a whole batch. In schedule-aware mode the admission order
      * is clustered so requests sharing rotation evks co-locate
      * (graph/serve_schedule.h); futures are returned in the CALLER's
@@ -231,7 +284,13 @@ class BatchServer
     ServeResult execute(const ServeRequest &req) const;
     AdmitResult admitJob(ServeJob &&job, bool blocking);
     std::future<ServeResult> enqueue(size_t workload_index,
-                                     bool blocking, bool &accepted);
+                                     bool blocking,
+                                     AdmitResult &admitted);
+    /** Complete @p job with a Shed result and release its admission
+     *  accounting (promise, outstanding_, window shed count). */
+    void completeShed(ServeJob &&job, bool was_queued);
+    /** Fire rebalanceNow() when the configured interval elapsed. */
+    void maybeRebalance();
 
     const CkksContext &ctx_;
     CkksEvaluator eval_;
@@ -240,7 +299,18 @@ class BatchServer
     const std::vector<ServeWorkload> workloads_;
     const std::vector<Ciphertext> inputs_;
     const BatchServerConfig cfg_;
-    const ServeShardPlan shard_plan_;
+    AdmissionController admission_;
+    const ServeClock &clock_;
+
+    /** The live routing table (guarded by plan_m_: the rebalancer
+     *  swaps it while admissions read it). */
+    mutable std::mutex plan_m_;
+    ServeShardPlan shard_plan_;
+    /** Worker-thread count per group (fixed at construction; the
+     *  admission prediction's drain denominator). */
+    std::vector<size_t> shard_workers_;
+    std::atomic<u64> last_rebalance_us_{0};
+    std::atomic<size_t> rebalance_count_{0};
 
     /** One queue per worker group; index = shard. unique_ptr because
      *  RequestQueue pins a mutex (neither copyable nor movable). */
@@ -258,7 +328,14 @@ class BatchServer
     /** Metrics window state (guarded by metrics_m_). */
     mutable std::mutex metrics_m_;
     std::vector<double> latencies_ms_;
+    std::vector<double> e2e_ms_; ///< admission -> completion (clock_)
     std::vector<size_t> shard_done_; ///< completions per worker group
+    /** Evk misses attributed to each group's workers since the last
+     *  rebalance (KeyCache::threadStats deltas) — the rebalancer's
+     *  second signal. */
+    std::vector<u64> shard_evk_miss_;
+    size_t shed_ = 0;     ///< window: requests shed by admission
+    size_t slo_good_ = 0; ///< window: completions meeting their p99
     /** Live-stats state (also guarded by metrics_m_): unlike the
      *  window counters above these survive drain(). */
     std::vector<size_t> shard_inflight_;

@@ -42,6 +42,20 @@ ServeReport::toString() const
         latency.p50_ms, latency.p90_ms, latency.p99_ms,
         latency.max_ms, words_per_sec / 1e6, mults_per_sec / 1e6);
     std::string out = buf;
+    if (shed > 0 || slo_good > 0) {
+        std::snprintf(buf, sizeof buf,
+                      "\nslo: %zu good (%.1f goodput/s)  %zu shed",
+                      slo_good, goodput_per_sec, shed);
+        out += buf;
+    }
+    if (e2e.count > 0) {
+        std::snprintf(buf, sizeof buf,
+                      "\ne2e ms: mean %.3f  p50 %.3f  p90 %.3f  "
+                      "p99 %.3f  max %.3f",
+                      e2e.mean_ms, e2e.p50_ms, e2e.p90_ms, e2e.p99_ms,
+                      e2e.max_ms);
+        out += buf;
+    }
     if (shard_requests.size() > 1) {
         out += "\nshards:";
         for (size_t s = 0; s < shard_requests.size(); ++s) {

@@ -46,11 +46,26 @@ struct ServeReport
     std::vector<size_t> shard_queue_peak;
     size_t requests = 0;
     size_t failed = 0;
+    /** Requests the SLO admission controller shed in the window —
+     *  evicted from a queue or refused with AdmitResult::Shed. Not
+     *  part of `requests` (they never executed). */
+    size_t shed = 0;
+    /** Completions whose end-to-end latency met their SLO class's
+     *  p99 target (only requests of classes WITH a target count;
+     *  see serve/admission.h). */
+    size_t slo_good = 0;
     size_t he_ops = 0; ///< primitive HE ops executed across requests
     double wall_seconds = 0;
     double requests_per_sec = 0;
     double he_ops_per_sec = 0;
+    /** The headline under open-loop load: slo_good / wall_seconds —
+     *  completions per second that were actually worth completing. */
+    double goodput_per_sec = 0;
     LatencySummary latency;
+    /** End-to-end latency (admission stamp -> completion, via the
+     *  injected ServeClock) — what the SLO targets bound. Empty when
+     *  no admitted request carried a stamp. */
+    LatencySummary e2e;
     /** Backend-measured polynomial operand words moved in the window
      *  (KernelStats delta) and the implied streaming rate. */
     u64 kernel_words = 0;

@@ -62,6 +62,44 @@ RequestQueue::pop(ServeJob &out)
     return true;
 }
 
+bool
+RequestQueue::evictLowestBelow(u32 floor, ServeJob &victim)
+{
+    {
+        std::lock_guard<std::mutex> lk(m_);
+        size_t pick = q_.size();
+        for (size_t i = 0; i < q_.size(); ++i) {
+            // <= on the running minimum: the LAST among equals wins,
+            // so the freshest low-priority job is shed first.
+            if (q_[i].priority < floor &&
+                (pick == q_.size() ||
+                 q_[i].priority <= q_[pick].priority))
+                pick = i;
+        }
+        if (pick == q_.size())
+            return false;
+        victim = std::move(q_[pick]);
+        q_.erase(q_.begin() +
+                 static_cast<std::deque<ServeJob>::difference_type>(
+                     pick));
+    }
+    not_full_.notify_one();
+    return true;
+}
+
+bool
+RequestQueue::lowestPriority(u32 &out) const
+{
+    std::lock_guard<std::mutex> lk(m_);
+    if (q_.empty())
+        return false;
+    u32 lo = q_.front().priority;
+    for (const ServeJob &j : q_)
+        lo = std::min(lo, j.priority);
+    out = lo;
+    return true;
+}
+
 void
 RequestQueue::close()
 {

@@ -32,20 +32,32 @@ struct ServeJob
     /** Set at enqueue; the worker derives the queue_wait span and
      *  histogram from it (zero-initialized = not stamped, skip). */
     std::chrono::steady_clock::time_point enqueue_tp{};
+    /** SLO class of the request (serve/admission.h; 0 = default). */
+    size_t class_id = 0;
+    /** Shedding order: the admission controller evicts the
+     *  lowest-priority queued job first, and only below the incoming
+     *  request's priority. */
+    u32 priority = 0;
+    /** ServeClock stamp at admission (microseconds; 0 = unstamped).
+     *  The worker derives end-to-end latency — the number the SLO
+     *  targets bound — from it at completion. */
+    u64 submit_us = 0;
 };
 
 /**
  * Typed admission outcome. tryPush() collapses "full" and "closed"
  * into one false, which was fine for in-process callers (shed load
  * either way) but not for the network front-end: the wire protocol
- * reports QUEUE_FULL (retryable) and SERVER_SHUTDOWN (fatal) as
- * distinct error codes (docs/wire_format.md §7), so the admission
- * point must say which one happened.
+ * reports QUEUE_FULL (retryable), SHED (retryable), and
+ * SERVER_SHUTDOWN (fatal) as distinct error codes
+ * (docs/wire_format.md §7), so the admission point must say which one
+ * happened.
  */
 enum class AdmitResult {
     Admitted, ///< job enqueued
     Full,     ///< capacity reached right now — retry later
     Closed,   ///< queue closed — no future admission
+    Shed,     ///< SLO admission refused it — back off and retry
 };
 
 /** Bounded MPMC job queue with blocking and non-blocking admission. */
@@ -84,6 +96,19 @@ class RequestQueue
 
     /** Refuse new jobs; wake all blocked producers and consumers. */
     void close();
+
+    /**
+     * Remove and return the queued job with the LOWEST priority
+     * strictly below @p floor — the admission controller's shedding
+     * victim. Among equals the latest-enqueued job is taken (it has
+     * waited least, so evicting it wastes the least sunk queueing
+     * time). Returns false — leaving the queue untouched — when no
+     * queued job sits below the floor.
+     */
+    bool evictLowestBelow(u32 floor, ServeJob &victim);
+
+    /** Lowest priority currently queued. Returns false when empty. */
+    bool lowestPriority(u32 &out) const;
 
     size_t size() const;
     size_t capacity() const { return capacity_; }

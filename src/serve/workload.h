@@ -117,6 +117,8 @@ enum class ServeErrorKind {
     LevelExhausted, ///< level budget ran out mid-workload
     MissingKey,     ///< tenant never uploaded a referenced evk
     Other,          ///< anything else (wire code EXEC_FAILED)
+    Shed,           ///< SLO admission shed it (wire code SHED,
+                    ///< retryable — the client should back off)
 };
 
 /** Thrown by request execution when the level budget runs out —

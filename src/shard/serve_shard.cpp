@@ -123,4 +123,98 @@ planServeShards(const std::vector<ServeWorkload> &workloads,
     return plan;
 }
 
+ServeShardPlan
+replanServeShards(const std::vector<ServeWorkload> &workloads,
+                  const ServeShardPlan &current,
+                  const ServeShardSignal &signal)
+{
+    const size_t shards = current.shards;
+    ARK_ASSERT(current.shard_of_workload.size() == workloads.size(),
+               "plan does not match the workload set");
+    ARK_ASSERT(signal.peak_depth.size() == shards &&
+                   signal.evk_miss.size() == shards,
+               "signal does not match the shard count");
+    if (shards < 2)
+        return current;
+
+    // Hottest / coldest by queue peak depth, evk misses breaking
+    // ties (a shard churning its key working set is the costlier of
+    // two equally deep queues), then lower index for determinism.
+    auto hotter = [&](size_t a, size_t b) {
+        if (signal.peak_depth[a] != signal.peak_depth[b])
+            return signal.peak_depth[a] > signal.peak_depth[b];
+        return signal.evk_miss[a] > signal.evk_miss[b];
+    };
+    size_t hot = 0, cold = 0;
+    for (size_t s = 1; s < shards; ++s) {
+        if (hotter(s, hot))
+            hot = s;
+        if (hotter(cold, s))
+            cold = s;
+    }
+    // Move only on a clear imbalance: the hottest queue peaked at
+    // least twice as deep as the coldest (the +1 keeps an all-idle or
+    // barely-loaded window from triggering churn).
+    if (hot == cold ||
+        signal.peak_depth[hot] < 2 * signal.peak_depth[cold] + 1)
+        return current;
+
+    // Reconstruct the signature groups and their current placement
+    // (groups move atomically, so every member shares one shard).
+    struct Group
+    {
+        std::vector<i64> signature;
+        std::vector<size_t> members;
+        size_t weight = 0;
+        size_t shard = 0;
+    };
+    std::vector<Group> groups;
+    size_t hot_groups = 0;
+    for (const std::vector<size_t> &members :
+         groupByEvkSignature(workloads)) {
+        Group gr;
+        gr.signature = workloads[members.front()].evkSignature();
+        gr.members = members;
+        gr.shard = current.shard_of_workload[members.front()];
+        for (size_t wi : members)
+            gr.weight += workloads[wi].ops.size();
+        hot_groups += gr.shard == hot ? 1 : 0;
+        groups.push_back(std::move(gr));
+    }
+    // Never strand the hot shard: it keeps at least one group, so no
+    // shard with workers ever serves an empty workload set.
+    if (hot_groups < 2)
+        return current;
+
+    // Migrate the LIGHTEST hot group: it relieves the least affinity
+    // (smallest key set to re-warm on the cold shard) per move, and a
+    // wrong move costs the least. First appearance breaks ties.
+    size_t pick = groups.size();
+    for (size_t g = 0; g < groups.size(); ++g) {
+        if (groups[g].shard != hot)
+            continue;
+        if (pick == groups.size() ||
+            groups[g].weight < groups[pick].weight)
+            pick = g;
+    }
+    groups[pick].shard = cold;
+
+    ServeShardPlan plan;
+    plan.shards = shards;
+    plan.shard_of_workload.assign(workloads.size(), 0);
+    plan.evks_of_shard.assign(shards, {});
+    plan.weight_of_shard.assign(shards, 0);
+    std::vector<std::set<i64>> keys(shards);
+    for (const Group &gr : groups) {
+        for (size_t wi : gr.members)
+            plan.shard_of_workload[wi] = gr.shard;
+        plan.weight_of_shard[gr.shard] += gr.weight;
+        keys[gr.shard].insert(gr.signature.begin(),
+                              gr.signature.end());
+    }
+    for (size_t s = 0; s < shards; ++s)
+        plan.evks_of_shard[s].assign(keys[s].begin(), keys[s].end());
+    return plan;
+}
+
 } // namespace ark

@@ -58,4 +58,35 @@ ServeShardPlan
 planServeShards(const std::vector<ServeWorkload> &workloads,
                 size_t shards);
 
+/**
+ * Observed per-shard load since the last replan — the two congestion
+ * signals the serving runtime already collects: queue peak depth
+ * (RequestQueue::peakDepth) and evaluation-key cache misses
+ * attributed to the shard's workers (KeyCache thread stats). Both
+ * vectors are indexed by shard and must have plan.shards entries.
+ */
+struct ServeShardSignal
+{
+    std::vector<size_t> peak_depth;
+    std::vector<u64> evk_miss;
+};
+
+/**
+ * Online re-plan: migrate evk-signature groups between shards when
+ * the observed load says the static plan got the traffic mix wrong.
+ * Conservative and deterministic: only when the hottest shard's
+ * pressure (peak depth, evk misses breaking ties) is at least double
+ * the coldest's does ONE group move — the lightest group on the
+ * hottest shard, provided that shard keeps at least one group (no
+ * shard that serves traffic is ever stranded without workloads, and
+ * no workload is ever left unassigned). Returns @p current unchanged
+ * when balanced. Routing-only by construction: requests already
+ * queued stay where they are, so results remain bit-identical to the
+ * static plan (tests/test_serving_rebalance.cpp).
+ */
+ServeShardPlan
+replanServeShards(const std::vector<ServeWorkload> &workloads,
+                  const ServeShardPlan &current,
+                  const ServeShardSignal &signal);
+
 } // namespace ark

@@ -34,6 +34,28 @@ writeStats(ByteWriter &w, const RemoteStats &s)
     }
 }
 
+namespace {
+
+/**
+ * Guard an entry count read off the wire against the bytes actually
+ * present: each entry needs at least @p min_entry_bytes, so a count
+ * the remaining body cannot possibly satisfy is rejected BEFORE the
+ * resize — a corrupted count field must yield a typed error, not a
+ * multi-gigabyte allocation (tests/test_wire_fuzz.cpp found exactly
+ * that with a bit-flipped num_shards).
+ */
+u32
+checkedCount(const ByteReader &r, u32 count, size_t min_entry_bytes)
+{
+    if (static_cast<u64>(count) * min_entry_bytes > r.remaining())
+        throw WireError(WireCode::TruncatedFrame,
+                        "stats entry count " + std::to_string(count) +
+                            " exceeds the remaining body");
+    return count;
+}
+
+} // namespace
+
 RemoteStats
 readStats(ByteReader &r)
 {
@@ -42,7 +64,7 @@ readStats(ByteReader &r)
     s.active_sessions = r.getU64();
     s.sessions_opened = r.getU64();
     s.outstanding = r.getU64();
-    const u32 num_shards = r.getU32();
+    const u32 num_shards = checkedCount(r, r.getU32(), 32);
     s.shards.resize(num_shards);
     for (StatsShardEntry &e : s.shards) {
         e.queue_depth = r.getU64();
@@ -50,13 +72,13 @@ readStats(ByteReader &r)
         e.in_flight = r.getU64();
         e.total_done = r.getU64();
     }
-    const u32 num_counters = r.getU32();
+    const u32 num_counters = checkedCount(r, r.getU32(), 4 + 8);
     s.counters.resize(num_counters);
     for (StatsCounterEntry &e : s.counters) {
         e.name = r.getString();
         e.value = r.getU64();
     }
-    const u32 num_phases = r.getU32();
+    const u32 num_phases = checkedCount(r, r.getU32(), 4 + 5 * 8);
     s.phases.resize(num_phases);
     for (StatsPhaseEntry &e : s.phases) {
         e.name = r.getString();

@@ -84,6 +84,8 @@ wireCodeName(WireCode c)
         return "EXEC_FAILED";
       case WireCode::Protocol:
         return "PROTOCOL";
+      case WireCode::Shed:
+        return "SHED";
     }
     return "UNKNOWN";
 }

@@ -64,8 +64,11 @@ enum class FrameType : u16 {
 const char *frameTypeName(FrameType t);
 
 /** §7: wire error codes (the ERROR frame's `code` field). The
- *  QUEUE_FULL / SERVER_SHUTDOWN pair is the typed surface of
- *  RequestQueue admission (serve/request_queue.h AdmitResult). */
+ *  QUEUE_FULL / SHED / SERVER_SHUTDOWN triple is the typed surface
+ *  of RequestQueue admission (serve/request_queue.h AdmitResult):
+ *  QUEUE_FULL and SHED are retryable (capacity vs. SLO admission
+ *  control shedding — the client's cue to back off), SERVER_SHUTDOWN
+ *  is fatal. Shed appended within v1 per the §8 policy. */
 enum class WireCode : u16 {
     Ok = 0,
     BadMagic = 1,
@@ -85,6 +88,7 @@ enum class WireCode : u16 {
     LevelExhausted = 15,
     ExecFailed = 16,
     Protocol = 17,
+    Shed = 18,
 };
 
 const char *wireCodeName(WireCode c);

@@ -1,0 +1,175 @@
+/**
+ * @file
+ * Open-loop arrival-generator tests (serve/arrival.h): seeded
+ * determinism, rate fidelity of the thinning sampler, burst episodes,
+ * workload-mix weighting, and the ARK_ARRIVAL_* environment parsing.
+ */
+
+#include <cstdlib>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "serve/arrival.h"
+
+namespace ark {
+namespace {
+
+void
+clearArrivalEnv()
+{
+    unsetenv("ARK_ARRIVAL_RATE");
+    unsetenv("ARK_ARRIVAL_MS");
+    unsetenv("ARK_ARRIVAL_SEED");
+    unsetenv("ARK_ARRIVAL_BURST");
+}
+
+TEST(Arrival, DeterministicPerSeedAndSortedInTime)
+{
+    ArrivalConfig cfg;
+    cfg.rate_per_sec = 200;
+    cfg.duration_s = 2.0;
+    cfg.seed = 42;
+
+    const auto a = generateArrivals(cfg, 4);
+    const auto b = generateArrivals(cfg, 4);
+    ASSERT_EQ(a.size(), b.size());
+    for (size_t i = 0; i < a.size(); ++i) {
+        EXPECT_EQ(a[i].t_s, b[i].t_s);
+        EXPECT_EQ(a[i].workload_index, b[i].workload_index);
+    }
+
+    // Strictly increasing timestamps inside the horizon; workload
+    // indices in range.
+    double prev = 0;
+    for (const ArrivalEvent &e : a) {
+        EXPECT_GT(e.t_s, prev);
+        EXPECT_LT(e.t_s, cfg.duration_s);
+        EXPECT_LT(e.workload_index, 4u);
+        prev = e.t_s;
+    }
+
+    // A different seed draws a different trace.
+    cfg.seed = 43;
+    const auto c = generateArrivals(cfg, 4);
+    EXPECT_TRUE(c.size() != a.size() ||
+                (!a.empty() && c.front().t_s != a.front().t_s));
+}
+
+TEST(Arrival, CountTracksTheConfiguredRate)
+{
+    // Poisson(rate * duration) = Poisson(2000): a +-5 sigma band is
+    // [1776, 2224] — astronomically unlikely to flake on a fixed seed
+    // while still catching any off-by-2x rate bug.
+    ArrivalConfig cfg;
+    cfg.rate_per_sec = 1000;
+    cfg.duration_s = 2.0;
+    cfg.seed = 7;
+    const auto events = generateArrivals(cfg, 1);
+    EXPECT_GT(events.size(), 1776u);
+    EXPECT_LT(events.size(), 2224u);
+}
+
+TEST(Arrival, BurstEpisodeMultipliesLocalDensity)
+{
+    ArrivalConfig cfg;
+    cfg.rate_per_sec = 400;
+    cfg.duration_s = 3.0;
+    cfg.seed = 11;
+    cfg.bursts = {{1.0, 1.0, 4.0}}; // [1s, 2s) at 4x
+
+    EXPECT_EQ(arrivalRateAt(cfg, 0.5), 400.0);
+    EXPECT_EQ(arrivalRateAt(cfg, 1.5), 1600.0);
+    EXPECT_EQ(arrivalRateAt(cfg, 2.5), 400.0);
+
+    const auto events = generateArrivals(cfg, 1);
+    size_t before = 0, during = 0, after = 0;
+    for (const ArrivalEvent &e : events) {
+        if (e.t_s < 1.0)
+            ++before;
+        else if (e.t_s < 2.0)
+            ++during;
+        else
+            ++after;
+    }
+    // The burst second must be far denser than either flat second —
+    // 2x is a loose floor for a 4x multiplier.
+    EXPECT_GT(during, 2 * before);
+    EXPECT_GT(during, 2 * after);
+    // And the flat seconds still look like rate 400.
+    EXPECT_GT(before, 250u);
+    EXPECT_LT(before, 550u);
+}
+
+TEST(Arrival, WorkloadWeightsShapeTheMix)
+{
+    ArrivalConfig cfg;
+    cfg.rate_per_sec = 1000;
+    cfg.duration_s = 2.0;
+    cfg.seed = 5;
+    cfg.workload_weights = {3.0, 1.0, 0.0};
+
+    const auto events = generateArrivals(cfg, 3);
+    std::vector<size_t> counts(3, 0);
+    for (const ArrivalEvent &e : events)
+        counts[e.workload_index] += 1;
+
+    EXPECT_EQ(counts[2], 0u) << "zero-weight class must never fire";
+    EXPECT_GT(counts[0], 2 * counts[1])
+        << "3:1 weights should skew the draw decisively";
+    EXPECT_GT(counts[1], 0u);
+
+    // An empty weight list is the uniform mix over every workload.
+    cfg.workload_weights.clear();
+    const auto uniform = generateArrivals(cfg, 3);
+    std::vector<size_t> u(3, 0);
+    for (const ArrivalEvent &e : uniform)
+        u[e.workload_index] += 1;
+    for (size_t i = 0; i < 3; ++i)
+        EXPECT_GT(u[i], uniform.size() / 6);
+}
+
+TEST(Arrival, EnvOverridesParseStrictly)
+{
+    clearArrivalEnv();
+
+    // Unset (and empty) leave the defaults alone.
+    setenv("ARK_ARRIVAL_RATE", "", 1);
+    ArrivalConfig def = arrivalConfigFromEnv();
+    EXPECT_EQ(def.rate_per_sec, ArrivalConfig{}.rate_per_sec);
+    EXPECT_TRUE(def.bursts.empty());
+
+    setenv("ARK_ARRIVAL_RATE", "250", 1);
+    setenv("ARK_ARRIVAL_MS", "1500", 1);
+    setenv("ARK_ARRIVAL_SEED", "99", 1);
+    setenv("ARK_ARRIVAL_BURST", "500:250:8", 1);
+    ArrivalConfig cfg = arrivalConfigFromEnv();
+    EXPECT_EQ(cfg.rate_per_sec, 250.0);
+    EXPECT_EQ(cfg.duration_s, 1.5);
+    EXPECT_EQ(cfg.seed, 99u);
+    ASSERT_EQ(cfg.bursts.size(), 1u);
+    EXPECT_EQ(cfg.bursts[0].start_s, 0.5);
+    EXPECT_EQ(cfg.bursts[0].duration_s, 0.25);
+    EXPECT_EQ(cfg.bursts[0].rate_multiplier, 8.0);
+
+    clearArrivalEnv();
+}
+
+TEST(Arrival, MalformedEnvIsFatal)
+{
+    clearArrivalEnv();
+    setenv("ARK_ARRIVAL_RATE", "fast", 1);
+    EXPECT_DEATH((void)arrivalConfigFromEnv(), "ARK_ARRIVAL_RATE");
+    setenv("ARK_ARRIVAL_RATE", "0", 1);
+    EXPECT_DEATH((void)arrivalConfigFromEnv(), "ARK_ARRIVAL_RATE");
+    clearArrivalEnv();
+
+    setenv("ARK_ARRIVAL_BURST", "500:250", 1); // missing multiplier
+    EXPECT_DEATH((void)arrivalConfigFromEnv(), "ARK_ARRIVAL_BURST");
+    setenv("ARK_ARRIVAL_BURST", "500:0:4", 1); // zero duration
+    EXPECT_DEATH((void)arrivalConfigFromEnv(), "ARK_ARRIVAL_BURST");
+    clearArrivalEnv();
+}
+
+} // namespace
+} // namespace ark
