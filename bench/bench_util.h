@@ -154,9 +154,14 @@ struct BenchJsonRow
 
 /**
  * Write @p rows in the shared bench JSON schema:
- * {"bench","mode","simd_tier","cpu_features","parity_ok","results"}.
- * Returns false (with a message on stderr) if the file can't be
- * written.
+ * {"bench","mode","machine_class","simd_tier","cpu_features",
+ *  "parity_ok","results"}.
+ * `machine_class` is the host's dispatched vector-ISA tier — the
+ * label check_bench_regression.py uses to pick a like-for-like
+ * baseline from bench/baselines/<class>/ (timings from an AVX-512
+ * box say nothing about a NEON one; comparing across classes is the
+ * regression tracker's main noise source). Returns false (with a
+ * message on stderr) if the file can't be written.
  */
 inline bool
 writeBenchJson(const std::string &path, const char *bench, bool smoke,
@@ -170,6 +175,8 @@ writeBenchJson(const std::string &path, const char *bench, bool smoke,
     }
     std::fprintf(f, "{\n  \"bench\": \"%s\",\n", bench);
     std::fprintf(f, "  \"mode\": \"%s\",\n", smoke ? "smoke" : "full");
+    std::fprintf(f, "  \"machine_class\": \"%s\",\n",
+                 simdTierName(SimdBackend().tier()));
     std::fprintf(f, "  \"simd_tier\": \"%s\",\n",
                  simdTierName(SimdBackend().tier()));
     std::fprintf(f, "  \"cpu_features\": \"%s\",\n",

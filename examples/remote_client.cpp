@@ -23,6 +23,10 @@
  *   --stats ADDR PORT    poll a live server's §5.16 STATS frame and
  *                        print the live queue/session/phase readout
  *                        (docs/observability.md).
+ *   --ping ADDR PORT     §5.17 liveness probe: three PING round
+ *                        trips, printing RTT and server uptime —
+ *                        works pre-session, so it answers "is the
+ *                        server up?" without any key material.
  *
  * `--smoke --trace PATH` additionally forces span tracing on for the
  * run and writes the Chrome trace-event JSON to PATH — load it in
@@ -296,6 +300,21 @@ runStats(const std::string &addr, u16 port)
     return 0;
 }
 
+/** --ping: three §5.17 PING round trips against a live server. */
+int
+runPing(const std::string &addr, u16 port)
+{
+    WireClient client(addr, port, "remote-client-ping");
+    for (int i = 0; i < 3; ++i) {
+        const WireClient::PingResult pr = client.ping();
+        std::printf("PONG nonce=%" PRIu64 "  rtt=%.3f ms  server "
+                    "uptime=%.1f s\n",
+                    pr.nonce, pr.rtt_ms,
+                    static_cast<double>(pr.uptime_ms) / 1000.0);
+    }
+    return 0;
+}
+
 int
 runServe(u16 port)
 {
@@ -321,6 +340,7 @@ const char *kUsage =
     "       remote_client --connect ADDR PORT\n"
     "       remote_client --smoke [--trace PATH]\n"
     "       remote_client --stats ADDR PORT\n"
+    "       remote_client --ping ADDR PORT\n"
     "\n"
     "  --serve     stand up BatchServer + WireServer on the standard\n"
     "              workload mix and serve until killed. Binds\n"
@@ -339,7 +359,10 @@ const char *kUsage =
     "              (docs/observability.md).\n"
     "  --stats     poll a live server's STATS frame (§5.16) and\n"
     "              print queue depths, in-flight counts, and\n"
-    "              per-phase latency.\n";
+    "              per-phase latency.\n"
+    "  --ping      three PING round trips (§5.17): RTT and server\n"
+    "              uptime, no session or key material needed —\n"
+    "              the cheapest \"is it up?\" probe.\n";
 
 } // namespace
 
@@ -364,6 +387,14 @@ main(int argc, char **argv)
             return 2;
         }
         return runStats(argv[2], static_cast<u16>(v));
+    }
+    if (argc == 4 && std::strcmp(argv[1], "--ping") == 0) {
+        const long v = std::strtol(argv[3], nullptr, 10);
+        if (v <= 0 || v > 65535) {
+            std::fprintf(stderr, "bad port '%s'\n", argv[3]);
+            return 2;
+        }
+        return runPing(argv[2], static_cast<u16>(v));
     }
     if (argc >= 2 && std::strcmp(argv[1], "--serve") == 0) {
         u16 port = 0;

@@ -24,6 +24,18 @@ the same tier — an avx512 baseline says nothing about an avx2 or
 scalar-fallback runner, so those rows are skipped with a note instead
 of producing bogus warnings.
 
+Machine-class baselines: every run stamps a `machine_class` (the
+dispatched vector-ISA tier: scalar / neon / avx2 / avx512). Before
+comparing, the checker looks for a class-specific baseline at
+    dirname(--baseline)/<machine_class>/basename(--baseline)
+and uses it when present, so each machine class is compared
+like-for-like against numbers measured on its own class. When no
+class directory exists the flat --baseline path is the fallback —
+exactly the pre-class behaviour. Seed a class directory by
+characterizing on a machine of that class:
+    scripts/check_bench_regression.py --characterize \
+        bench/baselines/avx2/bench_serving.json run1.json run2.json
+
 Usage (compare):
     scripts/check_bench_regression.py CURRENT.json \
         [--baseline bench/baselines/bench_micro_kernels.json] \
@@ -44,6 +56,7 @@ strictness keys off it.
 import argparse
 import json
 import math
+import os
 import sys
 
 
@@ -112,6 +125,9 @@ def characterize(out_path, run_paths):
     out = {
         "bench": bench,
         "mode": head.get("mode", "full"),
+        "machine_class": head.get(
+            "machine_class", head.get("simd_tier", "scalar")
+        ),
         "simd_tier": head.get("simd_tier", "scalar"),
         "cpu_features": head.get("cpu_features", ""),
         "parity_ok": all(d.get("parity_ok", True) for d, _ in docs),
@@ -181,10 +197,25 @@ def main():
         ap.error("compare mode takes exactly one CURRENT.json")
 
     cur_doc, cur = load(args.json[0])
+
+    # Like-for-like baseline resolution: prefer the current machine
+    # class's own baseline directory, fall back to the flat path.
+    machine_class = cur_doc.get(
+        "machine_class", cur_doc.get("simd_tier", "scalar")
+    )
+    baseline_path = args.baseline
+    class_path = os.path.join(
+        os.path.dirname(args.baseline),
+        machine_class,
+        os.path.basename(args.baseline),
+    )
+    if os.path.exists(class_path):
+        baseline_path = class_path
+        print(f"using machine-class baseline {baseline_path}")
     try:
-        base_doc, base = load(args.baseline)
+        base_doc, base = load(baseline_path)
     except FileNotFoundError:
-        print(f"no baseline at {args.baseline}; nothing to compare")
+        print(f"no baseline at {baseline_path}; nothing to compare")
         return 0
 
     warnings = []  # escalated only by --strict

@@ -3,17 +3,31 @@
 #include <arpa/inet.h>
 #include <atomic>
 #include <cerrno>
+#include <chrono>
 #include <cstring>
 #include <netdb.h>
 #include <netinet/in.h>
 #include <netinet/tcp.h>
 #include <poll.h>
 #include <sys/socket.h>
+#include <sys/time.h>
+#include <thread>
 #include <unistd.h>
+
+#include "fault/fault.h"
 
 namespace ark {
 
 namespace {
+
+/** Injected-delay helper for the RecvDelay / SendDelay sites. */
+void
+faultDelay()
+{
+    const u64 us = fault::FaultInjector::global().delayMicros();
+    if (us > 0)
+        std::this_thread::sleep_for(std::chrono::microseconds(us));
+}
 
 [[noreturn]] void
 sysError(const std::string &what)
@@ -97,10 +111,24 @@ TcpStream::sendAll(const void *data, size_t n)
 {
     const u8 *p = static_cast<const u8 *>(data);
     while (n > 0) {
-        const ssize_t w = ::send(sock_.fd(), p, n, MSG_NOSIGNAL);
+        size_t chunk = n;
+        if (fault::faultsEnabled()) {
+            auto &fi = fault::FaultInjector::global();
+            if (fi.shouldInject(fault::Site::SendReset)) {
+                sock_.shutdownBoth();
+                throw NetClosed();
+            }
+            if (fi.shouldInject(fault::Site::SendDelay))
+                faultDelay();
+            if (fi.shouldInject(fault::Site::SendShort))
+                chunk = 1;
+        }
+        const ssize_t w = ::send(sock_.fd(), p, chunk, MSG_NOSIGNAL);
         if (w < 0) {
             if (errno == EINTR)
                 continue;
+            if (errno == EAGAIN || errno == EWOULDBLOCK)
+                throw NetTimeout("send timed out");
             if (errno == EPIPE || errno == ECONNRESET)
                 throw NetClosed();
             sysError("send");
@@ -115,10 +143,24 @@ TcpStream::recvAll(void *out, size_t n)
 {
     u8 *p = static_cast<u8 *>(out);
     while (n > 0) {
-        const ssize_t r = ::recv(sock_.fd(), p, n, 0);
+        size_t chunk = n;
+        if (fault::faultsEnabled()) {
+            auto &fi = fault::FaultInjector::global();
+            if (fi.shouldInject(fault::Site::RecvReset)) {
+                sock_.shutdownBoth();
+                throw NetClosed();
+            }
+            if (fi.shouldInject(fault::Site::RecvDelay))
+                faultDelay();
+            if (fi.shouldInject(fault::Site::RecvShort))
+                chunk = 1;
+        }
+        const ssize_t r = ::recv(sock_.fd(), p, chunk, 0);
         if (r < 0) {
             if (errno == EINTR)
                 continue;
+            if (errno == EAGAIN || errno == EWOULDBLOCK)
+                throw NetTimeout("recv timed out");
             if (errno == ECONNRESET)
                 throw NetClosed();
             sysError("recv");
@@ -128,6 +170,32 @@ TcpStream::recvAll(void *out, size_t n)
         p += r;
         n -= static_cast<size_t>(r);
     }
+}
+
+namespace {
+
+void
+setSockTimeout(int fd, int opt, u64 ms, const char *what)
+{
+    timeval tv{};
+    tv.tv_sec = static_cast<time_t>(ms / 1000);
+    tv.tv_usec = static_cast<suseconds_t>((ms % 1000) * 1000);
+    if (::setsockopt(fd, SOL_SOCKET, opt, &tv, sizeof(tv)) != 0)
+        sysError(what);
+}
+
+} // namespace
+
+void
+TcpStream::setRecvTimeoutMs(u64 ms)
+{
+    setSockTimeout(sock_.fd(), SO_RCVTIMEO, ms, "setsockopt(SO_RCVTIMEO)");
+}
+
+void
+TcpStream::setSendTimeoutMs(u64 ms)
+{
+    setSockTimeout(sock_.fd(), SO_SNDTIMEO, ms, "setsockopt(SO_SNDTIMEO)");
 }
 
 void

@@ -39,6 +39,17 @@ class NetClosed : public NetError
     NetClosed() : NetError("peer closed the connection") {}
 };
 
+/** A socket-level deadline fired (SO_RCVTIMEO / SO_SNDTIMEO set via
+ *  setRecvTimeoutMs / setSendTimeoutMs elapsed mid-I/O). Distinct from
+ *  NetClosed: the connection is still up, the peer is just slow — the
+ *  server's idle reaper and the client's per-op deadline both key off
+ *  this type (docs/robustness.md). */
+class NetTimeout : public NetError
+{
+  public:
+    explicit NetTimeout(const std::string &what) : NetError(what) {}
+};
+
 /** RAII file-descriptor owner. Move-only. */
 class Socket
 {
@@ -99,6 +110,15 @@ class TcpStream
 
     /** Unblock a reader in another thread, then release the fd. */
     void shutdownBoth() { sock_.shutdownBoth(); }
+
+    /**
+     * Bound a single recv()/send() to @p ms milliseconds (0 = block
+     * forever, the default). When the bound elapses the pending
+     * recvAll/sendAll throws NetTimeout. The server applies the idle
+     * timeout this way; the client applies its per-op deadline.
+     */
+    void setRecvTimeoutMs(u64 ms);
+    void setSendTimeoutMs(u64 ms);
 
     int fd() const { return sock_.fd(); }
 

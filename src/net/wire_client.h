@@ -13,14 +13,28 @@
  * side is a fatal PARAMS_MISMATCH (§7).
  *
  * Error handling: retryable refusals (QUEUE_FULL, SHED,
- * UNKNOWN_WORKLOAD) surface as a failed SubmitOutcome with the wire
- * code; fatal ERROR frames and malformed server frames throw
- * WireError; transport failures throw NetError. docs/serving.md §4
- * walks a full session.
+ * UNKNOWN_WORKLOAD, DEADLINE_EXCEEDED) surface as a failed
+ * SubmitOutcome with the wire code; fatal ERROR frames and malformed
+ * server frames throw WireError; transport failures throw NetError
+ * (NetTimeout when a per-op deadline set via setOpTimeoutMs lapses).
+ *
+ * Resilience (docs/robustness.md): the client remembers everything it
+ * told the server — tenant name, uploaded public/eval keys — so
+ * reconnect() can rebuild a dead session from scratch: fresh TCP
+ * connect, hello re-exchange (the parameter-set hash must still
+ * match), session reopen, key re-upload. submitWithRetry() drives
+ * that loop automatically: retryable refusals back off with
+ * decorrelated jitter, transport faults reconnect first, and every
+ * attempt carries the same client-chosen request id so the attempts
+ * are correlatable server-side. Workload evaluation is pure
+ * (deterministic HE on immutable keys), so a re-executed retry is
+ * idempotent by construction — equal inputs produce bit-identical
+ * RESPONSE bodies. docs/serving.md §4 walks a full session.
  */
 
 #pragma once
 
+#include <functional>
 #include <memory>
 #include <string>
 #include <vector>
@@ -43,6 +57,27 @@ struct RemoteWorkload
     /** Rotation amounts the workload references: exactly the evks a
      *  tenant must upload before submitting it. */
     std::vector<i64> rotations;
+};
+
+/** Backoff/retry knobs for WireClient::submitWithRetry. */
+struct RetryPolicy
+{
+    /** Total tries including the first (1 = no retry). */
+    size_t max_attempts = 6;
+    /** Decorrelated-jitter backoff: sleep is uniform in
+     *  [base, prev*3], capped at max (AWS architecture-blog
+     *  recipe — retries spread out instead of thundering back). */
+    u64 base_backoff_ms = 5;
+    u64 max_backoff_ms = 500;
+    /** Reconnect + re-establish the session (reconnect()) after a
+     *  transport error before the next attempt. When false a NetError
+     *  propagates to the caller on first occurrence. */
+    bool reconnect = true;
+    /** Seed for the deterministic jitter sequence (tests pin it). */
+    u64 jitter_seed = 1;
+    /** Injectable sleeper for tests; null = real
+     *  std::this_thread::sleep_for. Receives milliseconds. */
+    std::function<void(u64)> sleep_ms;
 };
 
 /** A connected, hello-complete wire-protocol client session. */
@@ -85,14 +120,15 @@ class WireClient
     /** Upload the tenant public key (§5.8). */
     u64 uploadPublicKey(const PublicKey &pk);
 
-    /** Outcome of one §5.12 SUBMIT. */
+    /** Outcome of one §5.12 SUBMIT / §5.19 SUBMIT2. */
     struct SubmitOutcome
     {
         bool ok = false;
         /** §7 code: Ok on success; QueueFull / Shed /
-         *  UnknownWorkload on a retryable refusal (Shed = the SLO
-         *  admission controller wants this client to back off); the
-         *  execution-failure codes (MissingKey, LevelExhausted,
+         *  UnknownWorkload / DeadlineExceeded on a retryable refusal
+         *  (Shed = the SLO admission controller wants this client to
+         *  back off; DeadlineExceeded = the request aged out queued);
+         *  the execution-failure codes (MissingKey, LevelExhausted,
          *  ExecFailed) when the request ran and failed — and Shed
          *  again when an admitted request was evicted for
          *  higher-priority work before running. */
@@ -108,13 +144,55 @@ class WireClient
     };
 
     /** Submit @p input under workload @p workload_index and wait for
-     *  the RESPONSE (synchronous, one request in flight per client). */
+     *  the RESPONSE (synchronous, one request in flight per client).
+     *  Sends SUBMIT2 (§5.19) when @p deadline_ms or @p request_id is
+     *  nonzero, the frozen v1 SUBMIT otherwise. @p deadline_ms is
+     *  relative — the server converts to its own clock at receipt, so
+     *  client/server clock skew never matters. request_id == 0 lets
+     *  the server assign one. */
     SubmitOutcome submit(size_t workload_index,
-                         const Ciphertext &input);
+                         const Ciphertext &input, u64 deadline_ms = 0,
+                         u64 request_id = 0);
+
+    /** submit() wrapped in the full recovery loop: retryable refusals
+     *  back off (decorrelated jitter) and resubmit under the SAME
+     *  request id; transport errors reconnect() first when the policy
+     *  allows. Fatal wire errors and hello failures still throw.
+     *  Throws the last NetError when every attempt died on transport.
+     *  Counts obs ClientRetries per re-attempt. */
+    SubmitOutcome submitWithRetry(size_t workload_index,
+                                  const Ciphertext &input,
+                                  const RetryPolicy &policy = {},
+                                  u64 deadline_ms = 0,
+                                  u64 request_id = 0);
 
     /** §5.16: poll the server's live stats (no session needed —
      *  works right after the hello). */
     RemoteStats stats();
+
+    /** Result of one §5.17 PING round trip. */
+    struct PingResult
+    {
+        u64 nonce = 0;     ///< echoed by the server (verified)
+        u64 uptime_ms = 0; ///< server-reported time since start
+        double rtt_ms = 0; ///< client-measured round-trip time
+    };
+    /** §5.17: liveness probe. Works pre-session, like stats(). */
+    PingResult ping();
+
+    /** Per-operation I/O deadline: every subsequent send/recv that
+     *  blocks longer than this throws NetTimeout (0 = wait forever).
+     *  Reapplied automatically after reconnect(). */
+    void setOpTimeoutMs(u64 ms);
+
+    /** Tear down and rebuild the whole session: fresh TCP connect,
+     *  hello re-exchange (throws PARAMS_MISMATCH if the server's
+     *  parameter set changed), then — if a session was open — reopen
+     *  it and re-upload every key this client ever uploaded, so the
+     *  server side is indistinguishable from an unbroken session. */
+    void reconnect();
+    /** reconnect() invocations so far (tests / diagnostics). */
+    size_t reconnects() const { return reconnects_; }
 
     /** §5.14: close the session (waits for the server's echo). */
     void closeSession();
@@ -123,10 +201,26 @@ class WireClient
     void disconnect();
 
   private:
+    /** One remembered §5.7 upload, replayable on reconnect. */
+    struct CachedEvalKey
+    {
+        EvalKeyPurpose purpose;
+        u64 galois_elt;
+        EvalKey key;
+    };
+
+    void connectAndHello();
+    void applyOpTimeout();
+    u64 openSessionOnWire(const std::string &tenant_name);
     TcpStream::Frame roundTrip(FrameType type,
                                const std::vector<u8> &body);
     u64 keyAck(TcpStream::Frame f);
+    u64 uploadEvalKey(EvalKeyPurpose purpose, u64 galois_elt,
+                      const EvalKey &key);
 
+    std::string addr_;
+    u16 port_ = 0;
+    std::string client_name_;
     std::unique_ptr<TcpStream> stream_;
     CkksParams params_;
     std::unique_ptr<CkksContext> ctx_;
@@ -136,6 +230,13 @@ class WireClient
     u64 server_max_frame_bytes_ = kDefaultMaxFrameBytes;
     u64 session_id_ = 0;
     bool session_open_ = false;
+    std::string tenant_name_;
+    u64 op_timeout_ms_ = 0;
+    size_t reconnects_ = 0;
+    u64 next_ping_nonce_ = 1;
+    u64 next_request_id_ = 0;
+    std::unique_ptr<PublicKey> cached_pk_;
+    std::vector<CachedEvalKey> cached_evks_;
 };
 
 } // namespace ark

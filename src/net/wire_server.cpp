@@ -38,6 +38,14 @@ codeOf(ServeErrorKind kind)
         // A queued request evicted by SLO admission control after it
         // was admitted: its RESPONSE carries the retryable SHED code.
         return WireCode::Shed;
+      case ServeErrorKind::DeadlineExceeded:
+        // Dropped before execution because the client's own deadline
+        // passed — retryable (with a fresh deadline).
+        return WireCode::DeadlineExceeded;
+      case ServeErrorKind::DrainRefused:
+        // Queued at graceful drain, never started: the same fatal
+        // code a pre-admission shutdown refusal carries.
+        return WireCode::ServerShutdown;
       case ServeErrorKind::Other:
         break;
     }
@@ -140,6 +148,14 @@ WireServer::acceptLoop()
         conns_.push_back(
             std::make_unique<Connection>(TcpStream(std::move(sock))));
         Connection &conn = *conns_.back();
+        // The idle-session reaper and the slow-reader guard are plain
+        // socket deadlines: an expired one surfaces as NetTimeout in
+        // the session loop, which reports IDLE_TIMEOUT and closes.
+        if (server_.config().idle_timeout_ms > 0)
+            conn.stream.setRecvTimeoutMs(
+                server_.config().idle_timeout_ms);
+        if (server_.config().io_timeout_ms > 0)
+            conn.stream.setSendTimeoutMs(server_.config().io_timeout_ms);
         conn.thread =
             std::thread([this, &conn] { serveConnection(conn); });
     }
@@ -366,17 +382,37 @@ WireServer::serveConnection(Connection &conn)
                 break;
               }
 
-              case FrameType::Submit: {
+              case FrameType::Submit:
+              case FrameType::Submit2: {
                 if (!session_open)
                     throw FatalWireError{
                         WireCode::UnknownSession,
                         "SUBMIT before OPEN_SESSION"};
+                // §5.19 SUBMIT2 prefixes the frozen SUBMIT body with
+                // a client request id (idempotent retry key; 0 =
+                // server assigns) and a relative deadline in ms (0 =
+                // none), converted to the server clock's absolute
+                // domain HERE, at receipt — the client's clock never
+                // crosses the wire.
+                u64 client_rid = 0;
+                u64 deadline_ms = 0;
+                if (f.header.type == FrameType::Submit2) {
+                    client_rid = r.getU64();
+                    deadline_ms = r.getU64();
+                }
                 // Reserve the request id up front so the spans
                 // recorded on this thread (recv, respond) correlate
                 // with the worker's spans and the RESPONSE's
                 // request_id. The span clock starts *after*
                 // recvFrame: client idle time is not recv time.
-                const u64 rid = server_.reserveRequestId();
+                const u64 rid = client_rid != 0
+                                    ? client_rid
+                                    : server_.reserveRequestId();
+                const u64 deadline_us =
+                    deadline_ms != 0
+                        ? server_.clock().nowMicros() +
+                              deadline_ms * 1000
+                        : 0;
                 const u32 widx = r.getU32();
                 if (widx >= server_.workloads().size()) {
                     // Non-fatal: the client mis-indexed the catalog,
@@ -417,7 +453,7 @@ WireServer::serveConnection(Connection &conn)
                 std::future<ServeResult> fut;
                 const AdmitResult admitted = server_.trySubmitRemote(
                     widx, std::move(input), tenant_keys.get(), fut,
-                    rid);
+                    rid, deadline_us);
                 if (admitted == AdmitResult::Full) {
                     // §7: QUEUE_FULL is the retryable refusal — the
                     // typed surface of RequestQueue admission.
@@ -491,6 +527,24 @@ WireServer::serveConnection(Connection &conn)
                 break;
               }
 
+              case FrameType::Ping: {
+                // §5.17: liveness probe, allowed any time after the
+                // hello (like STATS — no tenant session needed). The
+                // PONG echoes the nonce and reports uptime.
+                const u64 nonce = r.getU64();
+                r.finish();
+                ByteWriter w;
+                w.putU64(nonce);
+                w.putU64(static_cast<u64>(
+                    std::chrono::duration_cast<
+                        std::chrono::milliseconds>(
+                        std::chrono::steady_clock::now() - start_tp_)
+                        .count()));
+                stream.sendFrame(FrameType::Pong, params_hash_,
+                                 w.take());
+                break;
+              }
+
               case FrameType::CloseSession: {
                 const u64 id = r.getU64();
                 r.finish();
@@ -539,6 +593,23 @@ WireServer::serveConnection(Connection &conn)
         try {
             stream.sendFrame(FrameType::Error, params_hash_,
                              errorBody(e.code(), true, e.what()));
+        } catch (const NetError &) {
+        }
+    } catch (const NetTimeout &) {
+        // The idle reaper: no frame arrived within idle_timeout_ms
+        // (or the peer stopped reading within io_timeout_ms). Tell
+        // the peer why while the pipe may still carry it, then close
+        // — IDLE_TIMEOUT is fatal for the session, a reconnect
+        // starts a fresh one (§7).
+        ARK_LOG(Info, "session %llu reaped (idle timeout)",
+                static_cast<unsigned long long>(session_id));
+        obs::count(obs::Counter::SessionsReaped);
+        try {
+            stream.sendFrame(
+                FrameType::Error, params_hash_,
+                errorBody(WireCode::IdleTimeout, true,
+                          "session idle past the server's idle "
+                          "timeout"));
         } catch (const NetError &) {
         }
     } catch (const NetError &e) {

@@ -21,6 +21,12 @@ counterName(Counter c)
     case Counter::EvkHit: return "evk_hit";
     case Counter::EvkMiss: return "evk_miss";
     case Counter::StatsPolls: return "stats_polls";
+    case Counter::FaultsInjected: return "faults_injected";
+    case Counter::ClientRetries: return "client_retries";
+    case Counter::WorkerRespawns: return "worker_respawns";
+    case Counter::DeadlineExpired: return "deadline_expired";
+    case Counter::DrainRefused: return "drain_refused";
+    case Counter::SessionsReaped: return "sessions_reaped";
     }
     return "?";
 }

@@ -48,8 +48,14 @@ enum class Counter : size_t
     EvkHit,            ///< evaluation-key cache hits (KeyCache)
     EvkMiss,           ///< evaluation-key cache misses
     StatsPolls,        ///< STATS wire frames served
+    FaultsInjected,    ///< faults fired by the injection plane
+    ClientRetries,     ///< WireClient submit attempts retried
+    WorkerRespawns,    ///< dead/stuck workers replaced by the watchdog
+    DeadlineExpired,   ///< requests dropped pre-execute past deadline
+    DrainRefused,      ///< queued requests refused at graceful drain
+    SessionsReaped,    ///< idle sessions closed by the server reaper
 };
-constexpr size_t kCounterCount = 8;
+constexpr size_t kCounterCount = 14;
 const char *counterName(Counter c);
 
 /** Per-phase latency histograms (one per request phase span). */

@@ -8,6 +8,7 @@
 #include <stdexcept>
 
 #include "common/logging.h"
+#include "fault/fault.h"
 #include "obs/metrics.h"
 #include "obs/trace.h"
 
@@ -153,6 +154,34 @@ serveConfigFromEnv(BatchServerConfig cfg)
         }
         cfg.max_frame_bytes = v * 1024 * 1024;
     }
+    struct MsKnob
+    {
+        const char *var;
+        u64 lo;
+        u64 *field;
+    };
+    const MsKnob ms_knobs[] = {
+        {"ARK_WATCHDOG_MS", 0, &cfg.watchdog_interval_ms},
+        {"ARK_WORKER_STUCK_MS", 1, &cfg.worker_stuck_ms},
+        {"ARK_IDLE_TIMEOUT_MS", 0, &cfg.idle_timeout_ms},
+        {"ARK_IO_TIMEOUT_MS", 0, &cfg.io_timeout_ms},
+    };
+    for (const MsKnob &k : ms_knobs) {
+        const char *env = std::getenv(k.var);
+        if (env == nullptr || *env == '\0')
+            continue;
+        u64 v = 0;
+        if (!parseEnvU64(env, k.lo, 3600000, v)) {
+            char msg[160];
+            std::snprintf(msg, sizeof msg,
+                          "invalid %s '%s' (expected an integer in "
+                          "[%llu, 3600000] milliseconds)",
+                          k.var, env,
+                          static_cast<unsigned long long>(k.lo));
+            ARK_FATAL(msg);
+        }
+        *k.field = v;
+    }
     const char *slo_env = std::getenv("ARK_SLO_P99_MS");
     if (slo_env != nullptr && *slo_env != '\0') {
         u64 v = 0;
@@ -219,6 +248,7 @@ BatchServer::BatchServer(const CkksContext &ctx, KeyCache &keys,
     shard_total_done_.assign(cfg_.shards, 0);
     shard_evk_miss_.assign(cfg_.shards, 0);
     last_rebalance_us_.store(clock_.nowMicros());
+    last_watchdog_us_.store(clock_.nowMicros());
 
     // Prewarm every evk the workload set references while still
     // single-threaded: key generation draws from the keygen Rng, so
@@ -240,11 +270,95 @@ BatchServer::BatchServer(const CkksContext &ctx, KeyCache &keys,
         apportion(cfg_.workers, shard_plan_.weight_of_shard);
     shard_workers_ = crew;
     workers_.reserve(cfg_.workers);
+    std::lock_guard<std::mutex> lk(workers_m_);
     for (size_t group = 0; group < cfg_.shards; ++group) {
         for (size_t i = 0; i < crew[group]; ++i)
-            workers_.emplace_back(
-                [this, group] { workerLoop(group); });
+            spawnWorker(group);
     }
+}
+
+void
+BatchServer::spawnWorker(size_t group)
+{
+    auto slot = std::make_unique<WorkerSlot>();
+    slot->group = group;
+    WorkerSlot *p = slot.get();
+    workers_.push_back(std::move(slot));
+    p->thread = std::thread([this, p] { workerLoop(p); });
+}
+
+size_t
+BatchServer::workers() const
+{
+    std::lock_guard<std::mutex> lk(workers_m_);
+    size_t n = 0;
+    for (const auto &s : workers_) {
+        if (!s->exited.load() && !s->superseded.load())
+            ++n;
+    }
+    return n;
+}
+
+size_t
+BatchServer::checkWorkers()
+{
+    if (shut_down_.load())
+        return 0;
+    std::lock_guard<std::mutex> lk(workers_m_);
+    const u64 now_us = clock_.nowMicros();
+    const u64 stuck_us = cfg_.worker_stuck_ms * 1000;
+    size_t replaced = 0;
+    // Replacements append to workers_; bound the scan to the slots
+    // that existed when the sweep started.
+    const size_t n = workers_.size();
+    for (size_t i = 0; i < n; ++i) {
+        WorkerSlot &s = *workers_[i];
+        if (s.superseded.load())
+            continue;
+        if (s.exited.load()) {
+            if (s.thread.joinable())
+                s.thread.join();
+            s.superseded.store(true);
+            spawnWorker(s.group);
+            ++replaced;
+            continue;
+        }
+        const u64 busy = s.busy_since_us.load();
+        if (busy != 0 && now_us > busy && now_us - busy >= stuck_us) {
+            // A stuck thread cannot be joined: replace it now and let
+            // it exit after settling its in-hand job (its superseded
+            // flag); the zombie joins at shutdown. If it was merely
+            // slow, the spurious replacement is benign — it finishes
+            // its job, sees the flag, and bows out.
+            s.superseded.store(true);
+            spawnWorker(s.group);
+            ++replaced;
+        }
+    }
+    if (replaced > 0) {
+        respawns_.fetch_add(replaced);
+        obs::count(obs::Counter::WorkerRespawns,
+                   static_cast<u64>(replaced));
+        ARK_LOG(Info, "watchdog replaced %zu worker(s)", replaced);
+    }
+    return replaced;
+}
+
+void
+BatchServer::maybeWatchdog()
+{
+    const u64 interval_ms = cfg_.watchdog_interval_ms;
+    if (interval_ms == 0)
+        return;
+    const u64 now_us = clock_.nowMicros();
+    u64 last_us = last_watchdog_us_.load();
+    if (now_us - last_us < interval_ms * 1000)
+        return;
+    // One admission wins the sweep for this interval (the
+    // maybeRebalance CAS pattern).
+    if (!last_watchdog_us_.compare_exchange_strong(last_us, now_us))
+        return;
+    checkWorkers();
 }
 
 BatchServer::~BatchServer()
@@ -281,6 +395,52 @@ BatchServer::completeShed(ServeJob &&job, bool was_queued)
     idle_cv_.notify_all();
 }
 
+void
+BatchServer::completeDeadline(ServeJob &&job)
+{
+    ServeResult r;
+    r.id = job.request.id;
+    r.error = "deadline expired before execution started";
+    r.error_kind = ServeErrorKind::DeadlineExceeded;
+    job.promise.set_value(std::move(r));
+    if (obs::metricsEnabled()) {
+        obs::count(obs::Counter::DeadlineExpired);
+        obs::gaugeAdd(obs::Gauge::InFlight, -1);
+    }
+    {
+        std::lock_guard<std::mutex> lk(metrics_m_);
+        deadline_expired_ += 1;
+    }
+    {
+        std::lock_guard<std::mutex> lk(idle_m_);
+        outstanding_.fetch_sub(1);
+    }
+    idle_cv_.notify_all();
+}
+
+void
+BatchServer::completeDrainRefused(ServeJob &&job)
+{
+    ServeResult r;
+    r.id = job.request.id;
+    r.error = "refused at graceful drain (queued, never started)";
+    r.error_kind = ServeErrorKind::DrainRefused;
+    job.promise.set_value(std::move(r));
+    if (obs::metricsEnabled()) {
+        obs::count(obs::Counter::DrainRefused);
+        obs::gaugeAdd(obs::Gauge::InFlight, -1);
+    }
+    {
+        std::lock_guard<std::mutex> lk(metrics_m_);
+        drain_refused_ += 1;
+    }
+    {
+        std::lock_guard<std::mutex> lk(idle_m_);
+        outstanding_.fetch_sub(1);
+    }
+    idle_cv_.notify_all();
+}
+
 AdmitResult
 BatchServer::admitJob(ServeJob &&job, bool blocking)
 {
@@ -296,9 +456,11 @@ BatchServer::admitJob(ServeJob &&job, bool blocking)
     // from the injected clock so tests replay it deterministically.
     job.submit_us = clock_.nowMicros();
 
-    // The periodic rebalance rides on admissions — no extra thread,
-    // and a server with no traffic has nothing to rebalance anyway.
+    // The periodic rebalance and the worker watchdog both ride on
+    // admissions — no extra thread, and a server with no traffic has
+    // nothing to rebalance or resuscitate anyway.
     maybeRebalance();
+    maybeWatchdog();
 
     // Evk-affinity routing: the request joins the queue of the worker
     // group that owns its workload's rotation-evk signature. Read
@@ -443,7 +605,7 @@ BatchServer::trySubmitRemote(size_t workload_index,
                              std::shared_ptr<Ciphertext> input,
                              KeyCache *tenant_keys,
                              std::future<ServeResult> &out,
-                             u64 reserved_id)
+                             u64 reserved_id, u64 deadline_us)
 {
     ARK_ASSERT(workload_index < workloads_.size(),
                "workload index out of range");
@@ -456,6 +618,7 @@ BatchServer::trySubmitRemote(size_t workload_index,
     job.request.workload_index = workload_index;
     job.request.input = std::move(input);
     job.request.tenant_keys = tenant_keys;
+    job.deadline_us = deadline_us;
     std::future<ServeResult> fut = job.promise.get_future();
 
     const AdmitResult admitted =
@@ -598,10 +761,75 @@ BatchServer::execute(const ServeRequest &req) const
 }
 
 void
-BatchServer::workerLoop(size_t group)
+BatchServer::workerLoop(WorkerSlot *slot)
 {
+    const size_t group = slot->group;
     ServeJob job;
     while (queues_[group]->pop(job)) {
+        // 0 is the idle sentinel; an injected clock may legitimately
+        // read 0 at the first pop, so clamp the stamp to 1.
+        slot->busy_since_us.store(std::max<u64>(clock_.nowMicros(), 1));
+
+        // Injected worker faults, asked once per popped job. The stall
+        // gate holds the worker (visibly busy to the watchdog) until
+        // release; skipped during shutdown so joins cannot hang.
+        bool crash = false;
+        if (fault::faultsEnabled() && !shut_down_.load()) {
+            auto &fi = fault::FaultInjector::global();
+            if (fi.shouldInject(fault::Site::WorkerStall))
+                fi.enterStall([this] { return shut_down_.load(); });
+            crash = fi.shouldInject(fault::Site::WorkerCrash);
+        }
+
+        // Deadline gate: expired work is dropped here, before the
+        // evaluator spends anything on it. Checked after the stall
+        // gate on purpose — a stalled worker pops a job, time passes,
+        // and the deadline does its job.
+        if (job.deadline_us != 0 &&
+            clock_.nowMicros() > job.deadline_us) {
+            completeDeadline(std::move(job));
+            slot->busy_since_us.store(0);
+            if (crash || slot->superseded.load())
+                break;
+            continue;
+        }
+
+        // Injected crash: settle the in-hand job as failed through the
+        // normal accounting (promise, window counters, outstanding_)
+        // so nothing leaks, then let the thread die — recovery is the
+        // watchdog's job, not this thread's.
+        if (crash) {
+            ServeResult r;
+            r.id = job.request.id;
+            r.error = "injected worker crash";
+            r.error_kind = ServeErrorKind::Other;
+            if (obs::metricsEnabled()) {
+                obs::count(obs::Counter::RequestsFailed);
+                obs::gaugeAdd(obs::Gauge::InFlight, -1);
+            }
+            double e2e_ms = 0;
+            if (job.submit_us != 0)
+                e2e_ms = static_cast<double>(clock_.nowMicros() -
+                                             job.submit_us) /
+                         1000.0;
+            {
+                std::lock_guard<std::mutex> lk(metrics_m_);
+                latencies_ms_.push_back(0.0);
+                e2e_ms_.push_back(e2e_ms);
+                done_ += 1;
+                failed_ += 1;
+                shard_done_[group] += 1;
+                shard_total_done_[group] += 1;
+            }
+            job.promise.set_value(std::move(r));
+            {
+                std::lock_guard<std::mutex> lk(idle_m_);
+                outstanding_.fetch_sub(1);
+            }
+            idle_cv_.notify_all();
+            break;
+        }
+
         const u64 rid = job.request.id;
         const bool observed =
             obs::traceEnabled() || obs::metricsEnabled();
@@ -690,7 +918,14 @@ BatchServer::workerLoop(size_t group)
             outstanding_.fetch_sub(1);
         }
         idle_cv_.notify_all();
+        slot->busy_since_us.store(0);
+        // A superseded worker (the watchdog already spawned its
+        // replacement) exits after settling its job instead of
+        // competing with the replacement for pops.
+        if (slot->superseded.load())
+            break;
     }
+    slot->exited.store(true);
 }
 
 ServeShardPlan
@@ -801,6 +1036,8 @@ BatchServer::drain()
     rep.failed = failed_;
     rep.shed = shed_;
     rep.slo_good = slo_good_;
+    rep.deadline_expired = deadline_expired_;
+    rep.drain_refused = drain_refused_;
     rep.he_ops = ops_done_;
     rep.latency = summarizeLatencies(std::move(latencies_ms_));
     rep.e2e = summarizeLatencies(std::move(e2e_ms_));
@@ -828,6 +1065,7 @@ BatchServer::drain()
     shard_done_.assign(shard_done_.size(), 0);
     done_ = failed_ = ops_done_ = 0;
     shed_ = slo_good_ = 0;
+    deadline_expired_ = drain_refused_ = 0;
     // A submit may have slipped in after our idle wait: hand the new
     // window a sane start instead of orphaning that request's metrics
     // (its own window-open sees window_open_ already true and no-ops).
@@ -840,16 +1078,42 @@ BatchServer::drain()
 }
 
 void
-BatchServer::shutdown()
+BatchServer::shutdownImpl(bool graceful)
 {
     if (shut_down_.exchange(true))
         return;
-    for (auto &q : queues_)
-        q->close();
-    for (auto &t : workers_) {
-        if (t.joinable())
-            t.join();
+    std::vector<ServeJob> refused;
+    for (auto &q : queues_) {
+        if (graceful)
+            q->closeNow(refused);
+        else
+            q->close();
     }
+    // Graceful drain: every queued-but-unstarted job gets the typed
+    // refusal (its wire surface is SERVER_SHUTDOWN), so no client is
+    // left holding a promise that never resolves.
+    for (ServeJob &job : refused)
+        completeDrainRefused(std::move(job));
+    // Workers parked on an injected stall must not outlive the
+    // server: wake them (their abort predicate sees shut_down_).
+    fault::FaultInjector::global().releaseStalls();
+    std::lock_guard<std::mutex> lk(workers_m_);
+    for (auto &s : workers_) {
+        if (s->thread.joinable())
+            s->thread.join();
+    }
+}
+
+void
+BatchServer::shutdown()
+{
+    shutdownImpl(/*graceful=*/false);
+}
+
+void
+BatchServer::shutdownGraceful()
+{
+    shutdownImpl(/*graceful=*/true);
 }
 
 } // namespace ark

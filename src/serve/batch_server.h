@@ -115,6 +115,26 @@ struct BatchServerConfig
      *  larger frames are refused with FRAME_TOO_LARGE before any body
      *  byte is read. */
     u64 max_frame_bytes = 256ull * 1024 * 1024;
+
+    // --- Robustness knobs (docs/robustness.md; ARK_WATCHDOG_MS /
+    // ARK_WORKER_STUCK_MS / ARK_IDLE_TIMEOUT_MS / ARK_IO_TIMEOUT_MS).
+
+    /** Worker-watchdog period in milliseconds (0 = watchdog off, the
+     *  default). The watchdog rides admissions like the rebalancer
+     *  (no extra thread): every interval it joins+respawns exited
+     *  workers and supersedes ones stuck past worker_stuck_ms.
+     *  checkWorkers() runs one sweep on demand (tests). */
+    u64 watchdog_interval_ms = 0;
+    /** A worker busy on ONE job longer than this (against the
+     *  injected clock) is considered stuck: the watchdog spawns a
+     *  replacement and the straggler exits after settling its job. */
+    u64 worker_stuck_ms = 1000;
+    /** Idle-session reaper: a wire session with no frame for this
+     *  long is closed with wire code IDLE_TIMEOUT (0 = never). */
+    u64 idle_timeout_ms = 0;
+    /** Send-side socket timeout per session: a client that stops
+     *  reading its responses for this long is dropped (0 = never). */
+    u64 io_timeout_ms = 0;
 };
 
 /**
@@ -123,9 +143,12 @@ struct BatchServerConfig
  * ARK_MAX_SESSIONS (1..4096), ARK_MAX_FRAME_MIB (1..16384, converted
  * to bytes), and ARK_SLO_P99_MS (1..3600000: enables SLO admission
  * control with that p99 target on every class that lacks one —
- * creating the default class when none are configured). Malformed
- * values are fatal, naming the offending value; an empty value counts
- * as unset — same discipline as ARK_BACKEND / ARK_THREADS.
+ * creating the default class when none are configured). The
+ * robustness knobs follow the same pattern: ARK_WATCHDOG_MS
+ * (0..3600000), ARK_WORKER_STUCK_MS (1..3600000), ARK_IDLE_TIMEOUT_MS
+ * and ARK_IO_TIMEOUT_MS (0..3600000). Malformed values are fatal,
+ * naming the offending value; an empty value counts as unset — same
+ * discipline as ARK_BACKEND / ARK_THREADS.
  */
 BatchServerConfig serveConfigFromEnv(BatchServerConfig cfg = {});
 
@@ -176,7 +199,12 @@ class BatchServer
      *  params hash and deserialize tenant payloads against). */
     const CkksContext &context() const { return ctx_; }
     const BatchServerConfig &config() const { return cfg_; }
-    size_t workers() const { return workers_.size(); }
+    /** The time source every deadline/watchdog decision reads — the
+     *  wire layer converts relative SUBMIT2 deadlines into this
+     *  clock's absolute domain. */
+    const ServeClock &clock() const { return clock_; }
+    /** Live (not exited, not superseded) worker threads. */
+    size_t workers() const;
     /** Worker groups (1 = the classic single-queue server). */
     size_t shards() const { return queues_.size(); }
     /** The affinity routing table (trivial when shards() == 1).
@@ -224,12 +252,17 @@ class BatchServer
      * the request id *before* admission, so spans recorded around the
      * submit (recv, respond) correlate with the worker's spans and
      * the RESPONSE frame's request_id. 0 = assign one here.
+     *
+     * @p deadline_us: absolute clock() deadline (0 = none). A worker
+     * popping the job past it settles DeadlineExceeded instead of
+     * executing (the SUBMIT2 path, docs/wire_format.md §5.19).
      */
     AdmitResult trySubmitRemote(size_t workload_index,
                                 std::shared_ptr<Ciphertext> input,
                                 KeyCache *tenant_keys,
                                 std::future<ServeResult> &out,
-                                u64 reserved_id = 0);
+                                u64 reserved_id = 0,
+                                u64 deadline_us = 0);
 
     /** Draw the next request id without submitting anything — the
      *  wire layer tags its pre-admission trace spans with it, then
@@ -279,8 +312,49 @@ class BatchServer
      *  Idempotent; the destructor calls it. */
     void shutdown();
 
+    /**
+     * Graceful drain: refuse new requests and settle every QUEUED
+     * (admitted, not yet started) job with the typed DrainRefused
+     * error — its wire surface is SERVER_SHUTDOWN, so a remote client
+     * knows the work was never started — then join the workers.
+     * In-flight requests finish normally. Unlike shutdown() (which
+     * lets workers finish queued work), nothing unstarted runs.
+     * Idempotent, and idempotent against shutdown().
+     */
+    void shutdownGraceful();
+
+    /**
+     * One watchdog sweep, on demand: join + respawn workers whose
+     * thread exited (crash), and supersede workers stuck on one job
+     * longer than worker_stuck_ms (spawn a replacement; the straggler
+     * exits after settling its job and is joined at shutdown). Safe
+     * from any thread; also runs every watchdog_interval_ms off the
+     * admission path. Returns the number of workers replaced.
+     */
+    size_t checkWorkers();
+    /** Workers replaced by the watchdog since server start. */
+    size_t respawns() const { return respawns_.load(); }
+
   private:
-    void workerLoop(size_t group);
+    /** One worker thread's slot. The thread owns busy/exit flags; the
+     *  watchdog reads them and swaps in replacements. unique_ptr keeps
+     *  slot addresses stable while the vector grows. */
+    struct WorkerSlot
+    {
+        std::thread thread;
+        size_t group = 0;
+        /** clock() stamp when the current job was popped; 0 = idle. */
+        std::atomic<u64> busy_since_us{0};
+        /** The thread returned (injected crash / queue closed). */
+        std::atomic<bool> exited{false};
+        /** The watchdog replaced this worker; the thread exits after
+         *  settling its in-hand job instead of popping more. */
+        std::atomic<bool> superseded{false};
+    };
+
+    void workerLoop(WorkerSlot *slot);
+    /** Append a fresh slot+thread for @p group (workers_m_ held). */
+    void spawnWorker(size_t group);
     ServeResult execute(const ServeRequest &req) const;
     AdmitResult admitJob(ServeJob &&job, bool blocking);
     std::future<ServeResult> enqueue(size_t workload_index,
@@ -289,8 +363,17 @@ class BatchServer
     /** Complete @p job with a Shed result and release its admission
      *  accounting (promise, outstanding_, window shed count). */
     void completeShed(ServeJob &&job, bool was_queued);
+    /** Settle a popped job whose deadline already expired. */
+    void completeDeadline(ServeJob &&job);
+    /** Settle a queued job refused at graceful drain. */
+    void completeDrainRefused(ServeJob &&job);
     /** Fire rebalanceNow() when the configured interval elapsed. */
     void maybeRebalance();
+    /** Fire checkWorkers() when watchdog_interval_ms elapsed. */
+    void maybeWatchdog();
+    /** Close queues (optionally extracting still-queued jobs), then
+     *  join every worker thread. */
+    void shutdownImpl(bool graceful);
 
     const CkksContext &ctx_;
     CkksEvaluator eval_;
@@ -315,7 +398,13 @@ class BatchServer
     /** One queue per worker group; index = shard. unique_ptr because
      *  RequestQueue pins a mutex (neither copyable nor movable). */
     std::vector<std::unique_ptr<RequestQueue>> queues_;
-    std::vector<std::thread> workers_;
+    /** Worker slots, including superseded/exited ones awaiting their
+     *  shutdown join (guarded by workers_m_; slots themselves are
+     *  lock-free for the owning thread). */
+    mutable std::mutex workers_m_;
+    std::vector<std::unique_ptr<WorkerSlot>> workers_;
+    std::atomic<size_t> respawns_{0};
+    std::atomic<u64> last_watchdog_us_{0};
     std::atomic<u64> next_id_{1};
     std::atomic<bool> shut_down_{false};
 
@@ -336,6 +425,8 @@ class BatchServer
     std::vector<u64> shard_evk_miss_;
     size_t shed_ = 0;     ///< window: requests shed by admission
     size_t slo_good_ = 0; ///< window: completions meeting their p99
+    size_t deadline_expired_ = 0; ///< window: dropped past deadline
+    size_t drain_refused_ = 0;    ///< window: refused at drain
     /** Live-stats state (also guarded by metrics_m_): unlike the
      *  window counters above these survive drain(). */
     std::vector<size_t> shard_inflight_;

@@ -48,6 +48,12 @@ ServeReport::toString() const
                       slo_good, goodput_per_sec, shed);
         out += buf;
     }
+    if (deadline_expired > 0 || drain_refused > 0) {
+        std::snprintf(buf, sizeof buf,
+                      "\ndropped: %zu past deadline  %zu at drain",
+                      deadline_expired, drain_refused);
+        out += buf;
+    }
     if (e2e.count > 0) {
         std::snprintf(buf, sizeof buf,
                       "\ne2e ms: mean %.3f  p50 %.3f  p90 %.3f  "

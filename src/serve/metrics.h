@@ -54,6 +54,13 @@ struct ServeReport
      *  p99 target (only requests of classes WITH a target count;
      *  see serve/admission.h). */
     size_t slo_good = 0;
+    /** Admitted requests dropped before execution because their
+     *  client-supplied deadline expired (wire code
+     *  DEADLINE_EXCEEDED). Not part of `requests` — never executed. */
+    size_t deadline_expired = 0;
+    /** Admitted requests refused at shutdownGraceful() while still
+     *  queued (wire code SERVER_SHUTDOWN). Not part of `requests`. */
+    size_t drain_refused = 0;
     size_t he_ops = 0; ///< primitive HE ops executed across requests
     double wall_seconds = 0;
     double requests_per_sec = 0;

@@ -60,10 +60,15 @@ runOpenLoop(BatchServer &server,
             stats.ok += 1;
         else if (r.error_kind == ServeErrorKind::Shed)
             stats.evicted += 1;
+        else if (r.error_kind == ServeErrorKind::DeadlineExceeded)
+            stats.deadline_expired += 1;
+        else if (r.error_kind == ServeErrorKind::DrainRefused)
+            stats.drain_refused += 1;
         else
             stats.failed += 1;
     }
-    ARK_ASSERT(stats.ok + stats.failed + stats.evicted ==
+    ARK_ASSERT(stats.ok + stats.failed + stats.evicted +
+                       stats.deadline_expired + stats.drain_refused ==
                    stats.admitted,
                "open-loop ledger must conserve admitted requests");
 

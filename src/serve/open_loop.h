@@ -38,11 +38,15 @@ struct OpenLoopStats
     size_t shed = 0;     ///< refused with AdmitResult::Shed
     size_t refused = 0;  ///< refused with AdmitResult::Full / Closed
     /** Of the admitted: completions by outcome (evicted = shed from
-     *  the queue after admission; ok + failed + evicted == admitted
-     *  once every future resolved). */
+     *  the queue after admission; deadline_expired = dropped unstarted
+     *  past its deadline; drain_refused = queued at graceful drain;
+     *  ok + failed + evicted + deadline_expired + drain_refused ==
+     *  admitted once every future resolved). */
     size_t ok = 0;
     size_t failed = 0;
     size_t evicted = 0;
+    size_t deadline_expired = 0;
+    size_t drain_refused = 0;
     /** The server's drain window for the run (goodput lives here). */
     ServeReport report;
     /** Offered arrival rate actually realized, events/sec. */

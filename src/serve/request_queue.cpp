@@ -111,6 +111,21 @@ RequestQueue::close()
     not_empty_.notify_all();
 }
 
+void
+RequestQueue::closeNow(std::vector<ServeJob> &out)
+{
+    {
+        std::lock_guard<std::mutex> lk(m_);
+        closed_ = true;
+        while (!q_.empty()) {
+            out.push_back(std::move(q_.front()));
+            q_.pop_front();
+        }
+    }
+    not_full_.notify_all();
+    not_empty_.notify_all();
+}
+
 size_t
 RequestQueue::size() const
 {

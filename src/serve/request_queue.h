@@ -19,6 +19,7 @@
 #include <deque>
 #include <future>
 #include <mutex>
+#include <vector>
 
 #include "serve/workload.h"
 
@@ -42,6 +43,12 @@ struct ServeJob
      *  The worker derives end-to-end latency — the number the SLO
      *  targets bound — from it at completion. */
     u64 submit_us = 0;
+    /** Absolute ServeClock deadline (microseconds; 0 = none). A worker
+     *  that pops the job past this point settles it with
+     *  DeadlineExceeded instead of executing (docs/robustness.md §4:
+     *  expired work is dropped where it is cheapest — before the
+     *  evaluator touches it). */
+    u64 deadline_us = 0;
 };
 
 /**
@@ -96,6 +103,15 @@ class RequestQueue
 
     /** Refuse new jobs; wake all blocked producers and consumers. */
     void close();
+
+    /**
+     * close() that also ATOMICALLY extracts every still-queued job
+     * into @p out (graceful drain: the caller settles each with a
+     * typed DrainRefused so no promise is left dangling). After this,
+     * pop() returns false immediately — workers see an empty, closed
+     * queue.
+     */
+    void closeNow(std::vector<ServeJob> &out);
 
     /**
      * Remove and return the queued job with the LOWEST priority

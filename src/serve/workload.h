@@ -119,6 +119,11 @@ enum class ServeErrorKind {
     Other,          ///< anything else (wire code EXEC_FAILED)
     Shed,           ///< SLO admission shed it (wire code SHED,
                     ///< retryable — the client should back off)
+    DeadlineExceeded, ///< client deadline expired before execution
+                      ///< started (wire code DEADLINE_EXCEEDED,
+                      ///< retryable — the work was never done)
+    DrainRefused,     ///< queued at graceful drain, never started
+                      ///< (wire code SERVER_SHUTDOWN, fatal)
 };
 
 /** Thrown by request execution when the level budget runs out —

@@ -40,6 +40,12 @@ frameTypeName(FrameType t)
         return "ERROR";
       case FrameType::Stats:
         return "STATS";
+      case FrameType::Ping:
+        return "PING";
+      case FrameType::Pong:
+        return "PONG";
+      case FrameType::Submit2:
+        return "SUBMIT2";
     }
     return "UNKNOWN";
 }
@@ -86,6 +92,10 @@ wireCodeName(WireCode c)
         return "PROTOCOL";
       case WireCode::Shed:
         return "SHED";
+      case WireCode::DeadlineExceeded:
+        return "DEADLINE_EXCEEDED";
+      case WireCode::IdleTimeout:
+        return "IDLE_TIMEOUT";
     }
     return "UNKNOWN";
 }
@@ -251,7 +261,7 @@ decodeFrameHeader(const u8 *data, u64 max_frame_bytes)
                             std::to_string(h.version));
     const u16 type = r.getU16();
     if (type < static_cast<u16>(FrameType::ClientHello) ||
-        type > static_cast<u16>(FrameType::Stats))
+        type > static_cast<u16>(FrameType::Submit2))
         throw WireError(WireCode::BadFrameType,
                         "unknown frame type " + std::to_string(type));
     h.type = static_cast<FrameType>(type);

@@ -59,6 +59,12 @@ enum class FrameType : u16 {
     CloseSession = 0x0E, ///< §5.14
     Error = 0x0F,        ///< §5.15
     Stats = 0x10,        ///< §5.16 (appended within v1, §8)
+    Ping = 0x11,         ///< §5.17 (appended within v1, §8)
+    Pong = 0x12,         ///< §5.18 (appended within v1, §8)
+    Submit2 = 0x13,      ///< §5.19 (appended within v1, §8): SUBMIT
+                         ///< plus request id + deadline — SUBMIT's
+                         ///< body is frozen, so the deadline rides a
+                         ///< new type instead of a new field
 };
 
 const char *frameTypeName(FrameType t);
@@ -89,6 +95,14 @@ enum class WireCode : u16 {
     ExecFailed = 16,
     Protocol = 17,
     Shed = 18,
+    /** Appended within v1 (§8): the request's client-supplied
+     *  deadline expired before execution started — retryable, the
+     *  work was never done. */
+    DeadlineExceeded = 19,
+    /** Appended within v1 (§8): the server's idle-session reaper
+     *  closed the connection (no frame within ARK_IDLE_TIMEOUT_MS).
+     *  Fatal for the session; reconnect to continue. */
+    IdleTimeout = 20,
 };
 
 const char *wireCodeName(WireCode c);

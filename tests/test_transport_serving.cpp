@@ -1,0 +1,249 @@
+/**
+ * @file
+ * Transport-layer robustness tests (docs/robustness.md): SIGPIPE-free
+ * writes to a closed peer, byte-at-a-time frame reassembly under
+ * injected short reads/writes for EVERY frame type, typed NetClosed on
+ * truncation at each header boundary, NetTimeout on a lapsed socket
+ * deadline, the §5.17 PING golden header bytes, and the determinism
+ * contract of the fault plane itself (same seed => same fired set).
+ *
+ * Everything here runs over AF_UNIX socketpairs — no listener, no
+ * CKKS context, no server — so the file stays fast and exercises
+ * exactly one layer: net/socket.cpp moving §2 envelopes.
+ */
+
+#include <sys/socket.h>
+
+#include <memory>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "fault/fault.h"
+#include "net/socket.h"
+#include "wire/wire_format.h"
+
+namespace ark {
+namespace {
+
+/** Both ends of a stream socketpair, wrapped as TcpStreams. */
+struct StreamPair
+{
+    std::unique_ptr<TcpStream> a;
+    std::unique_ptr<TcpStream> b;
+
+    StreamPair()
+    {
+        int fds[2] = {-1, -1};
+        if (::socketpair(AF_UNIX, SOCK_STREAM, 0, fds) != 0)
+            throw NetError("socketpair failed");
+        a = std::make_unique<TcpStream>(Socket(fds[0]));
+        b = std::make_unique<TcpStream>(Socket(fds[1]));
+    }
+};
+
+/** Disarm-on-exit guard: a test that arms the global fault plane must
+ *  never leak an armed plane into the next test. */
+struct ArmedPlane
+{
+    explicit ArmedPlane(const fault::FaultPlan &plan)
+    {
+        fault::FaultInjector::global().arm(plan);
+    }
+    ~ArmedPlane() { fault::FaultInjector::global().disarm(); }
+};
+
+TEST(TransportServing, PeerClosedWriteIsNetClosedNotSigpipe)
+{
+    // The classic serving-stack killer: the peer hangs up, the next
+    // write raises SIGPIPE, the process dies. sendAll passes
+    // MSG_NOSIGNAL, so the death signal becomes EPIPE and surfaces as
+    // the same typed NetClosed an orderly EOF produces. This test
+    // PASSING is the assertion — an unhandled SIGPIPE would kill the
+    // whole test binary.
+    StreamPair p;
+    p.b.reset(); // peer gone, fd closed
+    const std::vector<u8> frame =
+        encodeFrame(FrameType::Stats, 0, {});
+    bool closed = false;
+    try {
+        // The first send may land in the dead socket's buffer; EPIPE
+        // is guaranteed within a couple of writes on AF_UNIX.
+        for (int i = 0; i < 4 && !closed; ++i)
+            p.a->sendAll(frame.data(), frame.size());
+    } catch (const NetClosed &) {
+        closed = true;
+    }
+    EXPECT_TRUE(closed);
+}
+
+TEST(TransportServing, OneByteShortIoReassemblesEveryFrameType)
+{
+    // Force EVERY send() and recv() to move exactly one byte: the
+    // sendAll/recvAll loops must reassemble each frame type from the
+    // worst-case fragmentation TCP is allowed to produce.
+    fault::FaultPlan plan;
+    plan.seed = 7;
+    plan.permille[static_cast<size_t>(fault::Site::SendShort)] = 1000;
+    plan.permille[static_cast<size_t>(fault::Site::RecvShort)] = 1000;
+    ArmedPlane armed(plan);
+
+    StreamPair p;
+    const std::vector<u8> body = {0xDE, 0xAD, 0xBE, 0xEF, 0x01,
+                                  0x23, 0x45, 0x67, 0x89};
+    for (u16 t = 0x01; t <= 0x13; ++t) {
+        const FrameType type = static_cast<FrameType>(t);
+        p.a->sendFrame(type, 0xA5A5A5A5A5A5A5A5ull, body);
+        const TcpStream::Frame f =
+            p.b->recvFrame(kDefaultMaxFrameBytes);
+        EXPECT_EQ(f.header.type, type) << frameTypeName(type);
+        EXPECT_EQ(f.header.params_hash, 0xA5A5A5A5A5A5A5A5ull);
+        EXPECT_EQ(f.body, body) << frameTypeName(type);
+    }
+    // The clamp actually fired: one call per byte moved.
+    auto &fi = fault::FaultInjector::global();
+    EXPECT_GT(fi.injected(fault::Site::SendShort), 0u);
+    EXPECT_GT(fi.injected(fault::Site::RecvShort), 0u);
+}
+
+TEST(TransportServing, TruncationAtEveryHeaderBoundaryIsNetClosed)
+{
+    // A frame cut off at any §2 header boundary (and inside the body)
+    // is a CLOSE, not a malformed frame: frames are atomic, so a
+    // partial one means the peer died. Boundaries: magic [0,4),
+    // version [4,6), type [6,8), body_len [8,16), params_hash [16,24).
+    const std::vector<u8> whole =
+        encodeFrame(FrameType::Ping, 0x1111111111111111ull,
+                    {0x01, 0x02, 0x03, 0x04});
+    for (const size_t cut : {size_t{0}, size_t{1}, size_t{3},
+                             size_t{4}, size_t{5}, size_t{6},
+                             size_t{7}, size_t{8}, size_t{15},
+                             size_t{16}, size_t{23},
+                             kWireHeaderBytes + 2}) {
+        StreamPair p;
+        if (cut > 0)
+            p.a->sendAll(whole.data(), cut);
+        p.a.reset(); // EOF after `cut` bytes
+        try {
+            (void)p.b->recvFrame(kDefaultMaxFrameBytes);
+            FAIL() << "truncated frame (cut at " << cut
+                   << ") accepted";
+        } catch (const NetClosed &) {
+            // typed: the session layer maps this to a dead peer
+        }
+    }
+}
+
+TEST(TransportServing, RecvDeadlineThrowsNetTimeout)
+{
+    // SO_RCVTIMEO lapses with no bytes in flight: the read surfaces
+    // NetTimeout (connection alive, peer slow) — NOT NetClosed. The
+    // server's idle reaper and the client's per-op deadline both
+    // depend on telling these two apart.
+    StreamPair p;
+    p.b->setRecvTimeoutMs(30);
+    try {
+        (void)p.b->recvFrame(kDefaultMaxFrameBytes);
+        FAIL() << "recv with an empty pipe returned";
+    } catch (const NetTimeout &) {
+    }
+    // The stream survived the timeout: traffic still flows.
+    p.a->sendFrame(FrameType::Stats, 0, {});
+    const TcpStream::Frame f = p.b->recvFrame(kDefaultMaxFrameBytes);
+    EXPECT_EQ(f.header.type, FrameType::Stats);
+}
+
+// ------------------------------------------------------------- §5.17-§5.19
+
+TEST(TransportServing, GoldenPingHeaderBytes)
+{
+    // A PING frame (u64 nonce body), byte for byte: type 0x11 rides
+    // the unchanged v1 envelope (§8 lets new TYPES append within v1).
+    const std::vector<u8> frame =
+        encodeFrame(FrameType::Ping, 0x0123456789ABCDEFull,
+                    {0x88, 0x77, 0x66, 0x55, 0x44, 0x33, 0x22, 0x11});
+    const std::vector<u8> expected = {
+        0x41, 0x52, 0x4B, 0x57,                         // "ARKW"
+        0x01, 0x00,                                     // version 1
+        0x11, 0x00,                                     // PING
+        0x08, 0x00, 0x00, 0x00, 0x00, 0x00, 0x00, 0x00, // body_len 8
+        0xEF, 0xCD, 0xAB, 0x89, 0x67, 0x45, 0x23, 0x01, // params hash
+        0x88, 0x77, 0x66, 0x55, 0x44, 0x33, 0x22, 0x11, // nonce
+    };
+    EXPECT_EQ(frame, expected);
+
+    const FrameHeader h =
+        decodeFrameHeader(frame.data(), kDefaultMaxFrameBytes);
+    EXPECT_EQ(h.type, FrameType::Ping);
+    EXPECT_STREQ(frameTypeName(h.type), "PING");
+    EXPECT_STREQ(frameTypeName(FrameType::Pong), "PONG");
+    EXPECT_STREQ(frameTypeName(FrameType::Submit2), "SUBMIT2");
+    EXPECT_EQ(static_cast<u16>(FrameType::Pong), 0x12);
+    EXPECT_EQ(static_cast<u16>(FrameType::Submit2), 0x13);
+}
+
+// ------------------------------------------------------------ fault plane
+
+TEST(TransportServing, FaultScheduleIsDeterministicAcrossRearm)
+{
+    // The whole point of the plane: the fired set is a pure function
+    // of (seed, site, call index). Re-arming the same plan must
+    // reproduce the exact decision sequence; a different seed must
+    // not (overwhelmingly).
+    fault::FaultPlan plan;
+    plan.seed = 42;
+    plan.permille[static_cast<size_t>(fault::Site::RecvReset)] = 250;
+
+    auto draw = [](size_t n) {
+        std::vector<bool> fired(n);
+        for (size_t i = 0; i < n; ++i)
+            fired[i] = fault::FaultInjector::global().shouldInject(
+                fault::Site::RecvReset);
+        return fired;
+    };
+
+    ArmedPlane armed(plan);
+    const std::vector<bool> first = draw(1000);
+    fault::FaultInjector::global().arm(plan); // reset counters
+    const std::vector<bool> second = draw(1000);
+    EXPECT_EQ(first, second);
+
+    // Rate sanity: 250 permille over 1000 draws.
+    size_t hits = 0;
+    for (const bool b : first)
+        hits += b ? 1 : 0;
+    EXPECT_GT(hits, 150u);
+    EXPECT_LT(hits, 350u);
+    EXPECT_EQ(fault::FaultInjector::global().calls(
+                  fault::Site::RecvReset),
+              1000u);
+    EXPECT_EQ(fault::FaultInjector::global().injected(
+                  fault::Site::RecvReset),
+              hits);
+
+    fault::FaultPlan other = plan;
+    other.seed = 43;
+    fault::FaultInjector::global().arm(other);
+    EXPECT_NE(draw(1000), first);
+
+    // Disarmed: never fires, never draws an index.
+    fault::FaultInjector::global().disarm();
+    EXPECT_FALSE(fault::FaultInjector::global().shouldInject(
+        fault::Site::RecvReset));
+}
+
+TEST(TransportServing, SiteNamesRoundTrip)
+{
+    for (size_t i = 0; i < fault::kSiteCount; ++i) {
+        const fault::Site s = static_cast<fault::Site>(i);
+        fault::Site back;
+        ASSERT_TRUE(fault::parseSite(fault::siteName(s), back))
+            << fault::siteName(s);
+        EXPECT_EQ(back, s);
+    }
+    fault::Site out;
+    EXPECT_FALSE(fault::parseSite("not_a_site", out));
+}
+
+} // namespace
+} // namespace ark

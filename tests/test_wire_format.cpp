@@ -108,9 +108,10 @@ TEST(WireEnvelope, RejectsFutureVersion)
 
 TEST(WireEnvelope, RejectsUnknownFrameType)
 {
-    // 0x10 was the first unknown value until STATS claimed it (§5.16,
-    // appended within v1 per §8); 0x11 is now the first unknown.
-    for (const u16 bad : {u16{0x00}, u16{0x11}, u16{0xFFFF}}) {
+    // 0x10 was the first unknown value until STATS claimed it (§5.16),
+    // then 0x11-0x13 went to PING/PONG/SUBMIT2 (§5.17-§5.19, appended
+    // within v1 per §8); 0x14 is now the first unknown.
+    for (const u16 bad : {u16{0x00}, u16{0x14}, u16{0xFFFF}}) {
         std::vector<u8> frame =
             encodeFrame(FrameType::ClientHello, 0, {});
         frame[6] = static_cast<u8>(bad);
